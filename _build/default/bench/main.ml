@@ -1,0 +1,179 @@
+(* Reproduction harness.
+
+   Part 1 regenerates every table and figure of the evaluation (DESIGN.md
+   §5, recorded in EXPERIMENTS.md) by running the experiment drivers and
+   printing their output.
+
+   Part 2 is a Bechamel micro-benchmark suite with one Test.make per
+   experiment: each test measures the computational kernel that dominates
+   that experiment (e.g. T2's kernel is one statistical optimization of
+   add32), so regressions in any experiment's cost are visible without
+   re-running the full reproduction.
+
+   "--quick" shrinks part 1 to a smoke run and skips nothing else;
+   "--no-bechamel" skips part 2. *)
+
+module Experiments = Statleak.Experiments
+module Setup = Statleak.Setup
+module Benchmarks = Sl_netlist.Benchmarks
+module Design = Sl_tech.Design
+module Spec = Sl_variation.Spec
+module Model = Sl_variation.Model
+module Ssta = Sl_ssta.Ssta
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Mc = Sl_mc.Mc
+module Det_opt = Sl_opt.Det_opt
+module Stat_opt = Sl_opt.Stat_opt
+module Anneal = Sl_opt.Anneal
+
+let print_experiments ~quick =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (o : Experiments.output) ->
+      Printf.printf "=== %s: %s ===\n%s\n%!" o.Experiments.id o.Experiments.title
+        o.Experiments.body)
+    (Experiments.all ~quick ());
+  Printf.printf "(experiment reproduction took %.1f s)\n\n%!" (Unix.gettimeofday () -. t0)
+
+(* ---------- bechamel kernels, one per experiment ---------- *)
+
+let kernels () =
+  let open Bechamel in
+  (* shared inputs built once, outside the timed region *)
+  let s_add32 = Setup.of_benchmark "add32" in
+  let s_c17 = Setup.of_benchmark "c17" in
+  let tmax_add32 = Setup.tmax s_add32 ~factor:1.25 in
+  let tmax_c17 = Setup.tmax s_c17 ~factor:1.25 in
+  let init_add32 = Setup.fresh_design s_add32 in
+  let mc_add32 = Mc.run ~seed:3 ~samples:1000 init_add32 s_add32.Setup.model in
+  let stat_kernel ?(sensitivity = Stat_opt.Stat_leak_per_yield) ?(allow_size = true)
+      ?(eta = 0.95) s tmax () =
+    let d = Setup.fresh_design s in
+    let cfg =
+      { (Stat_opt.default_config ~tmax ~eta) with Stat_opt.sensitivity; allow_size }
+    in
+    ignore (Stat_opt.optimize cfg d s.Setup.model)
+  in
+  [
+    Test.make ~name:"T1-model-build"
+      (Staged.stage (fun () ->
+           ignore (Model.build Spec.default s_add32.Setup.circuit)));
+    Test.make ~name:"T2-stat-opt-add32"
+      (Staged.stage (stat_kernel s_add32 tmax_add32));
+    Test.make ~name:"T3-leak-quantiles"
+      (Staged.stage (fun () ->
+           let l = Leak_ssta.create init_add32 s_add32.Setup.model in
+           ignore (Leak_ssta.quantile l 0.99)));
+    Test.make ~name:"T4-mc-500-dies"
+      (Staged.stage (fun () ->
+           ignore (Mc.run ~seed:5 ~samples:500 init_add32 s_add32.Setup.model)));
+    Test.make ~name:"T5-det-opt-add32"
+      (Staged.stage (fun () ->
+           let d = Setup.fresh_design s_add32 in
+           ignore
+             (Det_opt.optimize (Det_opt.default_config ~tmax:tmax_add32) d
+                s_add32.Setup.spec)));
+    Test.make ~name:"F1-histogram"
+      (Staged.stage (fun () ->
+           ignore (Sl_util.Histogram.build ~bins:30 mc_add32.Mc.leak)));
+    Test.make ~name:"F2-det-opt-c17"
+      (Staged.stage (fun () ->
+           let d = Setup.fresh_design s_c17 in
+           ignore
+             (Det_opt.optimize (Det_opt.default_config ~tmax:tmax_c17) d
+                s_c17.Setup.spec)));
+    Test.make ~name:"F3-stat-opt-eta90"
+      (Staged.stage (stat_kernel ~eta:0.90 s_c17 tmax_c17));
+    Test.make ~name:"F4-ssta-backward"
+      (Staged.stage (fun () ->
+           let res = Ssta.analyze init_add32 s_add32.Setup.model in
+           ignore (Ssta.backward s_add32.Setup.circuit res)));
+    Test.make ~name:"F5-scaled-model-build"
+      (Staged.stage (fun () ->
+           ignore (Model.build (Spec.scaled 1.5) s_add32.Setup.circuit)));
+    Test.make ~name:"F6-ssta-analyze"
+      (Staged.stage (fun () -> ignore (Ssta.analyze init_add32 s_add32.Setup.model)));
+    Test.make ~name:"A1-no-spatial-model"
+      (Staged.stage (fun () ->
+           ignore (Model.build Spec.no_spatial s_add32.Setup.circuit)));
+    Test.make ~name:"A2-stat-opt-vth-only"
+      (Staged.stage (stat_kernel ~allow_size:false s_c17 tmax_c17));
+    Test.make ~name:"A3-nominal-sensitivity"
+      (Staged.stage (stat_kernel ~sensitivity:Stat_opt.Nominal_leak_per_yield s_c17 tmax_c17));
+    Test.make ~name:"A4-anneal-500-iters"
+      (Staged.stage (fun () ->
+           let d = Setup.fresh_design s_c17 in
+           let cfg =
+             { (Anneal.default_config ~tmax:tmax_c17 ~eta:0.95) with Anneal.iterations = 500 }
+           in
+           ignore (Anneal.optimize cfg d s_c17.Setup.model)));
+    Test.make ~name:"A5-ivc-add32"
+      (Staged.stage (fun () ->
+           ignore (Sl_leakage.State_leak.Ivc.optimize ~seed:3 ~restarts:1 init_add32)));
+    Test.make ~name:"A6-path-ssta-k50"
+      (Staged.stage (fun () ->
+           ignore (Sl_ssta.Path_ssta.analyze init_add32 s_add32.Setup.model ~k:50)));
+    Test.make ~name:"A7-abb-100-dies"
+      (Staged.stage (fun () ->
+           let cfg = Sl_mc.Abb.default_config ~tmax:tmax_add32 in
+           ignore (Sl_mc.Abb.tune ~seed:5 ~samples:100 cfg init_add32 s_add32.Setup.model)));
+    Test.make ~name:"A8-quadtree-model-build"
+      (Staged.stage (fun () ->
+           ignore (Model.build (Spec.quadtree ()) s_add32.Setup.circuit)));
+    Test.make ~name:"A9-hot-library-leakage"
+      (Staged.stage (fun () ->
+           let tech = { Sl_tech.Tech.default with Sl_tech.Tech.temp_k = 400.0 } in
+           let lib = Sl_tech.Cell_lib.create tech in
+           let d = Design.create ~size_idx:2 lib s_add32.Setup.circuit in
+           ignore (Leak_ssta.create d s_add32.Setup.model)));
+    Test.make ~name:"F7-criticality-profile"
+      (Staged.stage (fun () ->
+           let res = Ssta.analyze init_add32 s_add32.Setup.model in
+           let bwd = Ssta.backward s_add32.Setup.circuit res in
+           let tmax = tmax_add32 in
+           for id = 0 to Sl_netlist.Circuit.num_gates s_add32.Setup.circuit - 1 do
+             ignore (Ssta.node_criticality res ~backward:bwd ~tmax id)
+           done));
+    Test.make ~name:"A13-det-corner-k1"
+      (Staged.stage (fun () ->
+           let d = Setup.fresh_design s_c17 in
+           let cfg = { (Det_opt.default_config ~tmax:tmax_c17) with Det_opt.corner_k = 1.0 } in
+           ignore (Det_opt.optimize cfg d s_c17.Setup.spec)));
+    Test.make ~name:"A14-lr-opt-add32"
+      (Staged.stage (fun () ->
+           let d = Setup.fresh_design s_add32 in
+           ignore
+             (Sl_opt.Lr_opt.optimize (Sl_opt.Lr_opt.default_config ~tmax:tmax_add32) d
+                s_add32.Setup.spec)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "=== Bechamel micro-benchmarks (one kernel per experiment) ===\n%!";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let tests = Test.make_grouped ~name:"statleak" (kernels ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, r) ->
+      let time_ns =
+        match Analyze.OLS.estimates r with Some (t :: _) -> t | _ -> Float.nan
+      in
+      Printf.printf "%-32s %12.0f ns/run  (r2=%s)\n" name time_ns
+        (match Analyze.OLS.r_square r with
+        | Some r2 -> Printf.sprintf "%.3f" r2
+        | None -> "-"))
+    rows;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  print_experiments ~quick;
+  if not no_bechamel then run_bechamel ()

@@ -1,0 +1,409 @@
+(* statleak command-line interface.
+
+   Subcommands mirror the library layers: info/sta/ssta/leakage/mc operate
+   on one circuit; optimize runs either optimizer and reports
+   before/after metrics; experiments regenerates the paper tables. *)
+
+module Circuit = Sl_netlist.Circuit
+module Benchmarks = Sl_netlist.Benchmarks
+module Bench_format = Sl_netlist.Bench_format
+module Design = Sl_tech.Design
+module Liberty = Sl_tech.Liberty
+module Spec = Sl_variation.Spec
+module Sta = Sl_sta.Sta
+module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Mc = Sl_mc.Mc
+module Setup = Statleak.Setup
+module Evaluate = Statleak.Evaluate
+module Experiments = Statleak.Experiments
+
+open Cmdliner
+
+(* ---------- shared arguments ---------- *)
+
+let circuit_arg =
+  let doc =
+    "Benchmark name (see $(b,bench-list)) or a path to an ISCAS '.bench' file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let lib_arg =
+  let doc = "Cell library file (statleak Liberty-like format); default built-in 100nm." in
+  Arg.(value & opt (some string) None & info [ "lib" ] ~docv:"FILE" ~doc)
+
+let sigma_scale_arg =
+  let doc = "Scale factor on both variation sigmas." in
+  Arg.(value & opt float 1.0 & info [ "sigma-scale" ] ~docv:"K" ~doc)
+
+let size_idx_arg =
+  let doc = "Initial size index for all gates (0 = unit drive)." in
+  Arg.(value & opt int 2 & info [ "size-idx" ] ~docv:"I" ~doc)
+
+let factor_arg =
+  let doc = "Delay constraint as a multiple of the initial nominal delay D0." in
+  Arg.(value & opt float 1.25 & info [ "tmax-factor" ] ~docv:"X" ~doc)
+
+let eta_arg =
+  let doc = "Timing-yield target for the statistical optimizer." in
+  Arg.(value & opt float 0.95 & info [ "eta" ] ~docv:"P" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for Monte-Carlo runs." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let samples_arg =
+  let doc = "Monte-Carlo sample count." in
+  Arg.(value & opt int 2000 & info [ "samples" ] ~docv:"N" ~doc)
+
+let load_circuit spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then Bench_format.parse_file spec
+  else
+    match Benchmarks.by_name spec with
+    | Some c -> c
+    | None ->
+      Printf.eprintf
+        "error: %S is neither a file nor a benchmark (try 'statleak bench-list')\n" spec;
+      exit 2
+
+let load_lib = function
+  | None -> Sl_tech.Cell_lib.default ()
+  | Some path -> Liberty.parse_file path
+
+let make_setup circuit_spec lib_file sigma_scale size_idx =
+  let circuit = load_circuit circuit_spec in
+  let lib = load_lib lib_file in
+  let spec = Spec.scaled sigma_scale in
+  Setup.make ~lib ~spec ~base_size_idx:size_idx ~name:circuit.Circuit.name circuit
+
+(* ---------- subcommands ---------- *)
+
+let bench_list () =
+  List.iter
+    (fun name ->
+      match Benchmarks.by_name name with
+      | Some c -> Printf.printf "%-10s %s\n" name (Circuit.stats c)
+      | None -> ())
+    Benchmarks.names
+
+let circuit_info circuit_spec =
+  let c = load_circuit circuit_spec in
+  print_endline (Circuit.stats c);
+  let levels = Circuit.levels c in
+  Printf.printf "levels: %d (widest has %d gates)\n" (Array.length levels)
+    (Array.fold_left (fun acc l -> Stdlib.max acc (Array.length l)) 0 levels)
+
+let sta circuit_spec lib_file size_idx =
+  let s = make_setup circuit_spec lib_file 1.0 size_idx in
+  let d = Setup.fresh_design s in
+  let res = Sta.analyze d in
+  Printf.printf "nominal delay: %.1f ps\n" res.Sta.dmax;
+  let path = Sta.critical_path s.Setup.circuit res in
+  Printf.printf "critical path (%d stages):\n" (Array.length path);
+  Array.iter
+    (fun id ->
+      let g = Circuit.gate s.Setup.circuit id in
+      Printf.printf "  %-12s %-5s arrival %8.1f ps\n" g.Circuit.name
+        (Sl_netlist.Cell_kind.to_string g.Circuit.kind)
+        res.Sta.arrival.(id))
+    path
+
+let ssta circuit_spec lib_file sigma_scale size_idx factor critical =
+  let s = make_setup circuit_spec lib_file sigma_scale size_idx in
+  let d = Setup.fresh_design s in
+  let res = Ssta.analyze d s.Setup.model in
+  let cd = res.Ssta.circuit_delay in
+  let tmax = Setup.tmax s ~factor in
+  Printf.printf "circuit delay: mean %.1f ps, sigma %.1f ps (%.1f%%)\n"
+    cd.Canonical.mean (Canonical.sigma cd)
+    (100.0 *. Canonical.sigma cd /. cd.Canonical.mean);
+  Printf.printf "nominal D0:   %.1f ps\n" s.Setup.d0;
+  Printf.printf "P(delay <= %.1f ps) = %.4f   (Tmax = %.2f * D0)\n" tmax
+    (Ssta.timing_yield res ~tmax) factor;
+  List.iter
+    (fun p ->
+      Printf.printf "  %2.0f%% quantile: %.1f ps\n" (100.0 *. p)
+        (Ssta.tmax_for_yield res ~p))
+    [ 0.5; 0.9; 0.95; 0.99 ];
+  if critical > 0 then begin
+    let bwd = Ssta.backward s.Setup.circuit res in
+    let cells =
+      Array.to_list s.Setup.circuit.Circuit.gates
+      |> List.filter_map (fun (g : Circuit.gate) ->
+             if g.Circuit.kind = Sl_netlist.Cell_kind.Pi then None
+             else
+               Some
+                 (Ssta.node_criticality res ~backward:bwd ~tmax g.Circuit.id, g.Circuit.id))
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    Printf.printf "most statistically critical gates (P(path through gate > Tmax)):\n";
+    List.iteri
+      (fun i (cr, id) ->
+        if i < critical then
+          Printf.printf "  %-14s %.4f\n" (Circuit.gate s.Setup.circuit id).Circuit.name cr)
+      cells
+  end
+
+let leakage circuit_spec lib_file sigma_scale size_idx =
+  let s = make_setup circuit_spec lib_file sigma_scale size_idx in
+  let d = Setup.fresh_design s in
+  let l = Leak_ssta.create d s.Setup.model in
+  Printf.printf "nominal leakage: %8.2f uA\n" (Leak_ssta.nominal l /. 1000.0);
+  Printf.printf "mean leakage:    %8.2f uA  (%.2fx nominal)\n"
+    (Leak_ssta.mean l /. 1000.0)
+    (Leak_ssta.mean l /. Leak_ssta.nominal l);
+  Printf.printf "std:             %8.2f uA\n" (Leak_ssta.std l /. 1000.0);
+  List.iter
+    (fun p ->
+      Printf.printf "  %2.0f%% quantile: %8.2f uA\n" (100.0 *. p)
+        (Leak_ssta.quantile l p /. 1000.0))
+    [ 0.5; 0.95; 0.99 ]
+
+let mc circuit_spec lib_file sigma_scale size_idx factor seed samples =
+  let s = make_setup circuit_spec lib_file sigma_scale size_idx in
+  let d = Setup.fresh_design s in
+  let tmax = Setup.tmax s ~factor in
+  let r = Mc.run ~seed ~samples d s.Setup.model in
+  Printf.printf "%d dies, Tmax = %.1f ps (%.2f * D0)\n" samples tmax factor;
+  Printf.printf "delay:  mean %.1f ps, std %.1f ps, yield %.4f\n" (Mc.delay_mean r)
+    (Mc.delay_std r)
+    (Mc.timing_yield r ~tmax);
+  Printf.printf "leak:   mean %.2f uA, std %.2f uA, p99 %.2f uA\n"
+    (Mc.leak_mean r /. 1000.0) (Mc.leak_std r /. 1000.0)
+    (Mc.leak_quantile r 0.99 /. 1000.0)
+
+let print_metrics tag tmax (m : Evaluate.metrics) =
+  Printf.printf
+    "%-6s leak: mean %8.2f uA  p99 %8.2f uA  nominal %8.2f uA | yield(ssta) %.4f%s | \
+     high-vth %.0f%% width %.0f\n"
+    tag
+    (m.Evaluate.leak_mean /. 1000.0)
+    (m.Evaluate.leak_p99 /. 1000.0)
+    (m.Evaluate.leak_nominal /. 1000.0)
+    m.Evaluate.yield_ssta
+    (match m.Evaluate.yield_mc with
+    | Some y -> Printf.sprintf " yield(mc %.4f)" y
+    | None -> "")
+    (100.0 *. m.Evaluate.high_vth_frac)
+    m.Evaluate.total_width;
+  ignore tmax
+
+let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples dump =
+  let s = make_setup circuit_spec lib_file sigma_scale size_idx in
+  let tmax = Setup.tmax s ~factor in
+  Printf.printf "%s: D0 = %.1f ps, Tmax = %.1f ps (%.2fx), eta = %.2f, mode = %s\n"
+    s.Setup.name s.Setup.d0 tmax factor eta mode;
+  let d = Setup.fresh_design s in
+  print_metrics "init" tmax (Evaluate.design ~mc_samples:samples s ~tmax d);
+  (match mode with
+  | "det" ->
+    let st = Sl_opt.Det_opt.optimize (Sl_opt.Det_opt.default_config ~tmax) d s.Setup.spec in
+    Printf.printf
+      "det optimizer: feasible=%b vth_moves=%d size_moves=%d trials=%d corner_dmax=%.1f\n"
+      st.Sl_opt.Det_opt.feasible st.Sl_opt.Det_opt.vth_moves st.Sl_opt.Det_opt.size_moves
+      st.Sl_opt.Det_opt.trials st.Sl_opt.Det_opt.corner_dmax
+  | "lr" ->
+    let st = Sl_opt.Lr_opt.optimize (Sl_opt.Lr_opt.default_config ~tmax) d s.Setup.spec in
+    Printf.printf "lr optimizer: feasible=%b iterations=%d repair_moves=%d corner_dmax=%.1f\n"
+      st.Sl_opt.Lr_opt.feasible st.Sl_opt.Lr_opt.iterations st.Sl_opt.Lr_opt.repair_moves
+      st.Sl_opt.Lr_opt.corner_dmax
+  | "stat" ->
+    let st =
+      Sl_opt.Stat_opt.optimize (Sl_opt.Stat_opt.default_config ~tmax ~eta) d s.Setup.model
+    in
+    Printf.printf
+      "stat optimizer: feasible=%b vth_moves=%d size_moves=%d trials=%d refreshes=%d \
+       rollbacks=%d yield=%.4f\n"
+      st.Sl_opt.Stat_opt.feasible st.Sl_opt.Stat_opt.vth_moves
+      st.Sl_opt.Stat_opt.size_moves st.Sl_opt.Stat_opt.trials
+      st.Sl_opt.Stat_opt.refreshes st.Sl_opt.Stat_opt.rollbacks
+      st.Sl_opt.Stat_opt.final_yield
+  | other ->
+    Printf.eprintf "error: unknown mode %S (use det, lr or stat)\n" other;
+    exit 2);
+  print_metrics "final" tmax (Evaluate.design ~mc_samples:samples s ~tmax d);
+  match dump with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "# gate vth_idx size_idx\n";
+    Array.iter
+      (fun (g : Circuit.gate) ->
+        if g.Circuit.kind <> Sl_netlist.Cell_kind.Pi then
+          Printf.fprintf oc "%s %d %d\n" g.Circuit.name
+            d.Design.vth_idx.(g.Circuit.id) d.Design.size_idx.(g.Circuit.id))
+      s.Setup.circuit.Circuit.gates;
+    close_out oc;
+    Printf.printf "assignment written to %s\n" path
+
+let paths circuit_spec lib_file size_idx k =
+  let s = make_setup circuit_spec lib_file 1.0 size_idx in
+  let d = Setup.fresh_design s in
+  let ps = Sl_sta.Paths.k_most_critical d ~k in
+  Printf.printf "%d most critical paths of %s:\n" (List.length ps) s.Setup.name;
+  List.iter
+    (fun p -> Format.printf "  %a@." (Sl_sta.Paths.pp s.Setup.circuit) p)
+    ps
+
+let ivc circuit_spec lib_file size_idx restarts =
+  let s = make_setup circuit_spec lib_file 1.0 size_idx in
+  let d = Setup.fresh_design s in
+  let sv = Sl_leakage.State_leak.survey d ~seed:7 ~samples:200 in
+  Printf.printf "standby leakage over 200 random vectors: mean %.2f uA, worst %.2f uA\n"
+    (sv.Sl_util.Stats.mean /. 1000.0)
+    (sv.Sl_util.Stats.max /. 1000.0);
+  let r = Sl_leakage.State_leak.Ivc.optimize ~seed:3 ~restarts d in
+  Printf.printf "IVC best vector: %.2f uA (%d evaluations)\n"
+    (r.Sl_leakage.State_leak.Ivc.leak /. 1000.0)
+    r.Sl_leakage.State_leak.Ivc.evaluations;
+  let names =
+    Array.map (fun id -> (Circuit.gate s.Setup.circuit id).Circuit.name)
+      s.Setup.circuit.Circuit.inputs
+  in
+  Array.iteri
+    (fun i b -> Printf.printf "  %s = %d\n" names.(i) (if b then 1 else 0))
+    r.Sl_leakage.State_leak.Ivc.vector
+
+let export circuit_spec format out =
+  let c = load_circuit circuit_spec in
+  let text =
+    match format with
+    | "verilog" -> Sl_netlist.Verilog.to_string c
+    | "bench" -> Bench_format.to_string c
+    | other ->
+      Printf.eprintf "error: unknown format %S (use verilog or bench)\n" other;
+      exit 2
+  in
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let experiments quick ids =
+  let outputs = Experiments.all ~quick () in
+  let selected =
+    match ids with
+    | [] -> outputs
+    | ids ->
+      List.filter
+        (fun (o : Experiments.output) ->
+          List.mem (String.lowercase_ascii o.Experiments.id) (List.map String.lowercase_ascii ids))
+        outputs
+  in
+  List.iter
+    (fun (o : Experiments.output) ->
+      Printf.printf "=== %s: %s ===\n%s\n" o.Experiments.id o.Experiments.title
+        o.Experiments.body)
+    selected
+
+(* ---------- command wiring ---------- *)
+
+let bench_list_cmd =
+  Cmd.v (Cmd.info "bench-list" ~doc:"List the built-in benchmark suite.")
+    Term.(const bench_list $ const ())
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Print circuit statistics.")
+    Term.(const circuit_info $ circuit_arg)
+
+let sta_cmd =
+  Cmd.v (Cmd.info "sta" ~doc:"Deterministic timing analysis and critical path.")
+    Term.(const sta $ circuit_arg $ lib_arg $ size_idx_arg)
+
+let ssta_cmd =
+  Cmd.v
+    (Cmd.info "ssta" ~doc:"Statistical timing: delay distribution, yield, quantiles.")
+    Term.(
+      const ssta $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg $ factor_arg
+      $ Arg.(
+          value
+          & opt int 0
+          & info [ "critical" ] ~docv:"N"
+              ~doc:"Also list the N most statistically critical gates."))
+
+let leakage_cmd =
+  Cmd.v (Cmd.info "leakage" ~doc:"Statistical leakage: mean, std, percentiles.")
+    Term.(const leakage $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg)
+
+let mc_cmd =
+  Cmd.v (Cmd.info "mc" ~doc:"Monte-Carlo reference evaluation.")
+    Term.(
+      const mc $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg $ factor_arg
+      $ seed_arg $ samples_arg)
+
+let optimize_cmd =
+  let mode_arg =
+    let doc = "Optimizer: $(b,stat) (yield-constrained statistical), $(b,det) (3-sigma corner greedy) or $(b,lr) (3-sigma corner Lagrangian relaxation)." in
+    Arg.(value & opt string "stat" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let dump_arg =
+    let doc = "Write the final per-gate assignment to FILE." in
+    Arg.(value & opt (some string) None & info [ "dump-assignment" ] ~docv:"FILE" ~doc)
+  in
+  let mc_arg =
+    let doc = "Monte-Carlo dies for before/after verification (0 = skip)." in
+    Arg.(value & opt int 1000 & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run a leakage optimizer and report before/after metrics.")
+    Term.(
+      const optimize $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
+      $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ dump_arg)
+
+let paths_cmd =
+  let k_arg =
+    let doc = "Number of paths to list." in
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  Cmd.v (Cmd.info "paths" ~doc:"List the K most critical paths.")
+    Term.(const paths $ circuit_arg $ lib_arg $ size_idx_arg $ k_arg)
+
+let ivc_cmd =
+  let restarts_arg =
+    let doc = "Greedy descent restarts." in
+    Arg.(value & opt int 4 & info [ "restarts" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "ivc" ~doc:"Input-vector control: find the lowest-leakage standby vector.")
+    Term.(const ivc $ circuit_arg $ lib_arg $ size_idx_arg $ restarts_arg)
+
+let export_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,verilog) (structural primitives) or $(b,bench)." in
+    Arg.(value & opt string "verilog" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file (stdout if omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export a circuit as structural Verilog or .bench.")
+    Term.(const export $ circuit_arg $ format_arg $ out_arg)
+
+let experiments_cmd =
+  let quick_arg =
+    let doc = "Reduced suites and sample counts (seconds instead of minutes)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let ids_arg =
+    let doc = "Experiment ids to run (e.g. T2 F5); default all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const experiments $ quick_arg $ ids_arg)
+
+let () =
+  let doc = "statistical leakage optimization under process variation (DAC 2004 reproduction)" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "statleak" ~version:"1.0.0" ~doc)
+          [
+            bench_list_cmd; info_cmd; sta_cmd; ssta_cmd; leakage_cmd; mc_cmd;
+            optimize_cmd; paths_cmd; ivc_cmd; export_cmd; experiments_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_circuit.ml: Array List Printf Sl_netlist Sl_opt Statleak

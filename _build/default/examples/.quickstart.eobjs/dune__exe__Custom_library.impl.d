@@ -1,0 +1,1 @@
+examples/custom_library.ml: Filename Printf Sl_netlist Sl_opt Sl_tech Statleak Sys

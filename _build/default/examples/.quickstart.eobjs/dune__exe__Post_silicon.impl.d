@@ -1,0 +1,1 @@
+examples/post_silicon.ml: List Printf Sl_mc Sl_opt Sl_util Statleak

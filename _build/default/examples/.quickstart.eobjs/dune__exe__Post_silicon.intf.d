@@ -1,0 +1,1 @@
+examples/post_silicon.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Sl_netlist Sl_opt Statleak

@@ -1,0 +1,1 @@
+examples/standby_vector.ml: Array Format List Printf Sl_leakage Sl_netlist Sl_opt Sl_sta Sl_util Statleak

@@ -1,0 +1,1 @@
+examples/standby_vector.mli:

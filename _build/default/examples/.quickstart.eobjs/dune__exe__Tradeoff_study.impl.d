@@ -1,0 +1,1 @@
+examples/tradeoff_study.ml: List Printf Sl_leakage Sl_opt Statleak

@@ -1,0 +1,1 @@
+examples/variation_study.ml: List Printf Sl_leakage Sl_netlist Sl_opt Sl_ssta Sl_variation Statleak

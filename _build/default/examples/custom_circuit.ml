@@ -1,0 +1,99 @@
+(* Bring your own netlist: build a circuit programmatically with
+   Circuit.Builder, or parse ISCAS ".bench" text, then compare the
+   deterministic and statistical optimizers on it.
+
+     dune exec examples/custom_circuit.exe *)
+
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Bench_format = Sl_netlist.Bench_format
+module Setup = Statleak.Setup
+module Evaluate = Statleak.Evaluate
+
+(* A 4-bit priority encoder, built by hand. *)
+let priority_encoder () =
+  let b = Circuit.Builder.create "prio4" in
+  let ins = List.init 4 (fun i -> Printf.sprintf "r%d" i) in
+  List.iter (fun net -> ignore (Circuit.Builder.add_input b net)) ins;
+  (* valid = OR of all requests *)
+  ignore (Circuit.Builder.add_gate b "v01" Cell_kind.Or [ "r0"; "r1" ]);
+  ignore (Circuit.Builder.add_gate b "v23" Cell_kind.Or [ "r2"; "r3" ]);
+  ignore (Circuit.Builder.add_gate b "valid" Cell_kind.Or [ "v01"; "v23" ]);
+  (* y1 = r2 | r3 ; y0 = r3 | (r1 & ~r2) *)
+  ignore (Circuit.Builder.add_gate b "y1" Cell_kind.Or [ "r2"; "r3" ]);
+  ignore (Circuit.Builder.add_gate b "nr2" Cell_kind.Not [ "r2" ]);
+  ignore (Circuit.Builder.add_gate b "r1nr2" Cell_kind.And [ "r1"; "nr2" ]);
+  ignore (Circuit.Builder.add_gate b "y0" Cell_kind.Or [ "r3"; "r1nr2" ]);
+  List.iter (Circuit.Builder.mark_output b) [ "valid"; "y1"; "y0" ];
+  Circuit.Builder.build b
+
+(* The same thing as ".bench" text, to show the parser path. *)
+let bench_text =
+  "INPUT(r0)\nINPUT(r1)\nINPUT(r2)\nINPUT(r3)\n\
+   OUTPUT(valid)\nOUTPUT(y1)\nOUTPUT(y0)\n\
+   v01 = OR(r0, r1)\n\
+   v23 = OR(r2, r3)\n\
+   valid = OR(v01, v23)\n\
+   y1 = OR(r2, r3)\n\
+   nr2 = NOT(r2)\n\
+   r1nr2 = AND(r1, nr2)\n\
+   y0 = OR(r3, r1nr2)\n"
+
+let compare_optimizers name circuit =
+  let setup = Setup.make ~name circuit in
+  let tmax = Setup.tmax setup ~factor:1.25 in
+  let run tag optimize =
+    let d = Setup.fresh_design setup in
+    optimize d;
+    let m = Evaluate.design setup ~tmax d in
+    Printf.printf "  %-5s leak %.3f uA, yield %.3f, high-vth %.0f%%\n" tag
+      (m.Evaluate.leak_mean /. 1e3)
+      m.Evaluate.yield_ssta
+      (100.0 *. m.Evaluate.high_vth_frac)
+  in
+  Printf.printf "%s (D0 = %.1f ps, Tmax = %.1f ps):\n" name setup.Setup.d0 tmax;
+  run "none" (fun _ -> ());
+  run "det" (fun d ->
+      ignore
+        (Sl_opt.Det_opt.optimize (Sl_opt.Det_opt.default_config ~tmax) d
+           setup.Setup.spec));
+  run "stat" (fun d ->
+      ignore
+        (Sl_opt.Stat_opt.optimize
+           (Sl_opt.Stat_opt.default_config ~tmax ~eta:0.95)
+           d setup.Setup.model))
+
+(* Sequential netlists (ISCAS-89 style) are handled by register cutting:
+   each flip-flop becomes a pseudo input (its Q) and a pseudo output (its
+   D), leaving the combinational core that timing and leakage
+   optimization actually operate on. *)
+let sequential_demo () =
+  let text =
+    "INPUT(en)\nOUTPUT(out)\n\
+     q0 = DFF(d0)\nq1 = DFF(d1)\n\
+     d0 = XOR(q0, en)\n\
+     carry = AND(q0, en)\n\
+     d1 = XOR(q1, carry)\n\
+     out = AND(q0, q1)\n"
+  in
+  let core = Bench_format.parse_string ~sequential:`Cut ~name:"counter2" text in
+  Printf.printf
+    "sequential demo: 2-bit counter cut at its registers -> %s\n\
+    \  (register outputs became inputs, register data nets became outputs)\n\n"
+    (Circuit.stats core)
+
+let () =
+  sequential_demo ();
+  let built = priority_encoder () in
+  let parsed = Bench_format.parse_string ~name:"prio4-parsed" bench_text in
+  (* both construction paths produce the same logic *)
+  assert (Circuit.num_cells built = Circuit.num_cells parsed);
+  for v = 0 to 15 do
+    let ins = Array.init 4 (fun i -> v land (1 lsl i) <> 0) in
+    assert (Circuit.eval built ins = Circuit.eval parsed ins)
+  done;
+  Printf.printf "builder and parser agree on all 16 input patterns\n\n";
+  compare_optimizers "prio4" built;
+  print_newline ();
+  (* also works on any generated structure *)
+  compare_optimizers "csel16" (Sl_netlist.Generators.carry_select_adder 16 4)

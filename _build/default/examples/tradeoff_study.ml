@@ -1,0 +1,62 @@
+(* The leakage / delay / yield design space of one circuit.
+
+   Prints two curves for an array multiplier:
+     1. optimized leakage vs delay constraint (det vs stat), and
+     2. optimized leakage vs yield target at a fixed constraint —
+   the data a designer uses to pick an operating point.
+
+     dune exec examples/tradeoff_study.exe *)
+
+module Setup = Statleak.Setup
+module Leak_ssta = Sl_leakage.Leak_ssta
+
+let mean_leak setup d = Leak_ssta.mean (Leak_ssta.create d setup.Setup.model) /. 1e3
+
+let () =
+  let setup = Setup.of_benchmark "mult8" in
+  Printf.printf "circuit: %s (D0 = %.1f ps)\n\n" "mult8" setup.Setup.d0;
+
+  Printf.printf "leakage vs delay constraint (eta = 0.95):\n";
+  Printf.printf "  %-6s  %-12s  %-12s\n" "T/D0" "det [uA]" "stat [uA]";
+  List.iter
+    (fun factor ->
+      let tmax = Setup.tmax setup ~factor in
+      let d_det = Setup.fresh_design setup in
+      let st_det =
+        Sl_opt.Det_opt.optimize (Sl_opt.Det_opt.default_config ~tmax) d_det
+          setup.Setup.spec
+      in
+      let d_stat = Setup.fresh_design setup in
+      let st_stat =
+        Sl_opt.Stat_opt.optimize
+          (Sl_opt.Stat_opt.default_config ~tmax ~eta:0.95)
+          d_stat setup.Setup.model
+      in
+      Printf.printf "  %-6.2f  %-12s  %-12s\n" factor
+        (if st_det.Sl_opt.Det_opt.feasible then
+           Printf.sprintf "%.2f" (mean_leak setup d_det)
+         else "infeasible")
+        (if st_stat.Sl_opt.Stat_opt.feasible then
+           Printf.sprintf "%.2f" (mean_leak setup d_stat)
+         else "infeasible"))
+    [ 1.05; 1.10; 1.15; 1.20; 1.25; 1.30; 1.40 ];
+
+  Printf.printf "\nleakage vs yield target (T = 1.15 * D0):\n";
+  Printf.printf "  %-6s  %-12s  %-10s\n" "eta" "stat [uA]" "achieved";
+  List.iter
+    (fun eta ->
+      let tmax = Setup.tmax setup ~factor:1.15 in
+      let d = Setup.fresh_design setup in
+      let st =
+        Sl_opt.Stat_opt.optimize (Sl_opt.Stat_opt.default_config ~tmax ~eta) d
+          setup.Setup.model
+      in
+      Printf.printf "  %-6.2f  %-12s  %.3f\n" eta
+        (if st.Sl_opt.Stat_opt.feasible then Printf.sprintf "%.2f" (mean_leak setup d)
+         else "infeasible")
+        st.Sl_opt.Stat_opt.final_yield)
+    [ 0.50; 0.80; 0.90; 0.95; 0.99 ];
+
+  Printf.printf
+    "\nTightening either axis costs leakage; the deterministic corner flow\n\
+     drops out entirely below ~1.2x while the statistical flow still closes.\n"

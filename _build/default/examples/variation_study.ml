@@ -1,0 +1,57 @@
+(* How much does process variation actually cost?
+
+   Sweeps the variation magnitude and reports, for a fixed circuit:
+   the mean-vs-nominal leakage inflation, the delay spread, and the
+   leakage the statistical optimizer recovers relative to the
+   deterministic corner flow — the paper's motivation in one table.
+
+     dune exec examples/variation_study.exe *)
+
+module Setup = Statleak.Setup
+module Spec = Sl_variation.Spec
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
+
+let () =
+  let circuit = Sl_netlist.Generators.alu 16 in
+  Printf.printf "circuit: %s\n\n" (Sl_netlist.Circuit.stats circuit);
+  Printf.printf
+    "%-6s  %-12s  %-10s  %-12s  %-12s  %-8s\n" "scale" "E[I]/Inom" "sigmaD/D"
+    "det [uA]" "stat [uA]" "saved";
+  List.iter
+    (fun scale ->
+      let spec = Spec.scaled scale in
+      let setup = Setup.make ~spec ~name:"alu16" circuit in
+      let tmax = Setup.tmax setup ~factor:1.25 in
+      let d = Setup.fresh_design setup in
+      let leak = Leak_ssta.create d setup.Setup.model in
+      let inflation = Leak_ssta.mean leak /. Leak_ssta.nominal leak in
+      let res = Ssta.analyze d setup.Setup.model in
+      let cd = res.Ssta.circuit_delay in
+      let spread = Canonical.sigma cd /. cd.Canonical.mean in
+      let d_det = Setup.fresh_design setup in
+      let st_det =
+        Sl_opt.Det_opt.optimize (Sl_opt.Det_opt.default_config ~tmax) d_det
+          setup.Setup.spec
+      in
+      let d_stat = Setup.fresh_design setup in
+      let _ =
+        Sl_opt.Stat_opt.optimize
+          (Sl_opt.Stat_opt.default_config ~tmax ~eta:0.95)
+          d_stat setup.Setup.model
+      in
+      let mean_of dd = Leak_ssta.mean (Leak_ssta.create dd setup.Setup.model) in
+      let det_leak = mean_of d_det and stat_leak = mean_of d_stat in
+      Printf.printf "%-6.2f  %-12.2f  %-10.3f  %-12s  %-12.2f  %s\n" scale inflation
+        spread
+        (if st_det.Sl_opt.Det_opt.feasible then Printf.sprintf "%.2f" (det_leak /. 1e3)
+         else "infeasible")
+        (stat_leak /. 1e3)
+        (if st_det.Sl_opt.Det_opt.feasible then
+           Printf.sprintf "%.0f%%" (100.0 *. (det_leak -. stat_leak) /. det_leak)
+         else "-"))
+    [ 0.0; 0.5; 1.0; 1.5; 2.0 ];
+  Printf.printf
+    "\nAt zero variation the two flows coincide; as sigma grows, the corner\n\
+     flow's guard-band widens and the statistical optimizer's advantage grows.\n"

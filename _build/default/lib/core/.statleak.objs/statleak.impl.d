@@ -1,0 +1,1 @@
+lib/core/statleak.ml: Evaluate Experiments Report Setup

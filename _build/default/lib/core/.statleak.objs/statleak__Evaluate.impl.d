@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Float Option Setup Sl_leakage Sl_mc Sl_netlist Sl_ssta Sl_sta Sl_tech

@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Setup Sl_tech

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Evaluate Float List Printf Report Setup Sl_leakage Sl_mc Sl_netlist Sl_opt Sl_ssta Sl_sta Sl_tech Sl_util Sl_variation String Unix

@@ -1,0 +1,1 @@
+lib/core/setup.ml: Printf Sl_netlist Sl_sta Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/core/setup.mli: Sl_netlist Sl_tech Sl_variation

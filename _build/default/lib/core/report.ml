@@ -1,0 +1,35 @@
+let table ~header rows =
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg (Printf.sprintf "Report.table: row %d has %d cells, header has %d" i (List.length row) width))
+    rows;
+  let all = header :: rows in
+  let widths = Array.make width 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let render row =
+    String.concat "  "
+      (List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row)
+    |> fun s -> String.trim (Printf.sprintf "%s" s) |> fun s -> s
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" ((render header :: rule :: List.map render rows) @ [ "" ])
+
+let series ~title ~cols rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" title);
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (String.concat " " cols));
+  List.iter (fun row -> Buffer.add_string buf (String.concat " " row ^ "\n")) rows;
+  Buffer.contents buf
+
+let f x = Printf.sprintf "%.4g" x
+let f1 x = Printf.sprintf "%.1f" x
+let f3 x = Printf.sprintf "%.3f" x
+let pct x = Printf.sprintf "%+.1f%%" x
+let ua x = Printf.sprintf "%.2f" (x /. 1000.0)
+let opt fmt = function Some x -> fmt x | None -> "-"

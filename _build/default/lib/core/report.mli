@@ -1,0 +1,27 @@
+(** Plain-text table and series rendering for the experiment harness. *)
+
+val table : header:string list -> string list list -> string
+(** Column-aligned table with a separator rule under the header.
+    @raise Invalid_argument if a row's width differs from the header's. *)
+
+val series : title:string -> cols:string list -> string list list -> string
+(** Grep-friendly figure data: a "# title" line, a "# col col …" line and
+    one whitespace-separated row per point. *)
+
+val f : float -> string
+(** Compact float formatting ("%.4g"). *)
+
+val f1 : float -> string
+(** One-decimal fixed ("%.1f"). *)
+
+val f3 : float -> string
+(** Three-decimal fixed ("%.3f"). *)
+
+val pct : float -> string
+(** Signed percentage with one decimal. *)
+
+val ua : float -> string
+(** Format a leakage value given in nA as µA with 2 decimals. *)
+
+val opt : ('a -> string) -> 'a option -> string
+(** Format an option, "-" when absent. *)

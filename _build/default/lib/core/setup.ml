@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  circuit : Sl_netlist.Circuit.t;
+  lib : Sl_tech.Cell_lib.t;
+  spec : Sl_variation.Spec.t;
+  model : Sl_variation.Model.t;
+  base_size_idx : int;
+  d0 : float;
+}
+
+let make ?lib ?(spec = Sl_variation.Spec.default) ?(base_size_idx = 2) ~name circuit =
+  let lib = match lib with Some l -> l | None -> Sl_tech.Cell_lib.default () in
+  let model = Sl_variation.Model.build spec circuit in
+  let d0 = Sl_sta.Sta.dmax (Sl_tech.Design.create ~size_idx:base_size_idx lib circuit) in
+  { name; circuit; lib; spec; model; base_size_idx; d0 }
+
+let of_benchmark ?lib ?spec ?base_size_idx name =
+  match Sl_netlist.Benchmarks.by_name name with
+  | Some circuit -> make ?lib ?spec ?base_size_idx ~name circuit
+  | None -> invalid_arg (Printf.sprintf "Setup.of_benchmark: unknown benchmark %S" name)
+
+let fresh_design t = Sl_tech.Design.create ~size_idx:t.base_size_idx t.lib t.circuit
+let tmax t ~factor = factor *. t.d0

@@ -1,0 +1,41 @@
+(** Problem setup: a benchmark circuit bound to a library and a variation
+    model, with the delay-constraint convention used throughout the
+    evaluation.
+
+    Convention: the initial design places every gate at low Vth and at the
+    [base_size_idx] drive strength (default 2.0×, a performance-sized
+    netlist); [d0] is its nominal circuit delay and constraints are quoted
+    as multiples of [d0] (e.g. the headline experiments use 1.25·d0). *)
+
+type t = {
+  name : string;
+  circuit : Sl_netlist.Circuit.t;
+  lib : Sl_tech.Cell_lib.t;
+  spec : Sl_variation.Spec.t;
+  model : Sl_variation.Model.t;
+  base_size_idx : int;
+  d0 : float;  (** nominal delay of the initial design, ps *)
+}
+
+val make :
+  ?lib:Sl_tech.Cell_lib.t ->
+  ?spec:Sl_variation.Spec.t ->
+  ?base_size_idx:int ->
+  name:string ->
+  Sl_netlist.Circuit.t ->
+  t
+
+val of_benchmark :
+  ?lib:Sl_tech.Cell_lib.t ->
+  ?spec:Sl_variation.Spec.t ->
+  ?base_size_idx:int ->
+  string ->
+  t
+(** Look the circuit up in {!Sl_netlist.Benchmarks}.
+    @raise Invalid_argument on unknown names. *)
+
+val fresh_design : t -> Sl_tech.Design.t
+(** A new all-low-Vth design at the base size. *)
+
+val tmax : t -> factor:float -> float
+(** [factor · d0]. *)

@@ -1,0 +1,33 @@
+(** statleak — statistical leakage-power optimization under process
+    variation (OCaml reproduction of Srivastava/Sylvester/Blaauw,
+    DAC 2004).
+
+    This is the high-level facade; the underlying engines live in their
+    own libraries and are fully usable directly:
+
+    - [Sl_netlist]: circuits, ".bench" I/O, generators, Verilog export;
+    - [Sl_tech]: technology, dual-Vth cell library, designs;
+    - [Sl_variation]: the ΔVth/ΔL process-variation model;
+    - [Sl_sta] / [Sl_ssta]: deterministic and statistical timing;
+    - [Sl_leakage]: statistical and state-dependent leakage;
+    - [Sl_mc]: Monte-Carlo reference, LHS sampling, adaptive body bias;
+    - [Sl_opt]: the optimizers.
+
+    Typical use: build a {!Setup} from a benchmark or parsed circuit, run
+    an optimizer from [Sl_opt] against [setup.model], then measure the
+    result with {!Evaluate.design}.  {!Experiments} regenerates the
+    paper's tables and figures. *)
+
+module Setup = Setup
+(** Problem setup: circuit + library + variation model + constraint
+    conventions. *)
+
+module Evaluate = Evaluate
+(** Design metrics: yields (SSTA and Monte Carlo), leakage statistics,
+    area proxies. *)
+
+module Report = Report
+(** Plain-text tables and figure series. *)
+
+module Experiments = Experiments
+(** The reproduction drivers (T1–T5, F1–F7, A1–A9). *)

@@ -1,0 +1,1 @@
+lib/leakage/corner.ml: Array Sl_netlist Sl_tech Sl_variation

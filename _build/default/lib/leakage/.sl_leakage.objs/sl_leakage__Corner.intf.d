@@ -1,0 +1,1 @@
+lib/leakage/corner.mli: Sl_tech Sl_variation

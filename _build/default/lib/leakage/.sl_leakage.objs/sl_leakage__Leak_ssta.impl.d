@@ -1,0 +1,1 @@
+lib/leakage/leak_ssta.ml: Array Float Lognormal Sl_netlist Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/leakage/leak_ssta.mli: Lognormal Sl_tech Sl_variation

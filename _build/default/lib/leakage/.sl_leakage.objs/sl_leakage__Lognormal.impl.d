@@ -1,0 +1,1 @@
+lib/leakage/lognormal.ml: Format Sl_util

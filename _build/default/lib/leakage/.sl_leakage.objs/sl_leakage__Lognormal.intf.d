@@ -1,0 +1,1 @@
+lib/leakage/lognormal.mli: Format

@@ -1,0 +1,1 @@
+lib/leakage/state_leak.ml: Array Fun Hashtbl Sl_netlist Sl_tech Sl_util Stdlib

@@ -1,0 +1,1 @@
+lib/leakage/state_leak.mli: Sl_netlist Sl_tech Sl_util

@@ -1,0 +1,15 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+
+let total_at (d : Design.t) ~dvth ~dl =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then
+        acc := !acc +. Design.gate_leak d g.Circuit.id ~dvth ~dl)
+    d.Design.circuit.Circuit.gates;
+  !acc
+
+let fast_corner_shift (spec : Sl_variation.Spec.t) ~k =
+  (-.k *. spec.Sl_variation.Spec.sigma_vth, -.k *. spec.Sl_variation.Spec.sigma_l)

@@ -1,0 +1,11 @@
+(** Corner (deterministic) leakage evaluation — what a variation-blind or
+    guard-banded flow computes. *)
+
+val total_at : Sl_tech.Design.t -> dvth:float -> dl:float -> float
+(** Total leakage with the same shift applied to every gate, nA.
+    [~dvth:0. ~dl:0.] is the nominal corner; negative shifts give the
+    fast/leaky corner. *)
+
+val fast_corner_shift : Sl_variation.Spec.t -> k:float -> float * float
+(** [(dvth, dl)] of the k-sigma fast corner (both parameters low):
+    [(-k·σ_vth, -k·σ_l)]. *)

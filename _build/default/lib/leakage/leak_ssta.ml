@@ -1,0 +1,180 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Model = Sl_variation.Model
+
+type t = {
+  design : Design.t;
+  model : Model.t;
+  r2 : float;                (* independent log-variance per gate (constant) *)
+  m : float array;           (* per-gate ln nominal leakage; 0 unused for PIs *)
+  is_cell : bool array;
+  cell : int array;          (* grid cell per gate *)
+  q : float array;           (* per grid cell: |u_c|² *)
+  uu : float array array;    (* pairwise u_c·u_d *)
+  a : float array;           (* per cell: Σ_g exp(m_g + r²/2) *)
+  w : float array;           (* per cell: Σ_g Var X_g *)
+  mutable nom : float;       (* Σ_g exp(m_g) *)
+}
+
+(* ln I coefficients: u_g = b_v·vth_coeffs + b_l·l_coeffs; b_v, b_l are
+   cell-independent, so u depends only on the grid cell. *)
+let cell_vectors design model =
+  let lib = design.Design.lib in
+  let bv = Cell_lib.dln_leak_dvth lib and bl = Cell_lib.dln_leak_dl lib in
+  let n = Circuit.num_gates design.Design.circuit in
+  let ncells = Model.num_cells model in
+  let npcs = Model.num_pcs model in
+  let us = Array.make ncells [||] in
+  for id = 0 to n - 1 do
+    let c = Model.cell_index model id in
+    if Array.length us.(c) = 0 then begin
+      let cv = Model.vth_coeffs model id and cl = Model.l_coeffs model id in
+      us.(c) <- Array.init npcs (fun k -> (bv *. cv.(k)) +. (bl *. cl.(k)))
+    end
+  done;
+  (* cells with no gates keep a zero vector *)
+  Array.iteri (fun c u -> if Array.length u = 0 then us.(c) <- Array.make npcs 0.0) us;
+  us
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let ln_nominal design id =
+  let g = Circuit.gate design.Design.circuit id in
+  Cell_lib.ln_leak_nominal design.Design.lib g.Circuit.kind
+    ~arity:(Array.length g.Circuit.fanin)
+    ~size_idx:design.Design.size_idx.(id) ~vth_idx:design.Design.vth_idx.(id)
+
+(* E X and Var X for X = exp(m + r·R): the per-gate lognormal factor from
+   the independent variation component. *)
+let ex m r2 = exp (m +. (r2 /. 2.0))
+let varx m r2 = exp ((2.0 *. m) +. r2) *. (exp r2 -. 1.0)
+
+let rebuild t =
+  Array.fill t.a 0 (Array.length t.a) 0.0;
+  Array.fill t.w 0 (Array.length t.w) 0.0;
+  t.nom <- 0.0;
+  let n = Array.length t.m in
+  for id = 0 to n - 1 do
+    if t.is_cell.(id) then begin
+      t.m.(id) <- ln_nominal t.design id;
+      let c = t.cell.(id) in
+      t.a.(c) <- t.a.(c) +. ex t.m.(id) t.r2;
+      t.w.(c) <- t.w.(c) +. varx t.m.(id) t.r2;
+      t.nom <- t.nom +. exp t.m.(id)
+    end
+  done
+
+let create design model =
+  let lib = design.Design.lib in
+  let bv = Cell_lib.dln_leak_dvth lib and bl = Cell_lib.dln_leak_dl lib in
+  let rv = bv *. Model.vth_rnd_sigma model and rl = bl *. Model.l_rnd_sigma model in
+  let r2 = (rv *. rv) +. (rl *. rl) in
+  let n = Circuit.num_gates design.Design.circuit in
+  let ncells = Model.num_cells model in
+  let us = cell_vectors design model in
+  let q = Array.map (fun u -> dot u u) us in
+  let uu = Array.init ncells (fun c -> Array.init ncells (fun d -> dot us.(c) us.(d))) in
+  let is_cell =
+    Array.map
+      (fun (g : Circuit.gate) -> g.Circuit.kind <> Cell_kind.Pi)
+      design.Design.circuit.Circuit.gates
+  in
+  let t =
+    {
+      design;
+      model;
+      r2;
+      m = Array.make n 0.0;
+      is_cell;
+      cell = Array.init n (fun id -> Model.cell_index model id);
+      q;
+      uu;
+      a = Array.make ncells 0.0;
+      w = Array.make ncells 0.0;
+      nom = 0.0;
+    }
+  in
+  rebuild t;
+  t
+
+let refresh = rebuild
+
+let mean_of t a =
+  let acc = ref 0.0 in
+  Array.iteri (fun c ac -> acc := !acc +. (exp (t.q.(c) /. 2.0) *. ac)) a;
+  !acc
+
+let variance_of t a w =
+  let ncells = Array.length a in
+  let acc = ref 0.0 in
+  for c = 0 to ncells - 1 do
+    (* Var S_c = e^{2q}·W_c + A_c²·(e^{2q} − e^{q}) *)
+    let q = t.q.(c) in
+    acc :=
+      !acc
+      +. (exp (2.0 *. q) *. w.(c))
+      +. (a.(c) *. a.(c) *. (exp (2.0 *. q) -. exp q));
+    (* Cov(S_c, S_d) = E S_c · E S_d · (e^{u_c·u_d} − 1) *)
+    for d = c + 1 to ncells - 1 do
+      let esc = exp (q /. 2.0) *. a.(c) in
+      let esd = exp (t.q.(d) /. 2.0) *. a.(d) in
+      acc := !acc +. (2.0 *. esc *. esd *. (exp t.uu.(c).(d) -. 1.0))
+    done
+  done;
+  Float.max 0.0 !acc
+
+let mean t = mean_of t t.a
+let variance t = variance_of t t.a t.w
+
+let std t = sqrt (variance t)
+let nominal t = t.nom
+
+let distribution t = Lognormal.of_moments ~mean:(mean t) ~variance:(variance t)
+let quantile t p = Lognormal.quantile (distribution t) p
+
+let gate_mean t id =
+  if not t.is_cell.(id) then 0.0
+  else ex t.m.(id) t.r2 *. exp (t.q.(t.cell.(id)) /. 2.0)
+
+let update_gate t id =
+  if t.is_cell.(id) then begin
+    let c = t.cell.(id) in
+    let m_old = t.m.(id) in
+    let m_new = ln_nominal t.design id in
+    t.m.(id) <- m_new;
+    t.a.(c) <- t.a.(c) +. ex m_new t.r2 -. ex m_old t.r2;
+    t.w.(c) <- t.w.(c) +. varx m_new t.r2 -. varx m_old t.r2;
+    t.nom <- t.nom +. exp m_new -. exp m_old
+  end
+
+let ln_if t id ~vth_idx ~size_idx =
+  let g = Circuit.gate t.design.Design.circuit id in
+  Cell_lib.ln_leak_nominal t.design.Design.lib g.Circuit.kind
+    ~arity:(Array.length g.Circuit.fanin) ~size_idx ~vth_idx
+
+let mean_if t id ~vth_idx ~size_idx =
+  if not t.is_cell.(id) then mean t
+  else begin
+    let m_new = ln_if t id ~vth_idx ~size_idx in
+    let c = t.cell.(id) in
+    mean t +. (exp (t.q.(c) /. 2.0) *. (ex m_new t.r2 -. ex t.m.(id) t.r2))
+  end
+
+let quantile_if t id ~vth_idx ~size_idx ~p =
+  if not t.is_cell.(id) then quantile t p
+  else begin
+    let m_new = ln_if t id ~vth_idx ~size_idx in
+    let c = t.cell.(id) in
+    let a' = Array.copy t.a and w' = Array.copy t.w in
+    a'.(c) <- a'.(c) +. ex m_new t.r2 -. ex t.m.(id) t.r2;
+    w'.(c) <- w'.(c) +. varx m_new t.r2 -. varx t.m.(id) t.r2;
+    let mean' = mean_of t a' and var' = variance_of t a' w' in
+    Lognormal.quantile (Lognormal.of_moments ~mean:mean' ~variance:var') p
+  end

@@ -1,0 +1,30 @@
+module Special = Sl_util.Special
+
+type t = { mu : float; sigma : float }
+
+let of_gaussian_exponent ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Lognormal.of_gaussian_exponent: negative sigma";
+  { mu; sigma }
+
+let of_moments ~mean ~variance =
+  if mean <= 0.0 then invalid_arg "Lognormal.of_moments: mean must be positive";
+  if variance < 0.0 then invalid_arg "Lognormal.of_moments: negative variance";
+  let sigma2 = log (1.0 +. (variance /. (mean *. mean))) in
+  { mu = log mean -. (sigma2 /. 2.0); sigma = sqrt sigma2 }
+
+let mean t = exp (t.mu +. (t.sigma *. t.sigma /. 2.0))
+
+let variance t =
+  let s2 = t.sigma *. t.sigma in
+  (exp s2 -. 1.0) *. exp ((2.0 *. t.mu) +. s2)
+
+let std t = sqrt (variance t)
+let median t = exp t.mu
+
+let cdf t x =
+  if x <= 0.0 then 0.0
+  else if t.sigma = 0.0 then if x >= exp t.mu then 1.0 else 0.0
+  else Special.normal_cdf ((log x -. t.mu) /. t.sigma)
+
+let quantile t p = exp (t.mu +. (t.sigma *. Special.normal_icdf p))
+let pp ppf t = Format.fprintf ppf "LogN(mu=%.4g, sigma=%.4g)" t.mu t.sigma

@@ -1,0 +1,25 @@
+(** Lognormal distributions: X = exp(N(mu, sigma²)).
+
+    Per-gate leakage is exactly lognormal in this model (ln I is linear in
+    the Gaussian process parameters); the full-chip total is approximated
+    by a lognormal matched to its exact first two moments (Wilkinson). *)
+
+type t = { mu : float; sigma : float }
+
+val of_gaussian_exponent : mu:float -> sigma:float -> t
+(** The distribution of exp(N(mu, sigma²)). @raise Invalid_argument on
+    negative sigma. *)
+
+val of_moments : mean:float -> variance:float -> t
+(** Wilkinson two-moment matching. @raise Invalid_argument unless
+    mean > 0 and variance ≥ 0. *)
+
+val mean : t -> float
+(** exp(mu + sigma²/2). *)
+
+val variance : t -> float
+val std : t -> float
+val median : t -> float
+val cdf : t -> float -> float
+val quantile : t -> float -> float
+val pp : Format.formatter -> t -> unit

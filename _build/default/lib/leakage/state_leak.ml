@@ -1,0 +1,129 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+module Rng = Sl_util.Rng
+module Stats = Sl_util.Stats
+
+(* Raw (unnormalized) leakage weight of a state.  Series stacks with [k]
+   off transistors suppress leakage sharply (stack effect); when the
+   stack conducts, the parallel devices on the other side all leak. *)
+let stack k = match k with 0 -> 1.0 | 1 -> 0.7 | 2 -> 0.25 | _ -> 0.15
+
+let count_false ins = Array.fold_left (fun a b -> if b then a else a + 1) 0 ins
+let count_true ins = Array.fold_left (fun a b -> if b then a + 1 else a) 0 ins
+
+let rec raw kind ins =
+  let n = Array.length ins in
+  match kind with
+  | Cell_kind.Pi -> invalid_arg "State_leak.state_factor: Pi has no state"
+  | Cell_kind.Not -> if ins.(0) then 0.8 else 1.2
+  | Cell_kind.Buf -> if ins.(0) then 1.05 else 0.95
+  | Cell_kind.Nand ->
+    let k = count_false ins in
+    if k = 0 then 0.8 *. float_of_int n (* n parallel off pMOS *) else stack k
+  | Cell_kind.Nor ->
+    let k = count_true ins in
+    if k = 0 then 0.8 *. float_of_int n (* n parallel off nMOS *) else stack k
+  | Cell_kind.And ->
+    let inner = not (Array.for_all Fun.id ins) in
+    (0.7 *. raw Cell_kind.Nand ins) +. (0.3 *. raw Cell_kind.Not [| inner |])
+  | Cell_kind.Or ->
+    let inner = not (Array.exists Fun.id ins) in
+    (0.7 *. raw Cell_kind.Nor ins) +. (0.3 *. raw Cell_kind.Not [| inner |])
+  | Cell_kind.Xor | Cell_kind.Xnor ->
+    (* transmission-gate style: mild state dependence *)
+    let k = count_true ins in
+    if k = 0 then 1.15 else if k = n then 1.05 else 0.9
+
+(* Normalize so the uniform-state average is exactly 1: the state-blind
+   statistical model then remains the average of this refined one. *)
+let averages : (Cell_kind.t * int, float) Hashtbl.t = Hashtbl.create 32
+
+let average kind arity =
+  match Hashtbl.find_opt averages (kind, arity) with
+  | Some a -> a
+  | None ->
+    let states = 1 lsl arity in
+    let acc = ref 0.0 in
+    for v = 0 to states - 1 do
+      let ins = Array.init arity (fun i -> v land (1 lsl i) <> 0) in
+      acc := !acc +. raw kind ins
+    done;
+    let a = !acc /. float_of_int states in
+    Hashtbl.replace averages (kind, arity) a;
+    a
+
+let state_factor kind ins =
+  let n = Array.length ins in
+  if n < Cell_kind.min_arity kind || n > Cell_kind.max_arity kind then
+    invalid_arg "State_leak.state_factor: arity mismatch";
+  raw kind ins /. average kind n
+
+let total_for_vector (d : Design.t) vector =
+  let c = d.Design.circuit in
+  let values = Circuit.eval_all c vector in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let ins = Array.map (fun f -> values.(f)) g.Circuit.fanin in
+        acc :=
+          !acc
+          +. (Design.gate_leak d g.Circuit.id ~dvth:0.0 ~dl:0.0
+             *. state_factor g.Circuit.kind ins)
+      end)
+    c.Circuit.gates;
+  !acc
+
+let survey (d : Design.t) ~seed ~samples =
+  let rng = Rng.create seed in
+  let n = Array.length d.Design.circuit.Circuit.inputs in
+  let xs =
+    Array.init samples (fun _ ->
+        total_for_vector d (Array.init n (fun _ -> Rng.int rng 2 = 1)))
+  in
+  Stats.summarize xs
+
+module Ivc = struct
+  type result = { vector : bool array; leak : float; evaluations : int }
+
+  let optimize ?(seed = 1) ?(restarts = 4) (d : Design.t) =
+    let rng = Rng.create seed in
+    let n = Array.length d.Design.circuit.Circuit.inputs in
+    let evaluations = ref 0 in
+    let eval v =
+      incr evaluations;
+      total_for_vector d v
+    in
+    let best_vec = ref (Array.make n false) in
+    let best = ref infinity in
+    for _ = 1 to Stdlib.max 1 restarts do
+      let v = Array.init n (fun _ -> Rng.int rng 2 = 1) in
+      let cur = ref (eval v) in
+      (* steepest-descent bit flips until no single flip improves *)
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        let pick = ref (-1) and pick_leak = ref !cur in
+        for i = 0 to n - 1 do
+          v.(i) <- not v.(i);
+          let l = eval v in
+          if l < !pick_leak then begin
+            pick := i;
+            pick_leak := l
+          end;
+          v.(i) <- not v.(i)
+        done;
+        if !pick >= 0 then begin
+          v.(!pick) <- not v.(!pick);
+          cur := !pick_leak;
+          improved := true
+        end
+      done;
+      if !cur < !best then begin
+        best := !cur;
+        best_vec := Array.copy v
+      end
+    done;
+    { vector = !best_vec; leak = !best; evaluations = !evaluations }
+end

@@ -1,0 +1,45 @@
+(** Input-state-dependent leakage (extension).
+
+    Sub-threshold leakage depends on which transistors are off: a series
+    stack with several off devices leaks an order of magnitude less than a
+    single off device (the stack effect), so a gate's leakage varies by up
+    to ~5× with its input state, and a circuit's standby leakage varies
+    with the vector applied at its primary inputs.  The base model
+    ({!Leak_ssta}) uses the state-averaged cell leakage; this module
+    refines it per state and implements input-vector control (IVC): choosing
+    the standby vector that minimizes total leakage — the classical
+    companion technique to dual-Vth assignment.
+
+    The state factors are a documented table (see [state_factor]) relative
+    to the cell's average leakage; the *relative* spread is what matters,
+    and tests pin the qualitative ordering (full stack ≪ single off device). *)
+
+val state_factor : Sl_netlist.Cell_kind.t -> bool array -> float
+(** Leakage multiplier of a cell given its input values, relative to the
+    state-averaged leakage used by the statistical model.  Average over
+    all states of a 2-input cell ≈ 1.
+    @raise Invalid_argument on [Pi] or an arity mismatch. *)
+
+val total_for_vector : Sl_tech.Design.t -> bool array -> float
+(** Nominal total leakage, nA, with every gate in the state implied by the
+    given primary-input vector. *)
+
+val survey :
+  Sl_tech.Design.t -> seed:int -> samples:int ->
+  Sl_util.Stats.summary
+(** Leakage over [samples] random input vectors — the distribution IVC
+    exploits. *)
+
+(** Input-vector control: minimize standby leakage over the input vector. *)
+module Ivc : sig
+  type result = {
+    vector : bool array;    (** best vector found, in [circuit.inputs] order *)
+    leak : float;           (** its total nominal leakage, nA *)
+    evaluations : int;      (** vectors evaluated *)
+  }
+
+  val optimize :
+    ?seed:int -> ?restarts:int -> Sl_tech.Design.t -> result
+  (** Greedy bit-flip descent from random starting vectors (default 4
+      restarts), deterministic in [seed]. *)
+end

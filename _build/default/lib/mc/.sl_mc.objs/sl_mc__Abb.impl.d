@@ -1,0 +1,1 @@
+lib/mc/abb.ml: Array Mc Sl_sta Sl_tech Sl_util Sl_variation

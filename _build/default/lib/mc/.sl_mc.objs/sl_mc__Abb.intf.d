@@ -1,0 +1,1 @@
+lib/mc/abb.mli: Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/mc/mc.ml: Array Fun Sl_netlist Sl_sta Sl_tech Sl_util Sl_variation

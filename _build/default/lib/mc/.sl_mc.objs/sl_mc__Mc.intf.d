@@ -1,0 +1,1 @@
+lib/mc/mc.mli: Sl_tech Sl_util Sl_variation

@@ -1,0 +1,38 @@
+(** Post-silicon adaptive body bias (extension).
+
+    The companion technique the paper's literature pairs with design-time
+    statistical optimization (Tschanz et al., JSSC 2002): after
+    manufacturing, each die's body bias is tuned — a single global
+    threshold shift per die — to recenter it.  Slow dies get forward bias
+    (lower Vth: faster, leakier) until they meet timing; fast dies get
+    reverse bias (higher Vth) to shed leakage they don't need.
+
+    Per die the applied shift is the largest reverse bias that still meets
+    [tmax], found by bisection on the (monotone) delay-vs-bias curve over
+    the golden non-linear models.  The A7 experiment shows the two classic
+    effects: parametric yield recovers toward 1 and the leakage
+    distribution both tightens and shifts down. *)
+
+type config = {
+  tmax : float;       (** timing constraint each die must meet, ps *)
+  bias_min : float;   (** strongest forward bias (most negative ΔVth), V *)
+  bias_max : float;   (** strongest reverse bias, V *)
+  steps : int;        (** bisection iterations per die *)
+}
+
+val default_config : tmax:float -> config
+(** ±: forward to −75 mV, reverse to +150 mV, 24 bisection steps. *)
+
+type result = {
+  yield_before : float;    (** fraction of dies meeting tmax unbiased *)
+  yield_after : float;     (** fraction meeting tmax at their chosen bias *)
+  leak_before : float array;  (** per-die leakage, unbiased, nA *)
+  leak_after : float array;   (** per-die leakage at the chosen bias, nA *)
+  bias : float array;      (** chosen ΔVth per die, V *)
+}
+
+val tune :
+  ?sampling:[ `Naive | `Lhs ] ->
+  seed:int -> samples:int -> config -> Sl_tech.Design.t -> Sl_variation.Model.t ->
+  result
+(** Draw dies, tune each, report.  Deterministic in [seed]. *)

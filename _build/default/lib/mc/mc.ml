@@ -1,0 +1,103 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Model = Sl_variation.Model
+module Rng = Sl_util.Rng
+module Stats = Sl_util.Stats
+
+type result = { delay : float array; leak : float array }
+
+let total_leak_of_sample (d : Design.t) (s : Model.Sample.t) =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let id = g.Circuit.id in
+        acc :=
+          !acc
+          +. Design.gate_leak d id ~dvth:s.Model.Sample.dvth.(id)
+               ~dl:s.Model.Sample.dl.(id)
+      end)
+    d.Design.circuit.Circuit.gates;
+  !acc
+
+(* Per-sample leakage without per-gate library lookups: precompute each
+   gate's ln nominal; the variation enters through two constant
+   sensitivities. *)
+let make_leak_evaluator (d : Design.t) =
+  let lib = d.Design.lib in
+  let bv = Cell_lib.dln_leak_dvth lib and bl = Cell_lib.dln_leak_dl lib in
+  let n = Circuit.num_gates d.Design.circuit in
+  let m = Array.make n neg_infinity in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then
+        m.(g.Circuit.id) <-
+          Cell_lib.ln_leak_nominal lib g.Circuit.kind
+            ~arity:(Array.length g.Circuit.fanin)
+            ~size_idx:d.Design.size_idx.(g.Circuit.id)
+            ~vth_idx:d.Design.vth_idx.(g.Circuit.id))
+    d.Design.circuit.Circuit.gates;
+  fun ~dvth ~dl ->
+    let acc = ref 0.0 in
+    for id = 0 to n - 1 do
+      if m.(id) > neg_infinity then
+        acc := !acc +. exp (m.(id) +. (bv *. dvth.(id)) +. (bl *. dl.(id)))
+    done;
+    !acc
+
+(* Latin-hypercube PC vectors: dimension k of die i is the Gaussian
+   quantile of a uniformly jittered point in stratum pi_k(i), with an
+   independent permutation pi_k per dimension. *)
+let lhs_z_table rng ~samples ~dims =
+  let table = Array.make_matrix samples dims 0.0 in
+  let perm = Array.init samples Fun.id in
+  for k = 0 to dims - 1 do
+    Rng.shuffle rng perm;
+    for i = 0 to samples - 1 do
+      let u = (float_of_int perm.(i) +. Rng.uniform rng) /. float_of_int samples in
+      table.(i).(k) <- Sl_util.Special.normal_icdf u
+    done
+  done;
+  table
+
+let run ?(sampling = `Naive) ~seed ~samples (d : Design.t) model =
+  if samples < 1 then invalid_arg "Mc.run: samples < 1";
+  let rng = Rng.create seed in
+  let fast = Sl_sta.Sta.Fast.create d in
+  let leak_of = make_leak_evaluator d in
+  let delay = Array.make samples 0.0 and leak = Array.make samples 0.0 in
+  let draw =
+    match sampling with
+    | `Naive -> fun _ -> Model.Sample.draw model rng
+    | `Lhs ->
+      let table = lhs_z_table rng ~samples ~dims:(Model.num_pcs model) in
+      fun i -> Model.Sample.draw_with_z model rng table.(i)
+  in
+  for i = 0 to samples - 1 do
+    let s = draw i in
+    delay.(i) <-
+      Sl_sta.Sta.Fast.dmax fast ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl;
+    leak.(i) <- leak_of ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl
+  done;
+  { delay; leak }
+
+let timing_yield r ~tmax =
+  let ok = Array.fold_left (fun acc d -> if d <= tmax then acc + 1 else acc) 0 r.delay in
+  float_of_int ok /. float_of_int (Array.length r.delay)
+
+let joint_yield r ~tmax ~lmax =
+  let n = Array.length r.delay in
+  let ok = ref 0 in
+  for i = 0 to n - 1 do
+    if r.delay.(i) <= tmax && r.leak.(i) <= lmax then incr ok
+  done;
+  float_of_int !ok /. float_of_int n
+
+let delay_quantile r p = Stats.quantile r.delay p
+let leak_quantile r p = Stats.quantile r.leak p
+let leak_mean r = Stats.mean r.leak
+let leak_std r = Stats.std r.leak
+let delay_mean r = Stats.mean r.delay
+let delay_std r = Stats.std r.delay

@@ -1,0 +1,58 @@
+(** Monte-Carlo reference evaluation.
+
+    Draws dies from the variation model and evaluates circuit delay
+    (non-linear alpha-power STA, no linearization) and total leakage
+    (exact exponential model) on each die.  This is the golden reference
+    every statistical analysis (SSTA yield, Wilkinson leakage moments) is
+    validated against in the T4/F6 experiments. *)
+
+type result = {
+  delay : float array;  (** per-die circuit delay, ps *)
+  leak : float array;   (** per-die total leakage, nA *)
+}
+
+val run :
+  ?sampling:[ `Naive | `Lhs ] ->
+  seed:int -> samples:int -> Sl_tech.Design.t -> Sl_variation.Model.t -> result
+(** Deterministic in [seed].  [`Lhs] (Latin-hypercube) stratifies the
+    shared principal components — one stratum per die and dimension, with
+    independently permuted strata across dimensions — which cuts the
+    variance of mean estimates markedly at equal sample count (the
+    per-gate independent components stay naive; they average out across
+    thousands of gates anyway).  Default [`Naive].
+    @raise Invalid_argument if [samples] < 1. *)
+
+val timing_yield : result -> tmax:float -> float
+(** Fraction of dies meeting the constraint. *)
+
+val joint_yield : result -> tmax:float -> lmax:float -> float
+(** Parametric yield with a power bin: fraction of dies meeting the
+    timing constraint AND leaking at most [lmax] nA.  Delay and leakage
+    are strongly anti-correlated (fast dies leak), which is exactly why
+    this is lower than the product of the marginal yields. *)
+
+val delay_quantile : result -> float -> float
+val leak_quantile : result -> float -> float
+val leak_mean : result -> float
+val leak_std : result -> float
+val delay_mean : result -> float
+val delay_std : result -> float
+
+val total_leak_of_sample :
+  Sl_tech.Design.t -> Sl_variation.Model.Sample.t -> float
+(** Total leakage of one materialized die (exported for tests that pin
+    down individual dies). *)
+
+val lhs_z_table :
+  Sl_util.Rng.t -> samples:int -> dims:int -> float array array
+(** The Latin-hypercube PC table used by [`Lhs] sampling: [samples] rows
+    of [dims] stratified standard-normal deviates with independently
+    permuted strata per dimension.  Exported so per-die post-processing
+    ({!Abb}) can draw the same kind of population. *)
+
+val make_leak_evaluator :
+  Sl_tech.Design.t -> dvth:float array -> dl:float array -> float
+(** Pre-compiled per-die leakage evaluator (nominal log-leakages captured
+    once); agrees with {!total_leak_of_sample} and is what {!run} uses
+    internally.  Exported for per-die post-processing such as
+    {!Abb}. *)

@@ -1,0 +1,1 @@
+lib/netlist/activity.ml: Array Cell_kind Circuit Fun

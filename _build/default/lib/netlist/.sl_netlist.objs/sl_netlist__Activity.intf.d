@@ -1,0 +1,1 @@
+lib/netlist/activity.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/bench_format.ml: Array Buffer Cell_kind Circuit Filename List Printf String

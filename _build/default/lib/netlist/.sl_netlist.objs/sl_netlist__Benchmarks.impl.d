@@ -1,0 +1,1 @@
+lib/netlist/benchmarks.ml: Bench_format Circuit Generators List Option

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Cell_kind Format Hashtbl List Printf Queue Seq Stdlib String

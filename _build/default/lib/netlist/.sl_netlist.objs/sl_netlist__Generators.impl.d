@@ -1,0 +1,1 @@
+lib/netlist/generators.ml: Array Cell_kind Circuit List Printf Sl_util Stdlib

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Cell_kind Circuit List Printf String

@@ -1,0 +1,66 @@
+type t = { prob : float array; trans : float array }
+
+let analyze ?(input_prob = 0.5) ?(input_trans = 0.5) c =
+  if not (input_prob >= 0.0 && input_prob <= 1.0) then
+    invalid_arg "Activity.analyze: input_prob outside [0,1]";
+  if input_trans < 0.0 then invalid_arg "Activity.analyze: negative input_trans";
+  let n = Circuit.num_gates c in
+  let prob = Array.make n input_prob in
+  let trans = Array.make n input_trans in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let id = g.Circuit.id in
+        let ps = Array.map (fun f -> prob.(f)) g.Circuit.fanin in
+        let ds = Array.map (fun f -> trans.(f)) g.Circuit.fanin in
+        let k = Array.length ps in
+        (* D(y) = sum_i D(x_i) * P(boolean difference w.r.t. x_i); for
+           AND-like gates the difference fires when all other inputs are
+           1, for OR-like when all others are 0, for XOR always *)
+        let weighted others_weight =
+          let acc = ref 0.0 in
+          for i = 0 to k - 1 do
+            let w = ref 1.0 in
+            for j = 0 to k - 1 do
+              if j <> i then w := !w *. others_weight ps.(j)
+            done;
+            acc := !acc +. (ds.(i) *. !w)
+          done;
+          !acc
+        in
+        let prod f = Array.fold_left (fun a p -> a *. f p) 1.0 ps in
+        let p, d =
+          match g.Circuit.kind with
+          | Cell_kind.Pi -> assert false
+          | Cell_kind.Buf -> (ps.(0), ds.(0))
+          | Cell_kind.Not -> (1.0 -. ps.(0), ds.(0))
+          | Cell_kind.And -> (prod Fun.id, weighted Fun.id)
+          | Cell_kind.Nand -> (1.0 -. prod Fun.id, weighted Fun.id)
+          | Cell_kind.Or ->
+            (1.0 -. prod (fun p -> 1.0 -. p), weighted (fun p -> 1.0 -. p))
+          | Cell_kind.Nor -> (prod (fun p -> 1.0 -. p), weighted (fun p -> 1.0 -. p))
+          | Cell_kind.Xor | Cell_kind.Xnor ->
+            let px =
+              Array.fold_left (fun a p -> (a *. (1.0 -. p)) +. (p *. (1.0 -. a))) 0.0 ps
+            in
+            let d = Array.fold_left ( +. ) 0.0 ds in
+            ((if g.Circuit.kind = Cell_kind.Xor then px else 1.0 -. px), d)
+        in
+        prob.(id) <- p;
+        trans.(id) <- d
+      end)
+    c.Circuit.gates;
+  { prob; trans }
+
+let exhaustive_prob c =
+  let k = Array.length c.Circuit.inputs in
+  if k > 20 then invalid_arg "Activity.exhaustive_prob: too many inputs";
+  let n = Circuit.num_gates c in
+  let ones = Array.make n 0 in
+  let total = 1 lsl k in
+  for v = 0 to total - 1 do
+    let ins = Array.init k (fun i -> v land (1 lsl i) <> 0) in
+    let values = Circuit.eval_all c ins in
+    Array.iteri (fun id b -> if b then ones.(id) <- ones.(id) + 1) values
+  done;
+  Array.map (fun o -> float_of_int o /. float_of_int total) ones

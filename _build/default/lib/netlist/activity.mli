@@ -1,0 +1,24 @@
+(** Signal probabilities and transition densities.
+
+    Propagates static probabilities P(net = 1) and transition densities
+    (expected toggles per clock cycle) from the primary inputs through the
+    DAG under the standard spatial-independence assumption (exact on
+    fanout-free regions; reconvergence introduces bounded error, which the
+    tests quantify against exhaustive simulation).  Transition densities
+    follow Najm's boolean-difference rule
+    D(y) = Σᵢ D(xᵢ)·P(∂y/∂xᵢ).  Used for dynamic-power estimation. *)
+
+type t = {
+  prob : float array;   (** P(net = 1), indexed by gate id *)
+  trans : float array;  (** transition density, toggles per cycle *)
+}
+
+val analyze : ?input_prob:float -> ?input_trans:float -> Circuit.t -> t
+(** Defaults: every primary input is 1 with probability 0.5 and toggles
+    0.5 times per cycle (random data).
+    @raise Invalid_argument if [input_prob] ∉ [0,1] or [input_trans] < 0. *)
+
+val exhaustive_prob : Circuit.t -> float array
+(** Exact P(net = 1) by enumerating all input vectors — reference for
+    tests; only feasible below ~20 inputs.
+    @raise Invalid_argument above 20 inputs. *)

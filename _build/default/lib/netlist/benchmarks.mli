@@ -1,0 +1,26 @@
+(** The benchmark suite used throughout the evaluation.
+
+    Names, sizes and the ISCAS-85 circuit each entry stands in for are
+    listed in DESIGN.md §3 / EXPERIMENTS.md.  All circuits are generated
+    deterministically (or parsed from embedded text, for c17), so every
+    run of the suite sees identical netlists. *)
+
+val c17 : unit -> Circuit.t
+(** The genuine ISCAS-85 c17 netlist (6 NAND gates), parsed from its
+    embedded ".bench" text. *)
+
+val by_name : string -> Circuit.t option
+(** Look up any suite circuit by name (e.g. "mult16"). *)
+
+val names : string list
+(** All suite circuit names, smallest first. *)
+
+val small : unit -> (string * Circuit.t) list
+(** c17 + the sub-200-cell circuits; used by fast unit tests. *)
+
+val medium : unit -> (string * Circuit.t) list
+(** ~150–900 cells; used by Monte-Carlo validation experiments. *)
+
+val full : unit -> (string * Circuit.t) list
+(** The whole suite (≈6 to ≈3500 cells), smallest first; used by the
+    headline tables. *)

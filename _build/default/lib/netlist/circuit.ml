@@ -1,0 +1,203 @@
+type gate = {
+  id : int;
+  name : string;
+  kind : Cell_kind.t;
+  fanin : int array;
+  fanout : int array;
+  level : int;
+}
+
+type t = {
+  name : string;
+  gates : gate array;
+  inputs : int array;
+  outputs : int array;
+  depth : int;
+}
+
+let num_gates c = Array.length c.gates
+
+let num_cells c =
+  Array.fold_left
+    (fun acc g -> if g.kind = Cell_kind.Pi then acc else acc + 1)
+    0 c.gates
+
+let gate c id = c.gates.(id)
+
+let find c name =
+  let n = Array.length c.gates in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal c.gates.(i).name name then Some c.gates.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let is_po c id = Array.exists (fun o -> o = id) c.outputs
+
+let eval_all c ins =
+  if Array.length ins <> Array.length c.inputs then
+    invalid_arg "Circuit.eval: input-length mismatch";
+  let values = Array.make (Array.length c.gates) false in
+  Array.iteri (fun k id -> values.(id) <- ins.(k)) c.inputs;
+  Array.iter
+    (fun g ->
+      if g.kind <> Cell_kind.Pi then
+        values.(g.id) <- Cell_kind.eval g.kind (Array.map (fun i -> values.(i)) g.fanin))
+    c.gates;
+  values
+
+let eval c ins =
+  let values = eval_all c ins in
+  Array.map (fun id -> values.(id)) c.outputs
+
+let levels c =
+  let buckets = Array.make (c.depth + 1) [] in
+  Array.iter (fun g -> buckets.(g.level) <- g.id :: buckets.(g.level)) c.gates;
+  Array.map (fun ids -> Array.of_list (List.rev ids)) buckets
+
+let cone next c id =
+  let n = Array.length c.gates in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  (* Worklist in topological order: repeatedly take marked gates in index
+     order.  A simple queue suffices because [next] respects the order. *)
+  let queue = Queue.create () in
+  Queue.add id queue;
+  seen.(id) <- true;
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    Array.iter
+      (fun f ->
+        if not seen.(f) then begin
+          seen.(f) <- true;
+          acc := f :: !acc;
+          Queue.add f queue
+        end)
+      (next c.gates.(g))
+  done;
+  let arr = Array.of_list !acc in
+  Array.sort compare arr;
+  arr
+
+let fanout_cone c id = cone (fun g -> g.fanout) c id
+let fanin_cone c id = cone (fun g -> g.fanin) c id
+
+let stats c =
+  let cells = num_cells c in
+  let fanouts =
+    Array.fold_left (fun acc g -> acc + Array.length g.fanout) 0 c.gates
+  in
+  Printf.sprintf "%s: %d cells, %d inputs, %d outputs, depth %d, avg fanout %.2f"
+    c.name cells (Array.length c.inputs) (Array.length c.outputs) c.depth
+    (float_of_int fanouts /. float_of_int (Stdlib.max 1 cells))
+
+let pp ppf c = Format.pp_print_string ppf (stats c)
+
+module Builder = struct
+  type proto = { pname : string; pkind : Cell_kind.t; pfanin : string list }
+
+  type t = {
+    cname : string;
+    mutable protos : proto list;  (* reversed *)
+    names : (string, unit) Hashtbl.t;
+    mutable pos : string list;    (* reversed *)
+    mutable count : int;
+  }
+
+  let create cname = { cname; protos = []; names = Hashtbl.create 64; pos = []; count = 0 }
+
+  let add_node b pname pkind pfanin =
+    if Hashtbl.mem b.names pname then
+      invalid_arg (Printf.sprintf "Circuit.Builder: duplicate net %S" pname);
+    Hashtbl.add b.names pname ();
+    b.protos <- { pname; pkind; pfanin } :: b.protos;
+    let id = b.count in
+    b.count <- b.count + 1;
+    id
+
+  let add_input b name = add_node b name Cell_kind.Pi []
+
+  let add_gate b name kind fanins =
+    if kind = Cell_kind.Pi then invalid_arg "Circuit.Builder.add_gate: Pi is not a gate";
+    let n = List.length fanins in
+    if n < Cell_kind.min_arity kind || n > Cell_kind.max_arity kind then
+      invalid_arg
+        (Printf.sprintf "Circuit.Builder.add_gate: %s with %d inputs"
+           (Cell_kind.to_string kind) n);
+    add_node b name kind fanins
+
+  let mark_output b name = b.pos <- name :: b.pos
+
+  let build b =
+    let protos = Array.of_list (List.rev b.protos) in
+    let n = Array.length protos in
+    let index = Hashtbl.create (2 * n) in
+    Array.iteri (fun i p -> Hashtbl.replace index p.pname i) protos;
+    let resolve ctx name =
+      match Hashtbl.find_opt index name with
+      | Some i -> i
+      | None -> failwith (Printf.sprintf "Circuit.Builder.build: %s references undefined net %S" ctx name)
+    in
+    let fanin =
+      Array.map (fun p -> Array.of_list (List.map (resolve p.pname) p.pfanin)) protos
+    in
+    (* Kahn's algorithm gives the topological numbering and detects cycles. *)
+    let indeg = Array.map Array.length fanin in
+    let fanout_lists = Array.make n [] in
+    Array.iteri
+      (fun i fi -> Array.iter (fun j -> fanout_lists.(j) <- i :: fanout_lists.(j)) fi)
+      fanin;
+    let queue = Queue.create () in
+    Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+    let order = Array.make n (-1) in  (* old id -> new id *)
+    let seq = ref 0 in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      order.(i) <- !seq;
+      incr seq;
+      List.iter
+        (fun j ->
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then Queue.add j queue)
+        (List.rev fanout_lists.(i))
+    done;
+    if !seq <> n then failwith "Circuit.Builder.build: netlist contains a combinational cycle";
+    let inv = Array.make n (-1) in
+    Array.iteri (fun old_id new_id -> inv.(new_id) <- old_id) order;
+    let level = Array.make n 0 in
+    let gates =
+      Array.init n (fun new_id ->
+          let old_id = inv.(new_id) in
+          let p = protos.(old_id) in
+          let fi = Array.map (fun j -> order.(j)) fanin.(old_id) in
+          let lvl =
+            if Array.length fi = 0 then 0
+            else 1 + Array.fold_left (fun acc j -> Stdlib.max acc level.(j)) 0 fi
+          in
+          level.(new_id) <- lvl;
+          let fo =
+            Array.of_list (List.rev_map (fun j -> order.(j)) fanout_lists.(old_id))
+          in
+          Array.sort compare fo;
+          { id = new_id; name = p.pname; kind = p.pkind; fanin = fi; fanout = fo; level = lvl })
+    in
+    Array.iter
+      (fun g ->
+        if g.kind <> Cell_kind.Pi && Array.length g.fanin = 0 then
+          failwith (Printf.sprintf "Circuit.Builder.build: gate %S has no fanin" g.name))
+      gates;
+    let inputs =
+      Array.of_seq
+        (Seq.filter_map
+           (fun g -> if g.kind = Cell_kind.Pi then Some g.id else None)
+           (Array.to_seq gates))
+    in
+    let outputs =
+      Array.of_list
+        (List.rev_map (fun name -> order.(resolve "primary output" name)) b.pos)
+    in
+    if Array.length outputs = 0 then failwith "Circuit.Builder.build: no primary outputs";
+    let depth = Array.fold_left (fun acc g -> Stdlib.max acc g.level) 0 gates in
+    { name = b.cname; gates; inputs; outputs; depth }
+end

@@ -1,0 +1,388 @@
+module B = Circuit.Builder
+
+(* Full adder cell: 5 two-input gates, the classical XOR/NAND mapping.
+   Returns (sum_net, carry_net). *)
+let full_adder b prefix a bb cin =
+  let x1 = prefix ^ "_x1" in
+  let s = prefix ^ "_s" in
+  let n1 = prefix ^ "_n1" in
+  let n2 = prefix ^ "_n2" in
+  let co = prefix ^ "_co" in
+  ignore (B.add_gate b x1 Cell_kind.Xor [ a; bb ]);
+  ignore (B.add_gate b s Cell_kind.Xor [ x1; cin ]);
+  ignore (B.add_gate b n1 Cell_kind.Nand [ a; bb ]);
+  ignore (B.add_gate b n2 Cell_kind.Nand [ x1; cin ]);
+  ignore (B.add_gate b co Cell_kind.Nand [ n1; n2 ]);
+  (s, co)
+
+let half_adder b prefix a bb =
+  let s = prefix ^ "_s" in
+  let co = prefix ^ "_co" in
+  ignore (B.add_gate b s Cell_kind.Xor [ a; bb ]);
+  ignore (B.add_gate b co Cell_kind.And [ a; bb ]);
+  (s, co)
+
+(* 2:1 mux out = sel ? i1 : i0, NAND mapping; [sel_n] is the pre-inverted
+   select shared by the caller. *)
+let mux2 b prefix i0 i1 sel sel_n =
+  let m0 = prefix ^ "_m0" in
+  let m1 = prefix ^ "_m1" in
+  let o = prefix ^ "_o" in
+  ignore (B.add_gate b m0 Cell_kind.Nand [ i0; sel_n ]);
+  ignore (B.add_gate b m1 Cell_kind.Nand [ i1; sel ]);
+  ignore (B.add_gate b o Cell_kind.Nand [ m0; m1 ]);
+  o
+
+let ripple_adder n =
+  if n < 1 then invalid_arg "Generators.ripple_adder: width < 1";
+  let b = B.create (Printf.sprintf "add%d" n) in
+  let a = Array.init n (fun i -> Printf.sprintf "a%d" i) in
+  let bv = Array.init n (fun i -> Printf.sprintf "b%d" i) in
+  Array.iter (fun x -> ignore (B.add_input b x)) a;
+  Array.iter (fun x -> ignore (B.add_input b x)) bv;
+  ignore (B.add_input b "cin");
+  let carry = ref "cin" in
+  for i = 0 to n - 1 do
+    let s, co = full_adder b (Printf.sprintf "fa%d" i) a.(i) bv.(i) !carry in
+    B.mark_output b s;
+    carry := co
+  done;
+  B.mark_output b !carry;
+  B.build b
+
+let carry_select_adder n block =
+  if n < 1 || block < 1 then invalid_arg "Generators.carry_select_adder: bad widths";
+  let b = B.create (Printf.sprintf "csel%d_%d" n block) in
+  let a = Array.init n (fun i -> Printf.sprintf "a%d" i) in
+  let bv = Array.init n (fun i -> Printf.sprintf "b%d" i) in
+  Array.iter (fun x -> ignore (B.add_input b x)) a;
+  Array.iter (fun x -> ignore (B.add_input b x)) bv;
+  ignore (B.add_input b "cin");
+  (* constant carries come from forced nets: k0 = AND(a0, NOT a0) etc. *)
+  ignore (B.add_gate b "a0_n" Cell_kind.Not [ "a0" ]);
+  ignore (B.add_gate b "const0" Cell_kind.And [ "a0"; "a0_n" ]);
+  ignore (B.add_gate b "const1" Cell_kind.Or [ "a0"; "a0_n" ]);
+  let carry = ref "cin" in
+  let blk = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let hi = Stdlib.min (n - 1) (!i + block - 1) in
+    let prefix = Printf.sprintf "blk%d" !blk in
+    if !i = 0 then begin
+      (* first block: plain ripple from the live carry *)
+      for j = !i to hi do
+        let s, co = full_adder b (Printf.sprintf "%s_fa%d" prefix j) a.(j) bv.(j) !carry in
+        B.mark_output b s;
+        carry := co
+      done
+    end
+    else begin
+      let sel = !carry in
+      let sel_n = prefix ^ "_seln" in
+      ignore (B.add_gate b sel_n Cell_kind.Not [ sel ]);
+      let c0 = ref "const0" and c1 = ref "const1" in
+      let sums0 = ref [] and sums1 = ref [] in
+      for j = !i to hi do
+        let s0, k0 =
+          full_adder b (Printf.sprintf "%s_fa0_%d" prefix j) a.(j) bv.(j) !c0
+        in
+        let s1, k1 =
+          full_adder b (Printf.sprintf "%s_fa1_%d" prefix j) a.(j) bv.(j) !c1
+        in
+        sums0 := s0 :: !sums0;
+        sums1 := s1 :: !sums1;
+        c0 := k0;
+        c1 := k1
+      done;
+      List.iteri
+        (fun k (s0, s1) ->
+          let o = mux2 b (Printf.sprintf "%s_smux%d" prefix k) s0 s1 sel sel_n in
+          B.mark_output b o)
+        (List.combine (List.rev !sums0) (List.rev !sums1));
+      carry := mux2 b (prefix ^ "_cmux") !c0 !c1 sel sel_n
+    end;
+    i := hi + 1;
+    incr blk
+  done;
+  B.mark_output b !carry;
+  B.build b
+
+let array_multiplier n =
+  if n < 2 then invalid_arg "Generators.array_multiplier: width < 2";
+  let b = B.create (Printf.sprintf "mult%d" n) in
+  let a = Array.init n (fun i -> Printf.sprintf "a%d" i) in
+  let bv = Array.init n (fun i -> Printf.sprintf "b%d" i) in
+  Array.iter (fun x -> ignore (B.add_input b x)) a;
+  Array.iter (fun x -> ignore (B.add_input b x)) bv;
+  (* partial products *)
+  let pp = Array.make_matrix n n "" in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let net = Printf.sprintf "pp%d_%d" i j in
+      ignore (B.add_gate b net Cell_kind.And [ a.(i); bv.(j) ]);
+      pp.(i).(j) <- net
+    done
+  done;
+  (* Carry-save reduction, row by row: row j adds pp.(i).(j) into the
+     running sum/carry vectors.  [sum.(i)] holds the live bit of weight
+     (i + current row).  This is the classical c6288-style array. *)
+  let sum = Array.init n (fun i -> pp.(i).(0)) in
+  (* outputs of weight 0..: collect as we finalize them *)
+  let outs = ref [ sum.(0) ] in
+  let carries = Array.make n "" in
+  let have_carry = Array.make n false in
+  for j = 1 to n - 1 do
+    let new_sum = Array.make n "" in
+    let new_carry = Array.make n "" in
+    let new_have = Array.make n false in
+    for i = 0 to n - 1 do
+      (* In row j's frame (shifted by 2^j), position i combines the fresh
+         partial product pp.(i).(j), the previous row's sum bit shifted
+         down one position, and the previous row's carry generated at the
+         same position — all of weight i. *)
+      let terms = ref [ pp.(i).(j) ] in
+      if i + 1 < n then terms := sum.(i + 1) :: !terms;
+      if have_carry.(i) then terms := carries.(i) :: !terms;
+      let prefix = Printf.sprintf "r%d_%d" j i in
+      match !terms with
+      | [ t ] ->
+        new_sum.(i) <- t;
+        new_have.(i) <- false
+      | [ t1; t2 ] ->
+        let s, co = half_adder b prefix t1 t2 in
+        new_sum.(i) <- s;
+        new_carry.(i) <- co;
+        new_have.(i) <- true
+      | [ t1; t2; t3 ] ->
+        let s, co = full_adder b prefix t1 t2 t3 in
+        new_sum.(i) <- s;
+        new_carry.(i) <- co;
+        new_have.(i) <- true
+      | _ -> assert false
+    done;
+    Array.blit new_sum 0 sum 0 n;
+    Array.blit new_carry 0 carries 0 n;
+    Array.blit new_have 0 have_carry 0 n;
+    outs := sum.(0) :: !outs
+  done;
+  (* Final carry-propagate over the remaining sum/carry vectors. *)
+  let carry = ref "" in
+  for i = 1 to n - 1 do
+    let prefix = Printf.sprintf "fin%d" i in
+    let terms = ref [ sum.(i) ] in
+    if have_carry.(i - 1) then terms := carries.(i - 1) :: !terms;
+    if !carry <> "" then terms := !carry :: !terms;
+    match !terms with
+    | [ t ] ->
+      outs := t :: !outs;
+      carry := ""
+    | [ t1; t2 ] ->
+      let s, co = half_adder b prefix t1 t2 in
+      outs := s :: !outs;
+      carry := co
+    | [ t1; t2; t3 ] ->
+      let s, co = full_adder b prefix t1 t2 t3 in
+      outs := s :: !outs;
+      carry := co
+    | _ -> assert false
+  done;
+  (* The two remaining weight-n terms are mutually exclusive: the product
+     of two n-bit numbers fits in 2n bits, so if both were set, bit 2n
+     would be set — impossible.  OR merges them losslessly. *)
+  let last =
+    match (have_carry.(n - 1), !carry) with
+    | false, "" -> None
+    | true, "" -> Some carries.(n - 1)
+    | false, c -> Some c
+    | true, c ->
+      ignore (B.add_gate b "finhi" Cell_kind.Or [ carries.(n - 1); c ]);
+      Some "finhi"
+  in
+  (match last with Some c -> outs := c :: !outs | None -> ());
+  List.iter (fun o -> B.mark_output b o) (List.rev !outs);
+  B.build b
+
+let alu n =
+  if n < 1 then invalid_arg "Generators.alu: width < 1";
+  let b = B.create (Printf.sprintf "alu%d" n) in
+  let a = Array.init n (fun i -> Printf.sprintf "a%d" i) in
+  let bv = Array.init n (fun i -> Printf.sprintf "b%d" i) in
+  Array.iter (fun x -> ignore (B.add_input b x)) a;
+  Array.iter (fun x -> ignore (B.add_input b x)) bv;
+  ignore (B.add_input b "cin");
+  ignore (B.add_input b "op0");
+  ignore (B.add_input b "op1");
+  ignore (B.add_gate b "op0_n" Cell_kind.Not [ "op0" ]);
+  ignore (B.add_gate b "op1_n" Cell_kind.Not [ "op1" ]);
+  let carry = ref "cin" in
+  let results = ref [] in
+  for i = 0 to n - 1 do
+    let adds, addc = full_adder b (Printf.sprintf "add%d" i) a.(i) bv.(i) !carry in
+    carry := addc;
+    let andn = Printf.sprintf "and%d" i in
+    let orn = Printf.sprintf "or%d" i in
+    let xorn = Printf.sprintf "xor%d" i in
+    ignore (B.add_gate b andn Cell_kind.And [ a.(i); bv.(i) ]);
+    ignore (B.add_gate b orn Cell_kind.Or [ a.(i); bv.(i) ]);
+    ignore (B.add_gate b xorn Cell_kind.Xor [ a.(i); bv.(i) ]);
+    (* op1 op0: 00 -> add, 01 -> and, 10 -> or, 11 -> xor *)
+    let lo = mux2 b (Printf.sprintf "mlo%d" i) adds andn "op0" "op0_n" in
+    let hi = mux2 b (Printf.sprintf "mhi%d" i) orn xorn "op0" "op0_n" in
+    let r = mux2 b (Printf.sprintf "mres%d" i) lo hi "op1" "op1_n" in
+    B.mark_output b r;
+    results := r :: !results
+  done;
+  B.mark_output b !carry;
+  (* zero flag: NOR over results via an OR tree and a final NOT *)
+  let rec or_tree level nets =
+    match nets with
+    | [] -> assert false
+    | [ x ] -> x
+    | _ ->
+      let rec pair idx = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | x :: y :: rest ->
+          let net = Printf.sprintf "zt%d_%d" level idx in
+          ignore (B.add_gate b net Cell_kind.Or [ x; y ]);
+          net :: pair (idx + 1) rest
+      in
+      or_tree (level + 1) (pair 0 nets)
+  in
+  let any = or_tree 0 (List.rev !results) in
+  ignore (B.add_gate b "zero" Cell_kind.Not [ any ]);
+  B.mark_output b "zero";
+  B.build b
+
+let tree kind prefix n =
+  if n < 2 then invalid_arg "Generators.tree: need at least 2 inputs";
+  let b = B.create (Printf.sprintf "%s%d" prefix n) in
+  let leaves = List.init n (fun i -> Printf.sprintf "x%d" i) in
+  List.iter (fun x -> ignore (B.add_input b x)) leaves;
+  let rec reduce level nets =
+    match nets with
+    | [] -> assert false
+    | [ x ] -> x
+    | _ ->
+      let rec pair idx = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | x :: y :: rest ->
+          let net = Printf.sprintf "t%d_%d" level idx in
+          ignore (B.add_gate b net kind [ x; y ]);
+          net :: pair (idx + 1) rest
+      in
+      reduce (level + 1) (pair 0 nets)
+  in
+  let root = reduce 0 leaves in
+  B.mark_output b root;
+  B.build b
+
+let parity_tree n = tree Cell_kind.Xor "par" n
+let and_tree n = tree Cell_kind.And "andtree" n
+
+let decoder n =
+  if n < 1 || n > 10 then invalid_arg "Generators.decoder: n outside 1..10";
+  let b = B.create (Printf.sprintf "dec%d" n) in
+  let ins = Array.init n (fun i -> Printf.sprintf "s%d" i) in
+  Array.iter (fun x -> ignore (B.add_input b x)) ins;
+  let negs =
+    Array.map
+      (fun x ->
+        let net = x ^ "_n" in
+        ignore (B.add_gate b net Cell_kind.Not [ x ]);
+        net)
+      ins
+  in
+  for v = 0 to (1 lsl n) - 1 do
+    let terms =
+      List.init n (fun i -> if v land (1 lsl i) <> 0 then ins.(i) else negs.(i))
+    in
+    let net = Printf.sprintf "d%d" v in
+    (if n = 1 then ignore (B.add_gate b net Cell_kind.Buf terms)
+     else ignore (B.add_gate b net Cell_kind.And terms));
+    B.mark_output b net
+  done;
+  B.build b
+
+let barrel_shifter n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Generators.barrel_shifter: width must be a power of two >= 2";
+  let stages =
+    let rec log2 v = if v = 1 then 0 else 1 + log2 (v / 2) in
+    log2 n
+  in
+  let b = B.create (Printf.sprintf "bshift%d" n) in
+  let data = Array.init n (fun i -> Printf.sprintf "d%d" i) in
+  Array.iter (fun x -> ignore (B.add_input b x)) data;
+  let sel = Array.init stages (fun k -> Printf.sprintf "s%d" k) in
+  Array.iter (fun x -> ignore (B.add_input b x)) sel;
+  let cur = ref data in
+  for k = 0 to stages - 1 do
+    let sel_n = Printf.sprintf "s%d_n" k in
+    ignore (B.add_gate b sel_n Cell_kind.Not [ sel.(k) ]);
+    let next =
+      Array.init n (fun i ->
+          (* stage k rotates right by 2^k when s_k is high *)
+          let shifted = (i + (1 lsl k)) mod n in
+          mux2 b (Printf.sprintf "st%d_%d" k i) !cur.(i) !cur.(shifted) sel.(k) sel_n)
+    in
+    cur := next
+  done;
+  Array.iter (fun net -> B.mark_output b net) !cur;
+  B.build b
+
+let random_dag ~seed ~gates ~inputs ~outputs =
+  if inputs < 2 || gates < 1 || outputs < 1 then
+    invalid_arg "Generators.random_dag: degenerate shape";
+  let rng = Sl_util.Rng.create seed in
+  let b = B.create (Printf.sprintf "rand%d" gates) in
+  let nets = Array.make (inputs + gates) "" in
+  for i = 0 to inputs - 1 do
+    let net = Printf.sprintf "pi%d" i in
+    ignore (B.add_input b net);
+    nets.(i) <- net
+  done;
+  (* Locality-biased fanin choice: mostly from the last [window] nets, a
+     small fraction from anywhere — long wires exist but are rare. *)
+  let pick upper =
+    let window = Stdlib.max inputs (upper / 8) in
+    if Sl_util.Rng.uniform rng < 0.85 && upper > window then
+      upper - 1 - Sl_util.Rng.int rng window
+    else Sl_util.Rng.int rng upper
+  in
+  for g = 0 to gates - 1 do
+    let idx = inputs + g in
+    let net = Printf.sprintf "n%d" g in
+    let r = Sl_util.Rng.uniform rng in
+    let kind =
+      if r < 0.28 then Cell_kind.Nand
+      else if r < 0.48 then Cell_kind.Nor
+      else if r < 0.62 then Cell_kind.And
+      else if r < 0.76 then Cell_kind.Or
+      else if r < 0.84 then Cell_kind.Xor
+      else if r < 0.90 then Cell_kind.Xnor
+      else if r < 0.97 then Cell_kind.Not
+      else Cell_kind.Buf
+    in
+    let arity = if kind = Cell_kind.Not || kind = Cell_kind.Buf then 1 else 2 in
+    let i1 = pick idx in
+    let fanin =
+      if arity = 1 then [ nets.(i1) ]
+      else begin
+        let rec other () =
+          let i2 = pick idx in
+          if i2 = i1 then other () else i2
+        in
+        [ nets.(i1); nets.(other ()) ]
+      end
+    in
+    ignore (B.add_gate b net kind fanin);
+    nets.(idx) <- net
+  done;
+  (* Outputs: the last [outputs] gates, which transitively cover most of
+     the DAG in this construction. *)
+  for k = 0 to outputs - 1 do
+    B.mark_output b nets.(inputs + gates - 1 - k)
+  done;
+  B.build b

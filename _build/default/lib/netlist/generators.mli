@@ -1,0 +1,48 @@
+(** Structural benchmark-circuit generators.
+
+    The original ISCAS-85 netlists are not redistributable inside this
+    sealed environment (except the tiny, universally-reprinted c17), so the
+    benchmark suite is generated: arithmetic blocks whose gate counts,
+    logic depths and fanout profiles bracket the ISCAS-85 suite, plus
+    random DAGs with controlled shape.  See DESIGN.md §3 for the
+    substitution argument. *)
+
+val ripple_adder : int -> Circuit.t
+(** [ripple_adder n] is an n-bit ripple-carry adder (5 cells/bit:
+    XOR/XOR/NAND/NAND/NAND full adders).  Inputs a0..a(n-1), b0..b(n-1),
+    cin; outputs s0..s(n-1), cout. *)
+
+val carry_select_adder : int -> int -> Circuit.t
+(** [carry_select_adder n block] is an n-bit carry-select adder built from
+    [block]-bit ripple sections with NAND-based 2:1 muxes. *)
+
+val array_multiplier : int -> Circuit.t
+(** [array_multiplier n] is an n×n carry-save array multiplier
+    (the c6288 structure), ~n² AND + ~n² full adders. *)
+
+val alu : int -> Circuit.t
+(** [alu n] is an n-bit 4-operation ALU (ADD, AND, OR, XOR selected by two
+    control inputs through NAND muxes) with a zero flag. *)
+
+val parity_tree : int -> Circuit.t
+(** [parity_tree n] is a balanced XOR tree over n inputs. *)
+
+val and_tree : int -> Circuit.t
+(** Balanced AND tree over n inputs. *)
+
+val decoder : int -> Circuit.t
+(** [decoder n] is an n-to-2ⁿ line decoder (n inverters + 2ⁿ n-input ANDs). *)
+
+val barrel_shifter : int -> Circuit.t
+(** [barrel_shifter n] is an n-bit (n a power of two) right-rotate barrel
+    shifter: log₂n mux stages, ~3·n·log₂n cells.  Inputs d0..d(n-1) and
+    shift amount s0..s(log₂n − 1); outputs o0..o(n-1).
+    @raise Invalid_argument unless n is a power of two ≥ 2. *)
+
+val random_dag :
+  seed:int -> gates:int -> inputs:int -> outputs:int -> Circuit.t
+(** Random 2-input logic DAG.  Each gate draws its kind uniformly from
+    {NAND, NOR, AND, OR, XOR, XNOR, NOT, BUF} (inverters/buffers at low
+    probability) and its fanins from a locality-biased window over earlier
+    nodes, which yields ISCAS-like depth (≈ 20–50 for thousands of gates)
+    and fanout distribution.  Deterministic in [seed]. *)

@@ -1,0 +1,14 @@
+(** Structural Verilog netlist writer.
+
+    Emits one gate-primitive instance per cell (Verilog's built-in
+    [and]/[nand]/[or]/[nor]/[xor]/[xnor]/[not]/[buf] primitives take the
+    output first, then the inputs, and accept any arity), so the output
+    simulates in any Verilog tool with no cell library.  There is
+    deliberately no Verilog reader — ".bench" is the interchange format
+    ({!Bench_format}); this is a one-way export for co-simulation. *)
+
+val to_string : Circuit.t -> string
+(** Net names that are not plain Verilog identifiers are emitted as
+    escaped identifiers ([\name ]). *)
+
+val write_file : string -> Circuit.t -> unit

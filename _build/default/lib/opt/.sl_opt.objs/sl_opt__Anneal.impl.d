@@ -1,0 +1,1 @@
+lib/opt/anneal.ml: Array Float List Sl_leakage Sl_netlist Sl_ssta Sl_tech Sl_util Sl_variation Stdlib

@@ -1,0 +1,1 @@
+lib/opt/anneal.mli: Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/opt/det_opt.ml: Array Float Inc_sta List Sl_netlist Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/opt/det_opt.mli: Inc_sta Sl_tech Sl_variation

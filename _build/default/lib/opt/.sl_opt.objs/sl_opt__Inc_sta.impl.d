@@ -1,0 +1,1 @@
+lib/opt/inc_sta.ml: Array Float Sl_netlist Sl_tech

@@ -1,0 +1,1 @@
+lib/opt/inc_sta.mli: Sl_tech

@@ -1,0 +1,1 @@
+lib/opt/lr_opt.ml: Array Det_opt Float Inc_sta Sl_netlist Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/opt/lr_opt.mli: Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/opt/stat_opt.mli: Sl_tech Sl_variation

@@ -1,0 +1,32 @@
+(** Simulated-annealing cross-check (extension, not in the paper).
+
+    A slow, assumption-free optimizer over the same solution space and the
+    same statistical objective: cost = E[leak] + λ·max(0, η − yield)·E[leak₀].
+    Used on small benchmarks to bound how far the greedy sensitivity
+    optimizer sits from a global-search result (ablation experiment A4 and
+    the [stat vs annealing] test). *)
+
+type config = {
+  tmax : float;
+  eta : float;
+  iterations : int;        (** total proposed moves *)
+  t_start : float;         (** initial temperature, as a fraction of the
+                               initial cost *)
+  t_end : float;           (** final temperature fraction *)
+  seed : int;
+  penalty : float;         (** λ: yield-shortfall penalty weight *)
+}
+
+val default_config : tmax:float -> eta:float -> config
+(** 20 000 iterations, geometric cooling 0.05 → 0.0005, seed 1, λ = 10. *)
+
+type stats = {
+  accepted : int;
+  proposed : int;
+  final_cost : float;
+  final_yield : float;
+  feasible : bool;
+}
+
+val optimize : config -> Sl_tech.Design.t -> Sl_variation.Model.t -> stats
+(** Mutates the design in place; keeps the best feasible solution seen. *)

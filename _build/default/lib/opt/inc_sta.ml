@@ -1,0 +1,88 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+
+type t = {
+  design : Design.t;
+  dvth : float;
+  dl : float;
+  delay : float array;
+  arrival : float array;
+  mutable dmax : float;
+}
+
+let gate_delay t id = Design.gate_delay t.design id ~dvth:t.dvth ~dl:t.dl
+
+let sweep_arrivals t =
+  let c = t.design.Design.circuit in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let worst = ref 0.0 in
+        Array.iter
+          (fun f -> if t.arrival.(f) > !worst then worst := t.arrival.(f))
+          g.Circuit.fanin;
+        t.arrival.(g.Circuit.id) <- !worst +. t.delay.(g.Circuit.id)
+      end)
+    c.Circuit.gates;
+  t.dmax <-
+    Array.fold_left (fun acc id -> Float.max acc t.arrival.(id)) 0.0 c.Circuit.outputs
+
+let refresh t =
+  let c = t.design.Design.circuit in
+  Array.iter
+    (fun (g : Circuit.gate) -> t.delay.(g.Circuit.id) <- gate_delay t g.Circuit.id)
+    c.Circuit.gates;
+  sweep_arrivals t
+
+let create ?(dvth = 0.0) ?(dl = 0.0) design =
+  let n = Circuit.num_gates design.Design.circuit in
+  let t =
+    {
+      design;
+      dvth;
+      dl;
+      delay = Array.make n 0.0;
+      arrival = Array.make n 0.0;
+      dmax = 0.0;
+    }
+  in
+  refresh t;
+  t
+
+let dmax t = t.dmax
+let arrival t id = t.arrival.(id)
+let delay t id = t.delay.(id)
+
+let update_gate t id =
+  (* a size change alters this gate's drive and its drivers' loads; a
+     threshold change only its own delay.  Refreshing the fanin delays too
+     covers both cases. *)
+  let c = t.design.Design.circuit in
+  let g = Circuit.gate c id in
+  t.delay.(id) <- gate_delay t id;
+  Array.iter (fun f -> t.delay.(f) <- gate_delay t f) g.Circuit.fanin;
+  (* arrival sweep is O(n) of cheap max/add operations — simpler and, for
+     these circuit sizes, as fast as maintaining a dirty-set worklist *)
+  sweep_arrivals t
+
+let slacks t ~tmax =
+  let c = t.design.Design.circuit in
+  let n = Circuit.num_gates c in
+  let required = Array.make n infinity in
+  Array.iter
+    (fun id -> required.(id) <- Float.min required.(id) tmax)
+    c.Circuit.outputs;
+  for i = n - 1 downto 0 do
+    let g = c.Circuit.gates.(i) in
+    let r = required.(g.Circuit.id) in
+    if Float.is_finite r then begin
+      let avail = r -. t.delay.(g.Circuit.id) in
+      Array.iter
+        (fun f -> if avail < required.(f) then required.(f) <- avail)
+        g.Circuit.fanin
+    end
+  done;
+  Array.init n (fun i ->
+      let r = if Float.is_finite required.(i) then required.(i) else tmax in
+      r -. t.arrival.(i))

@@ -1,0 +1,375 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Model = Sl_variation.Model
+module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Special = Sl_util.Special
+
+type sensitivity =
+  | Stat_leak_per_yield
+  | Stat_leak_per_delay
+  | Nominal_leak_per_yield
+  | P99_leak_per_yield
+
+type config = {
+  tmax : float;
+  eta : float;
+  sensitivity : sensitivity;
+  allow_vth : bool;
+  allow_size : bool;
+  max_passes : int;
+  refresh_every : int;
+  yield_margin : float;
+}
+
+let default_config ~tmax ~eta =
+  {
+    tmax;
+    eta;
+    sensitivity = Stat_leak_per_yield;
+    allow_vth = true;
+    allow_size = true;
+    max_passes = 25;
+    refresh_every = 25;
+    yield_margin = 0.5;
+  }
+
+type stats = {
+  feasible : bool;
+  vth_moves : int;
+  size_moves : int;
+  trials : int;
+  refreshes : int;
+  rollbacks : int;
+  final_yield : float;
+}
+
+type move = { id : int; prev : [ `Vth of int | `Size of int ] }
+
+(* Mutable optimizer state refreshed by each exact SSTA. *)
+type state = {
+  design : Design.t;
+  model : Model.t;
+  leak : Leak_ssta.t;
+  mutable path_mu : float array;     (* mean of T_g = A_g + S_g *)
+  mutable path_sigma : float array;
+  mutable yield_ : float;
+  mutable refreshes : int;
+}
+
+let full_refresh st ~tmax =
+  let res = Ssta.analyze st.design st.model in
+  let bwd = Ssta.backward st.design.Design.circuit res in
+  let n = Circuit.num_gates st.design.Design.circuit in
+  let mu = Array.make n 0.0 and sg = Array.make n 0.0 in
+  for id = 0 to n - 1 do
+    let t = Ssta.path_through res ~backward:bwd id in
+    mu.(id) <- t.Canonical.mean;
+    sg.(id) <- Canonical.sigma t
+  done;
+  st.path_mu <- mu;
+  st.path_sigma <- sg;
+  st.yield_ <- Ssta.timing_yield res ~tmax;
+  st.refreshes <- st.refreshes + 1
+
+(* P(T_g + delta > tmax) with T_g Gaussian(mu, sigma). *)
+let violation st ~tmax id ~delta =
+  let mu = st.path_mu.(id) +. delta and sigma = st.path_sigma.(id) in
+  if sigma <= 0.0 then if mu > tmax then 1.0 else 0.0
+  else 1.0 -. Special.normal_cdf ((tmax -. mu) /. sigma)
+
+let est_yield_cost st ~tmax id ~delta =
+  Float.max 0.0 (violation st ~tmax id ~delta -. violation st ~tmax id ~delta:0.0)
+
+let nominal_delay (d : Design.t) id = Design.gate_delay d id ~dvth:0.0 ~dl:0.0
+
+(* Nominal delay delta of a tentative reassignment, computed by briefly
+   applying it (threshold moves never change loads; size moves do, but the
+   mean shift of the gate's own delay is what the estimate needs). *)
+let delay_delta (d : Design.t) id ~f =
+  let before = nominal_delay d id in
+  f ();
+  let after = nominal_delay d id in
+  after -. before
+
+let nominal_leak (d : Design.t) id ~vth_idx ~size_idx =
+  let g = Circuit.gate d.Design.circuit id in
+  Cell_lib.leak_current d.Design.lib g.Circuit.kind
+    ~arity:(Array.length g.Circuit.fanin) ~size_idx ~vth_idx ~dvth:0.0 ~dl:0.0
+
+type candidate = {
+  score : float;
+  kind : [ `Vth | `Size ];
+  gate : int;
+  est_cost : float;
+}
+
+let collect_candidates cfg st =
+  let d = st.design in
+  let num_vth = Cell_lib.num_vth d.Design.lib in
+  let leak_mean_now = Leak_ssta.mean st.leak in
+  let leak_p99_now =
+    match cfg.sensitivity with
+    | P99_leak_per_yield -> Leak_ssta.quantile st.leak 0.99
+    | _ -> 0.0
+  in
+  let candidates = ref [] in
+  let consider gate kind ~vth_idx ~size_idx ~delta =
+    if delta > 0.0 then begin
+      let est_cost = est_yield_cost st ~tmax:cfg.tmax gate ~delta in
+      let dleak_stat = leak_mean_now -. Leak_ssta.mean_if st.leak gate ~vth_idx ~size_idx in
+      let dleak_nom =
+        nominal_leak d gate ~vth_idx:d.Design.vth_idx.(gate)
+          ~size_idx:d.Design.size_idx.(gate)
+        -. nominal_leak d gate ~vth_idx ~size_idx
+      in
+      if dleak_stat > 0.0 then begin
+        let score =
+          match cfg.sensitivity with
+          | Stat_leak_per_yield -> dleak_stat /. (est_cost +. 1e-12)
+          | Stat_leak_per_delay -> dleak_stat /. Float.max 1e-9 delta
+          | Nominal_leak_per_yield -> dleak_nom /. (est_cost +. 1e-12)
+          | P99_leak_per_yield ->
+            let dp99 =
+              leak_p99_now -. Leak_ssta.quantile_if st.leak gate ~vth_idx ~size_idx ~p:0.99
+            in
+            dp99 /. (est_cost +. 1e-12)
+        in
+        candidates := { score; kind; gate; est_cost } :: !candidates
+      end
+    end
+    else if delta < 0.0 then
+      (* a move that saves leakage AND delay is a free win; give it top rank *)
+      let dleak_stat = leak_mean_now -. Leak_ssta.mean_if st.leak gate ~vth_idx ~size_idx in
+      if dleak_stat > 0.0 then
+        candidates := { score = infinity; kind; gate; est_cost = 0.0 } :: !candidates
+  in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let id = g.Circuit.id in
+        if cfg.allow_vth && d.Design.vth_idx.(id) + 1 < num_vth then begin
+          let v = d.Design.vth_idx.(id) in
+          let delta =
+            delay_delta d id ~f:(fun () -> Design.set_vth d id (v + 1))
+          in
+          Design.set_vth d id v;
+          consider id `Vth ~vth_idx:(v + 1) ~size_idx:d.Design.size_idx.(id) ~delta
+        end;
+        if cfg.allow_size && d.Design.size_idx.(id) > 0 then begin
+          let s = d.Design.size_idx.(id) in
+          let delta =
+            delay_delta d id ~f:(fun () -> Design.set_size d id (s - 1))
+          in
+          Design.set_size d id s;
+          consider id `Size ~vth_idx:d.Design.vth_idx.(id) ~size_idx:(s - 1) ~delta
+        end
+      end)
+    d.Design.circuit.Circuit.gates;
+  List.sort (fun a b -> compare b.score a.score) !candidates
+
+let apply_move (d : Design.t) kind id =
+  match kind with
+  | `Vth ->
+    let prev = d.Design.vth_idx.(id) in
+    Design.set_vth d id (prev + 1);
+    { id; prev = `Vth prev }
+  | `Size ->
+    let prev = d.Design.size_idx.(id) in
+    Design.set_size d id (prev - 1);
+    { id; prev = `Size prev }
+
+let undo_move (d : Design.t) m =
+  match m.prev with
+  | `Vth v -> Design.set_vth d m.id v
+  | `Size s -> Design.set_size d m.id s
+
+(* Initial yield repair: upsize statistically critical gates.  Each step
+   ranks upsizable gates by violation probability and trial-applies the
+   top few with an exact SSTA, keeping the first that improves yield; the
+   phase ends when no candidate in the shortlist helps. *)
+let fix_yield cfg st trials size_moves =
+  let d = st.design in
+  let num_sizes = Cell_lib.num_sizes d.Design.lib in
+  let n = Circuit.num_gates d.Design.circuit in
+  let shortlist = 16 in
+  let stuck = ref false in
+  let steps = ref 0 in
+  while st.yield_ < cfg.eta && (not !stuck) && !steps < 4 * n do
+    incr steps;
+    let ranked =
+      let all = ref [] in
+      for id = 0 to n - 1 do
+        if
+          (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi
+          && d.Design.size_idx.(id) + 1 < num_sizes
+        then begin
+          let v = violation st ~tmax:cfg.tmax id ~delta:0.0 in
+          if v > 0.0 then all := (v, id) :: !all
+        end
+      done;
+      List.sort (fun (a, _) (b, _) -> compare b a) !all
+    in
+    let rec try_candidates k = function
+      | [] -> false
+      | _ when k >= shortlist -> false
+      | (_, id) :: rest ->
+        let s = d.Design.size_idx.(id) in
+        Design.set_size d id (s + 1);
+        Leak_ssta.update_gate st.leak id;
+        incr trials;
+        let y_before = st.yield_ in
+        full_refresh st ~tmax:cfg.tmax;
+        if st.yield_ > y_before then begin
+          incr size_moves;
+          true
+        end
+        else begin
+          Design.set_size d id s;
+          Leak_ssta.update_gate st.leak id;
+          full_refresh st ~tmax:cfg.tmax;
+          try_candidates (k + 1) rest
+        end
+    in
+    if not (try_candidates 0 ranked) then stuck := true
+  done
+
+let optimize cfg (d : Design.t) model =
+  let leak = Leak_ssta.create d model in
+  let st =
+    {
+      design = d;
+      model;
+      leak;
+      path_mu = [||];
+      path_sigma = [||];
+      yield_ = 0.0;
+      refreshes = 0;
+    }
+  in
+  full_refresh st ~tmax:cfg.tmax;
+  let trials = ref 0 and vth_moves = ref 0 and size_moves = ref 0 in
+  let rollbacks = ref 0 in
+  fix_yield cfg st trials size_moves;
+  let feasible_start = st.yield_ >= cfg.eta in
+  (* greedy reduction: sorted candidate passes with budgeted acceptance,
+     exact refresh and rollback; runs until a pass accepts nothing *)
+  let reduce () =
+    let pass = ref 0 in
+    let go = ref true in
+    while !go && !pass < cfg.max_passes do
+      incr pass;
+      let accepted_this_pass = ref 0 in
+      let candidates = collect_candidates cfg st in
+      trials := !trials + List.length candidates;
+      let budget = ref (cfg.yield_margin *. Float.max 0.0 (st.yield_ -. cfg.eta)) in
+      let batch : move list ref = ref [] in
+      let batch_count = ref 0 in
+      let settle_batch () =
+        (* exact re-measure; roll back newest moves if the constraint broke *)
+        full_refresh st ~tmax:cfg.tmax;
+        while st.yield_ < cfg.eta && !batch <> [] do
+          match !batch with
+          | [] -> ()
+          | m :: rest ->
+            undo_move d m;
+            Leak_ssta.update_gate st.leak m.id;
+            (match m.prev with
+            | `Vth _ -> decr vth_moves
+            | `Size _ -> decr size_moves);
+            incr rollbacks;
+            decr accepted_this_pass;
+            batch := rest;
+            full_refresh st ~tmax:cfg.tmax
+        done;
+        batch := [];
+        batch_count := 0;
+        budget := cfg.yield_margin *. Float.max 0.0 (st.yield_ -. cfg.eta)
+      in
+      List.iter
+        (fun c ->
+          (* moves may have invalidated this candidate; re-check cheaply *)
+          let still_valid =
+            match c.kind with
+            | `Vth -> d.Design.vth_idx.(c.gate) + 1 < Cell_lib.num_vth d.Design.lib
+            | `Size -> d.Design.size_idx.(c.gate) > 0
+          in
+          if still_valid && c.est_cost <= !budget then begin
+            let m = apply_move d c.kind c.gate in
+            Leak_ssta.update_gate st.leak c.gate;
+            (match c.kind with
+            | `Vth -> incr vth_moves
+            | `Size -> incr size_moves);
+            incr accepted_this_pass;
+            budget := !budget -. c.est_cost;
+            batch := m :: !batch;
+            incr batch_count;
+            if !batch_count >= cfg.refresh_every || !budget <= 0.0 then settle_batch ()
+          end)
+        candidates;
+      settle_batch ();
+      if !accepted_this_pass <= 0 then go := false
+    done
+  in
+  if feasible_start then begin
+    reduce ();
+    (* Alternation: single moves can be trapped when every remaining
+       reduction needs slack that only an upsize elsewhere can create.
+       Buy headroom by upsizing the most violation-prone gate, re-run the
+       reduction, and keep the round only if E[leak] actually dropped. *)
+    if cfg.allow_size then begin
+      let n = Circuit.num_gates d.Design.circuit in
+      let num_sizes = Cell_lib.num_sizes d.Design.lib in
+      let continue_ = ref true in
+      let rounds = ref 0 in
+      while !continue_ && !rounds < 4 do
+        incr rounds;
+        let best_leak = Leak_ssta.mean st.leak in
+        let saved_vth = Array.copy d.Design.vth_idx in
+        let saved_size = Array.copy d.Design.size_idx in
+        (* most critical upsizable cell *)
+        let target = ref (-1) and worst = ref (-1.0) in
+        for id = 0 to n - 1 do
+          if
+            (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi
+            && d.Design.size_idx.(id) + 1 < num_sizes
+          then begin
+            let v = violation st ~tmax:cfg.tmax id ~delta:0.0 in
+            if v > !worst then begin
+              worst := v;
+              target := id
+            end
+          end
+        done;
+        if !target < 0 then continue_ := false
+        else begin
+          Design.set_size d !target (d.Design.size_idx.(!target) + 1);
+          Leak_ssta.update_gate st.leak !target;
+          incr size_moves;
+          incr trials;
+          full_refresh st ~tmax:cfg.tmax;
+          reduce ();
+          if st.yield_ < cfg.eta || Leak_ssta.mean st.leak >= best_leak then begin
+            (* round did not pay off: restore the previous solution *)
+            Array.blit saved_vth 0 d.Design.vth_idx 0 n;
+            Array.blit saved_size 0 d.Design.size_idx 0 n;
+            Leak_ssta.refresh st.leak;
+            full_refresh st ~tmax:cfg.tmax;
+            continue_ := false
+          end
+        end
+      done
+    end
+  end;
+  {
+    feasible = st.yield_ >= cfg.eta;
+    vth_moves = !vth_moves;
+    size_moves = !size_moves;
+    trials = !trials;
+    refreshes = st.refreshes;
+    rollbacks = !rollbacks;
+    final_yield = st.yield_;
+  }

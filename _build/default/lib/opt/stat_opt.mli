@@ -1,0 +1,67 @@
+(** Statistical yield-constrained leakage optimizer — the paper's core
+    contribution.
+
+    minimize  E[total leakage]
+    s.t.      P(circuit delay ≤ tmax) ≥ η
+
+    over per-gate dual-Vth assignment and discrete sizing.
+
+    Machinery per greedy pass:
+    + a full SSTA (+ backward sweep) gives every gate the canonical
+      distribution of the worst path through it, T_g = A_g + S_g;
+    + a candidate move on gate g (raise threshold / downsize) shifts the
+      mean of T_g by the move's nominal delay delta δ_g; the estimated
+      yield cost is P(T_g + δ_g > tmax) − P(T_g > tmax);
+    + candidates are ranked by leakage saved per estimated yield cost
+      (the statistical sensitivity; see {!sensitivity} for the ablations)
+      and accepted while a yield budget lasts;
+    + every [refresh_every] accepted moves — or when the budget is
+      exhausted — an exact SSTA refresh re-measures yield; if the
+      constraint broke, the most recent moves are rolled back until it
+      holds again.
+
+    The estimate-and-refresh structure is what makes the optimizer
+    near-linear in circuit size (T5) while never terminating in an
+    infeasible state. *)
+
+type sensitivity =
+  | Stat_leak_per_yield
+      (** Δ E[leak] per estimated yield cost — the paper's metric *)
+  | Stat_leak_per_delay
+      (** Δ E[leak] per ps of local delay increase: statistically blind
+          timing ranking (A3 ablation) *)
+  | Nominal_leak_per_yield
+      (** Δ nominal leak per yield cost: variation-blind leakage ranking
+          (A3 ablation) *)
+  | P99_leak_per_yield
+      (** Δ 99th-percentile leak per yield cost: tail-driven ranking
+          (A3 ablation) *)
+
+type config = {
+  tmax : float;           (** delay constraint, ps *)
+  eta : float;            (** timing-yield target, e.g. 0.95 *)
+  sensitivity : sensitivity;
+  allow_vth : bool;
+  allow_size : bool;
+  max_passes : int;
+  refresh_every : int;    (** accepted moves between exact SSTA refreshes *)
+  yield_margin : float;   (** fraction of (yield − η) spendable between
+                              refreshes, in (0, 1] *)
+}
+
+val default_config : tmax:float -> eta:float -> config
+(** Paper metric, both knobs, 25 passes, refresh every 25 moves,
+    margin 0.5. *)
+
+type stats = {
+  feasible : bool;        (** η met at exit (SSTA-verified) *)
+  vth_moves : int;
+  size_moves : int;
+  trials : int;           (** candidate evaluations *)
+  refreshes : int;        (** exact SSTA recomputations *)
+  rollbacks : int;        (** moves undone after a failed refresh *)
+  final_yield : float;    (** SSTA yield at exit *)
+}
+
+val optimize : config -> Sl_tech.Design.t -> Sl_variation.Model.t -> stats
+(** Mutates the design in place. *)

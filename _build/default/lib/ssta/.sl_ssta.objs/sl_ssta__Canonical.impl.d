@@ -1,0 +1,1 @@
+lib/ssta/canonical.ml: Array Float Format List Sl_util

@@ -1,0 +1,1 @@
+lib/ssta/canonical.mli: Format

@@ -1,0 +1,1 @@
+lib/ssta/path_ssta.ml: Array Canonical List Sl_netlist Sl_sta Sl_tech Sl_variation Ssta

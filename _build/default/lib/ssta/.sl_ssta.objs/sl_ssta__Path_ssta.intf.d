@@ -1,0 +1,1 @@
+lib/ssta/path_ssta.mli: Canonical Sl_sta Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+lib/ssta/ssta.ml: Array Canonical List Sl_netlist Sl_tech Sl_variation

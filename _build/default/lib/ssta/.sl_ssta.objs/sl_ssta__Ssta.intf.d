@@ -1,0 +1,1 @@
+lib/ssta/ssta.mli: Canonical Sl_netlist Sl_tech Sl_variation

@@ -1,0 +1,96 @@
+module Special = Sl_util.Special
+
+type t = { mean : float; coeffs : float array; rnd : float }
+
+let make ~mean ~coeffs ~rnd =
+  if rnd < 0.0 then invalid_arg "Canonical.make: negative rnd";
+  { mean; coeffs; rnd }
+
+let constant ~num_pcs x = { mean = x; coeffs = Array.make num_pcs 0.0; rnd = 0.0 }
+let num_pcs t = Array.length t.coeffs
+
+let variance t =
+  let acc = ref (t.rnd *. t.rnd) in
+  Array.iter (fun c -> acc := !acc +. (c *. c)) t.coeffs;
+  !acc
+
+let sigma t = sqrt (variance t)
+
+let check_basis a b =
+  if Array.length a.coeffs <> Array.length b.coeffs then
+    invalid_arg "Canonical: basis-size mismatch"
+
+let add a b =
+  check_basis a b;
+  {
+    mean = a.mean +. b.mean;
+    coeffs = Array.mapi (fun i c -> c +. b.coeffs.(i)) a.coeffs;
+    rnd = sqrt ((a.rnd *. a.rnd) +. (b.rnd *. b.rnd));
+  }
+
+let add_const a x = { a with mean = a.mean +. x }
+
+let scale k a =
+  { mean = k *. a.mean; coeffs = Array.map (fun c -> k *. c) a.coeffs; rnd = Float.abs k *. a.rnd }
+
+let sub a b = add a (scale (-1.0) b)
+
+let covariance a b =
+  check_basis a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a.coeffs - 1 do
+    acc := !acc +. (a.coeffs.(i) *. b.coeffs.(i))
+  done;
+  !acc
+
+let correlation a b =
+  let sa = sigma a and sb = sigma b in
+  if sa > 0.0 && sb > 0.0 then covariance a b /. (sa *. sb) else 0.0
+
+let tightness a b =
+  let mean, _, t =
+    Special.clark_max_moments ~mu1:a.mean ~sigma1:(sigma a) ~mu2:b.mean
+      ~sigma2:(sigma b) ~rho:(correlation a b)
+  in
+  ignore mean;
+  t
+
+let max2 a b =
+  check_basis a b;
+  let sa = sigma a and sb = sigma b in
+  let rho = if sa > 0.0 && sb > 0.0 then covariance a b /. (sa *. sb) else 0.0 in
+  let mean, var, t =
+    Special.clark_max_moments ~mu1:a.mean ~sigma1:sa ~mu2:b.mean ~sigma2:sb ~rho
+  in
+  let coeffs =
+    Array.mapi (fun i c -> (t *. c) +. ((1.0 -. t) *. b.coeffs.(i))) a.coeffs
+  in
+  let explained = Array.fold_left (fun acc c -> acc +. (c *. c)) 0.0 coeffs in
+  let rnd = sqrt (Float.max 0.0 (var -. explained)) in
+  { mean; coeffs; rnd }
+
+let max_list = function
+  | [] -> invalid_arg "Canonical.max_list: empty list"
+  | x :: rest -> List.fold_left max2 x rest
+
+let cdf t x =
+  let s = sigma t in
+  if s <= 0.0 then if x >= t.mean then 1.0 else 0.0
+  else Special.normal_cdf ((x -. t.mean) /. s)
+
+let quantile t p =
+  let s = sigma t in
+  if s <= 0.0 then t.mean else t.mean +. (s *. Special.normal_icdf p)
+
+let eval t ~z ~r =
+  if Array.length z <> Array.length t.coeffs then
+    invalid_arg "Canonical.eval: PC vector size mismatch";
+  let acc = ref t.mean in
+  for i = 0 to Array.length z - 1 do
+    acc := !acc +. (t.coeffs.(i) *. z.(i))
+  done;
+  !acc +. (t.rnd *. r)
+
+let pp ppf t =
+  Format.fprintf ppf "N(%.4g, %.4g²) [%d PCs, rnd %.4g]" t.mean (sigma t)
+    (Array.length t.coeffs) t.rnd

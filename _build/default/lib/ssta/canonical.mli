@@ -1,0 +1,60 @@
+(** First-order canonical timing form (Visweswariah/Chang style):
+
+    {v X = mean + Σ_k coeffs_k · Z_k + rnd · R v}
+
+    where the Z_k are the variation model's shared principal components
+    and R is a fresh independent unit normal.  Sums are exact; [max] uses
+    Clark's moment matching and re-linearizes onto the same basis with
+    tightness-weighted coefficients. *)
+
+type t = {
+  mean : float;
+  coeffs : float array;  (** sensitivities to the shared PCs *)
+  rnd : float;           (** σ of the independent remainder (≥ 0) *)
+}
+
+val make : mean:float -> coeffs:float array -> rnd:float -> t
+val constant : num_pcs:int -> float -> t
+
+val num_pcs : t -> int
+val variance : t -> float
+val sigma : t -> float
+
+val add : t -> t -> t
+(** Exact sum; independent remainders combine root-sum-square.
+    @raise Invalid_argument on basis-size mismatch. *)
+
+val add_const : t -> float -> t
+val scale : float -> t -> t
+val sub : t -> t -> t
+(** [sub a b] treats the two independent remainders as independent, like
+    {!add}. *)
+
+val covariance : t -> t -> float
+(** Covariance through the shared PCs only (independent remainders never
+    co-vary across distinct forms). *)
+
+val correlation : t -> t -> float
+
+val max2 : t -> t -> t
+(** Clark max re-linearized: coefficients are the tightness-weighted blend
+    and [rnd] absorbs the variance Clark predicts beyond the blended
+    coefficients. *)
+
+val max_list : t list -> t
+(** Left fold of {!max2}. @raise Invalid_argument on empty list. *)
+
+val tightness : t -> t -> float
+(** P(first ≥ second). *)
+
+val cdf : t -> float -> float
+(** P(X ≤ x) under the Gaussian approximation. *)
+
+val quantile : t -> float -> float
+(** Inverse of {!cdf}. *)
+
+val eval : t -> z:float array -> r:float -> float
+(** Value of the form at a concrete PC vector and remainder draw — used to
+    compare SSTA against Monte Carlo on identical dies. *)
+
+val pp : Format.formatter -> t -> unit

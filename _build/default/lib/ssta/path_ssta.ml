@@ -1,0 +1,28 @@
+module Circuit = Sl_netlist.Circuit
+module Design = Sl_tech.Design
+module Model = Sl_variation.Model
+module Paths = Sl_sta.Paths
+
+type result = {
+  paths : Paths.path list;
+  path_delay : Canonical.t list;
+  circuit_delay : Canonical.t;
+}
+
+let analyze (d : Design.t) model ~k =
+  let paths = Paths.k_most_critical d ~k in
+  if paths = [] then invalid_arg "Path_ssta.analyze: circuit has no paths";
+  let num_pcs = Model.num_pcs model in
+  let path_delay =
+    List.map
+      (fun (p : Paths.path) ->
+        Array.fold_left
+          (fun acc id -> Canonical.add acc (Ssta.gate_delay_canonical d model id))
+          (Canonical.constant ~num_pcs 0.0)
+          p.Paths.gates)
+      paths
+  in
+  let circuit_delay = Canonical.max_list path_delay in
+  { paths; path_delay; circuit_delay }
+
+let timing_yield res ~tmax = Canonical.cdf res.circuit_delay tmax

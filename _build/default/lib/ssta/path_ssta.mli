@@ -1,0 +1,21 @@
+(** Path-based SSTA (validation mode).
+
+    Enumerates the K nominally most-critical paths, forms each path's
+    delay canonically as the exact sum of its gate delay forms, and takes
+    the Clark max across paths.  Compared to the block-based engine it
+    makes the opposite approximation: sums are exact and only the final
+    max is moment-matched, but any path outside the top K is ignored, so
+    it *underestimates* and converges from below as K grows.  Agreement
+    between the two engines and Monte Carlo (experiment A6) is the
+    strongest internal-consistency check the library has. *)
+
+type result = {
+  paths : Sl_sta.Paths.path list;  (** the paths used, most critical first *)
+  path_delay : Canonical.t list;   (** canonical delay of each path *)
+  circuit_delay : Canonical.t;     (** Clark max over the paths *)
+}
+
+val analyze : Sl_tech.Design.t -> Sl_variation.Model.t -> k:int -> result
+(** @raise Invalid_argument if [k] < 1 or the circuit has no paths. *)
+
+val timing_yield : result -> tmax:float -> float

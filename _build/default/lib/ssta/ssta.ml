@@ -1,0 +1,81 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+module Model = Sl_variation.Model
+
+type result = {
+  gate_delay : Canonical.t array;
+  arrival : Canonical.t array;
+  circuit_delay : Canonical.t;
+}
+
+let gate_delay_canonical (d : Design.t) model id =
+  let g = Circuit.gate d.Design.circuit id in
+  let num_pcs = Model.num_pcs model in
+  if g.Circuit.kind = Cell_kind.Pi then Canonical.constant ~num_pcs 0.0
+  else begin
+    let d0 = Design.gate_delay d id ~dvth:0.0 ~dl:0.0 in
+    let sv, sl = Design.gate_delay_sens d id in
+    let cv = Model.vth_coeffs model id and cl = Model.l_coeffs model id in
+    let coeffs = Array.init num_pcs (fun k -> (sv *. cv.(k)) +. (sl *. cl.(k))) in
+    let rv = sv *. Model.vth_rnd_sigma model and rl = sl *. Model.l_rnd_sigma model in
+    Canonical.make ~mean:d0 ~coeffs ~rnd:(sqrt ((rv *. rv) +. (rl *. rl)))
+  end
+
+let analyze (d : Design.t) model =
+  let circuit = d.Design.circuit in
+  let n = Circuit.num_gates circuit in
+  let num_pcs = Model.num_pcs model in
+  let zero = Canonical.constant ~num_pcs 0.0 in
+  let gate_delay = Array.init n (fun id -> gate_delay_canonical d model id) in
+  let arrival = Array.make n zero in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let worst =
+          match Array.to_list g.Circuit.fanin with
+          | [] -> zero
+          | f :: rest ->
+            List.fold_left
+              (fun acc f' -> Canonical.max2 acc arrival.(f'))
+              arrival.(f) rest
+        in
+        arrival.(g.Circuit.id) <- Canonical.add worst gate_delay.(g.Circuit.id)
+      end)
+    circuit.Circuit.gates;
+  let circuit_delay =
+    match Array.to_list circuit.Circuit.outputs with
+    | [] -> zero
+    | o :: rest ->
+      List.fold_left (fun acc o' -> Canonical.max2 acc arrival.(o')) arrival.(o) rest
+  in
+  { gate_delay; arrival; circuit_delay }
+
+let timing_yield res ~tmax = Canonical.cdf res.circuit_delay tmax
+let tmax_for_yield res ~p = Canonical.quantile res.circuit_delay p
+
+let backward circuit res =
+  let n = Circuit.num_gates circuit in
+  let num_pcs = Canonical.num_pcs res.circuit_delay in
+  let zero = Canonical.constant ~num_pcs 0.0 in
+  let s = Array.make n zero in
+  for i = n - 1 downto 0 do
+    let g = circuit.Circuit.gates.(i) in
+    let terms =
+      Array.to_list g.Circuit.fanout
+      |> List.map (fun fo -> Canonical.add res.gate_delay.(fo) s.(fo))
+    in
+    let terms = if Circuit.is_po circuit g.Circuit.id then zero :: terms else terms in
+    match terms with
+    | [] -> ()  (* dead gate: keep zero *)
+    | t :: rest -> s.(i) <- List.fold_left Canonical.max2 t rest
+  done;
+  s
+
+let path_through res ~backward id = Canonical.add res.arrival.(id) backward.(id)
+
+let node_criticality res ~backward ~tmax id =
+  1.0 -. Canonical.cdf (path_through res ~backward id) tmax
+
+let statistical_slack res ~backward ~eta ~tmax id =
+  tmax -. Canonical.quantile (path_through res ~backward id) eta

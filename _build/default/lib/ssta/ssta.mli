@@ -1,0 +1,47 @@
+(** Block-based statistical static timing analysis.
+
+    Gate delays are linearized at the nominal point into canonical forms
+    over the variation model's principal components; arrival times
+    propagate through the levelized DAG with exact sums and Clark maxima.
+    The circuit delay is the max over primary outputs, and timing yield is
+    its Gaussian-approximated CDF at the constraint. *)
+
+type result = {
+  gate_delay : Canonical.t array;  (** canonical per-gate delay; PIs are 0 *)
+  arrival : Canonical.t array;     (** canonical arrival per gate *)
+  circuit_delay : Canonical.t;     (** max over primary outputs *)
+}
+
+val gate_delay_canonical :
+  Sl_tech.Design.t -> Sl_variation.Model.t -> int -> Canonical.t
+(** Linearized delay of one gate: mean = nominal delay, PC coefficients =
+    ∂d/∂Vth · vth-pattern + ∂d/∂L · L-pattern, independent remainder from
+    the gate's random variation components. *)
+
+val analyze : Sl_tech.Design.t -> Sl_variation.Model.t -> result
+
+val timing_yield : result -> tmax:float -> float
+(** P(circuit delay ≤ tmax). *)
+
+val tmax_for_yield : result -> p:float -> float
+(** Smallest constraint achieving yield [p] (the circuit-delay quantile). *)
+
+val backward : Sl_netlist.Circuit.t -> result -> Canonical.t array
+(** [S_g]: canonical form of the longest delay from gate [g]'s output to
+    any primary output (excluding [g]'s own delay); 0 at PO drivers.
+    Reverse sweep with Clark maxima. *)
+
+val path_through : result -> backward:Canonical.t array -> int -> Canonical.t
+(** [A_g + S_g] — the delay distribution of the worst path through gate
+    [g]. *)
+
+val node_criticality :
+  result -> backward:Canonical.t array -> tmax:float -> int -> float
+(** P(worst path through the gate exceeds [tmax]) — the yield-loss
+    exposure used to rank optimizer moves. *)
+
+val statistical_slack :
+  result -> backward:Canonical.t array -> eta:float -> tmax:float -> int -> float
+(** [tmax − quantile(A_g + S_g, eta)]: the margin gate [g] has before the
+    η-quantile of its worst path hits the constraint.  Positive slack
+    means the gate can be slowed with high confidence. *)

@@ -1,0 +1,1 @@
+lib/sta/paths.ml: Array Float Format List Sl_netlist Sl_tech Sl_util String

@@ -1,0 +1,1 @@
+lib/sta/paths.mli: Format Sl_netlist Sl_tech

@@ -1,0 +1,1 @@
+lib/sta/slew.ml: Array Float Sl_netlist Sl_tech Sta

@@ -1,0 +1,1 @@
+lib/sta/slew.mli: Sl_tech

@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Float Sl_netlist Sl_tech

@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Sl_netlist Sl_tech

@@ -1,0 +1,77 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+module Heap = Sl_util.Heap
+
+type path = { gates : int array; delay : float }
+
+type state = { acc : float; rpath : int list; gate : int; terminal : bool }
+
+let enumerate circuit delay ~k =
+  if k < 1 then invalid_arg "Paths.enumerate: k < 1";
+  let n = Circuit.num_gates circuit in
+  (* rem.(g): the largest delay still collectable after g's own delay has
+     been accumulated; 0 if g may terminate at a primary output,
+     -inf for dead ends. *)
+  let rem = Array.make n neg_infinity in
+  for i = n - 1 downto 0 do
+    let g = circuit.Circuit.gates.(i) in
+    let best = ref (if Circuit.is_po circuit i then 0.0 else neg_infinity) in
+    Array.iter
+      (fun fo ->
+        if Float.is_finite rem.(fo) then
+          best := Float.max !best (delay.(fo) +. rem.(fo)))
+      g.Circuit.fanout;
+    rem.(i) <- !best
+  done;
+  let heap = Heap.create () in
+  Array.iter
+    (fun pi ->
+      if Float.is_finite rem.(pi) then begin
+        let acc = delay.(pi) in
+        Heap.push heap (acc +. rem.(pi)) { acc; rpath = [ pi ]; gate = pi; terminal = false };
+        if Circuit.is_po circuit pi then
+          Heap.push heap acc { acc; rpath = [ pi ]; gate = pi; terminal = true }
+      end)
+    circuit.Circuit.inputs;
+  let results = ref [] in
+  let found = ref 0 in
+  while !found < k && not (Heap.is_empty heap) do
+    match Heap.pop heap with
+    | None -> ()
+    | Some (_, st) ->
+      if st.terminal then begin
+        incr found;
+        results :=
+          { gates = Array.of_list (List.rev st.rpath); delay = st.acc } :: !results
+      end
+      else begin
+        let g = Circuit.gate circuit st.gate in
+        Array.iter
+          (fun fo ->
+            if Float.is_finite rem.(fo) then begin
+              let acc = st.acc +. delay.(fo) in
+              let rpath = fo :: st.rpath in
+              Heap.push heap (acc +. rem.(fo)) { acc; rpath; gate = fo; terminal = false };
+              if Circuit.is_po circuit fo then
+                Heap.push heap acc { acc; rpath; gate = fo; terminal = true }
+            end)
+          g.Circuit.fanout
+      end
+  done;
+  List.rev !results
+
+let k_most_critical (d : Design.t) ~k =
+  let delay =
+    Array.map
+      (fun (g : Circuit.gate) ->
+        if g.Circuit.kind = Cell_kind.Pi then 0.0
+        else Design.gate_delay d g.Circuit.id ~dvth:0.0 ~dl:0.0)
+      d.Design.circuit.Circuit.gates
+  in
+  enumerate d.Design.circuit delay ~k
+
+let pp circuit ppf p =
+  Format.fprintf ppf "%.1f ps: %s" p.delay
+    (String.concat " -> "
+       (Array.to_list (Array.map (fun id -> (Circuit.gate circuit id).Circuit.name) p.gates)))

@@ -1,0 +1,23 @@
+(** K-most-critical path enumeration.
+
+    Best-first search over path prefixes guided by the exact
+    longest-remaining-delay potential, so paths are produced in strictly
+    non-increasing order of total delay and only O(K · depth) states are
+    expanded.  Used by reports, by the path-based SSTA validation mode and
+    by diagnostics. *)
+
+type path = {
+  gates : int array;  (** gate ids, primary input first *)
+  delay : float;      (** Σ gate delays along the path, ps *)
+}
+
+val k_most_critical : Sl_tech.Design.t -> k:int -> path list
+(** The [k] longest PI→PO paths at the nominal corner, longest first
+    (fewer if the circuit has fewer paths).
+    @raise Invalid_argument if [k] < 1. *)
+
+val enumerate : Sl_netlist.Circuit.t -> float array -> k:int -> path list
+(** Same search over explicit per-gate delays. *)
+
+val pp : Sl_netlist.Circuit.t -> Format.formatter -> path -> unit
+(** "delay: a -> b -> c" rendering with net names. *)

@@ -1,0 +1,48 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+
+type result = {
+  delay : float array;
+  slew : float array;
+  arrival : float array;
+  dmax : float;
+}
+
+let analyze ?(beta = 0.25) ?(gamma = 0.9) ?(s0 = 40.0) (d : Design.t) =
+  if beta < 0.0 || gamma < 0.0 || s0 < 0.0 then
+    invalid_arg "Slew.analyze: negative parameter";
+  let c = d.Design.circuit in
+  let n = Circuit.num_gates c in
+  let delay = Array.make n 0.0 in
+  let slew = Array.make n s0 in
+  let arrival = Array.make n 0.0 in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let id = g.Circuit.id in
+        let rc = Design.gate_delay d id ~dvth:0.0 ~dl:0.0 in
+        (* slew of the latest-arriving fanin drives this gate's input ramp *)
+        let s_in = ref s0 and worst = ref neg_infinity in
+        Array.iter
+          (fun f ->
+            if arrival.(f) > !worst then begin
+              worst := arrival.(f);
+              s_in := slew.(f)
+            end)
+          g.Circuit.fanin;
+        let worst = Float.max 0.0 !worst in
+        delay.(id) <- rc +. (beta *. !s_in);
+        slew.(id) <- gamma *. rc;
+        arrival.(id) <- worst +. delay.(id)
+      end)
+    c.Circuit.gates;
+  let dmax =
+    Array.fold_left (fun acc id -> Float.max acc arrival.(id)) 0.0 c.Circuit.outputs
+  in
+  { delay; slew; arrival; dmax }
+
+let dmax_ratio d =
+  let step = Sta.dmax d in
+  let ramp = (analyze d).dmax in
+  ramp /. Float.max 1e-9 step

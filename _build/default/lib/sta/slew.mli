@@ -1,0 +1,33 @@
+(** Slew-aware deterministic timing (validation mode).
+
+    The base STA uses step inputs: d = R·C.  Real gates see ramps; a slow
+    input ramp adds delay, and the output ramp is itself set by the
+    gate's RC.  This module implements the classical first-order ramp
+    model:
+
+    {v d(g)    = R·C + beta·s_in(g)
+       s_out(g) = gamma·R·C v}
+
+    where [s_in(g)] is the output slew of the latest-arriving fanin (the
+    standard propagation rule) and primary inputs arrive with a driver
+    slew [s0].  The optimizers deliberately stay on the step model — the
+    paper's formulation is slew-free — and experiment A12 uses this
+    module to check that optimized designs degrade under ramps no worse
+    than the unoptimized ones, i.e. that the conclusions survive the
+    richer timing model. *)
+
+type result = {
+  delay : float array;    (** slew-aware per-gate delay, ps *)
+  slew : float array;     (** output slew per gate, ps *)
+  arrival : float array;
+  dmax : float;
+}
+
+val analyze :
+  ?beta:float -> ?gamma:float -> ?s0:float -> Sl_tech.Design.t -> result
+(** Defaults: beta 0.25, gamma 0.9, s0 40 ps — textbook 100 nm numbers.
+    @raise Invalid_argument on negative parameters. *)
+
+val dmax_ratio : Sl_tech.Design.t -> float
+(** Slew-aware dmax over step-model dmax (≥ 1): how much the step model
+    underestimates this design's delay. *)

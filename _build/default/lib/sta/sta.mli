@@ -1,0 +1,53 @@
+(** Deterministic static timing analysis.
+
+    Pin-independent gate delays over the topologically-ordered circuit:
+    one forward sweep for arrival times, one backward sweep for required
+    times and slacks.  Variation-aware evaluation (used by Monte Carlo)
+    takes per-gate ΔVth / ΔL arrays. *)
+
+type result = {
+  delay : float array;    (** per-gate delay used in this analysis, ps *)
+  arrival : float array;  (** per-gate arrival time, ps *)
+  required : float array; (** per-gate required time against [tmax], ps *)
+  slack : float array;    (** required − arrival, ps *)
+  dmax : float;           (** circuit delay: max arrival over primary outputs *)
+}
+
+val loads : Sl_tech.Design.t -> float array
+(** Cached per-gate output loads (depend only on the sizing). *)
+
+val delays :
+  ?dvth:float array -> ?dl:float array -> Sl_tech.Design.t -> float array
+(** Per-gate delays; omitted variation arrays mean the nominal die. *)
+
+val arrivals : Sl_netlist.Circuit.t -> float array -> float array
+(** Forward sweep given per-gate delays. *)
+
+val analyze :
+  ?dvth:float array -> ?dl:float array -> ?tmax:float ->
+  Sl_tech.Design.t -> result
+(** Full analysis.  [tmax] defaults to the computed [dmax] (zero-slack
+    normalization). *)
+
+val dmax : ?dvth:float array -> ?dl:float array -> Sl_tech.Design.t -> float
+(** Circuit delay only. *)
+
+val critical_path : Sl_netlist.Circuit.t -> result -> int array
+(** Gate ids of one critical path, input to output, extracted by walking
+    maximal arrivals backwards from the worst primary output. *)
+
+val worst_slack : result -> float
+
+(** Re-usable evaluator for Monte-Carlo: structure, loads and nominal cell
+    parameters are captured once, so per-sample evaluation is a single
+    array sweep with no library lookups. *)
+module Fast : sig
+  type t
+
+  val create : Sl_tech.Design.t -> t
+
+  val dmax : t -> dvth:float array -> dl:float array -> float
+  (** Circuit delay of one die. *)
+
+  val gate_delays : t -> dvth:float array -> dl:float array -> float array
+end

@@ -1,0 +1,1 @@
+lib/tech/cell_lib.ml: Array List Sl_netlist Tech

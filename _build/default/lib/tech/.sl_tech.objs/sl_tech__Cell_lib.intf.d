@@ -1,0 +1,1 @@
+lib/tech/cell_lib.mli: Sl_netlist Tech

@@ -1,0 +1,1 @@
+lib/tech/design.ml: Array Cell_lib Printf Sl_netlist String Tech

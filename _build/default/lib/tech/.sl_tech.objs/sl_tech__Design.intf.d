@@ -1,0 +1,1 @@
+lib/tech/design.mli: Cell_lib Sl_netlist

@@ -1,0 +1,1 @@
+lib/tech/liberty.ml: Array Buffer Cell_lib List Printf Sl_netlist String Tech

@@ -1,0 +1,1 @@
+lib/tech/liberty.mli: Cell_lib

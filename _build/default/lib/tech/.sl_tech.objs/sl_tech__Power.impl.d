@@ -1,0 +1,1 @@
+lib/tech/power.ml: Array Cell_lib Design Float Sl_netlist Tech

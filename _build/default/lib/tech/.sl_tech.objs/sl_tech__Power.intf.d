@@ -1,0 +1,1 @@
+lib/tech/power.mli: Design Sl_netlist

@@ -1,0 +1,112 @@
+module Cell_kind = Sl_netlist.Cell_kind
+
+type factors = { effort : float; cap_pin : float; leak : float; par : float }
+
+type t = {
+  tech : Tech.t;
+  sizes : float array;
+  overrides : (Cell_kind.t * factors) list;
+}
+
+let check_sizes sizes =
+  if Array.length sizes = 0 then invalid_arg "Cell_lib.create: empty size table";
+  Array.iteri
+    (fun i s ->
+      if s <= 0.0 then invalid_arg "Cell_lib.create: non-positive size";
+      if i > 0 && s <= sizes.(i - 1) then
+        invalid_arg "Cell_lib.create: sizes must be strictly ascending")
+    sizes
+
+let create ?(sizes = [| 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0 |]) ?(overrides = []) tech =
+  check_sizes sizes;
+  (match Tech.validate tech with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cell_lib.create: " ^ msg));
+  { tech; sizes; overrides }
+
+let default () = create Tech.default
+let num_sizes t = Array.length t.sizes
+let num_vth t = Array.length t.tech.Tech.vth
+
+(* Logical-effort values for 2-input (1-input for Buf/Not) static CMOS.
+   [leak] counts effective leaking width: series stacks leak less per unit
+   width (stack effect), compound gates (AND/OR/XOR) add their output
+   inverter. *)
+let builtin_factors = function
+  | Cell_kind.Pi -> invalid_arg "Cell_lib.factors: Pi is not a library cell"
+  | Cell_kind.Not -> { effort = 1.0; cap_pin = 1.0; leak = 1.0; par = 1.0 }
+  | Cell_kind.Buf -> { effort = 1.0; cap_pin = 1.0; leak = 1.5; par = 1.3 }
+  | Cell_kind.Nand -> { effort = 4.0 /. 3.0; cap_pin = 4.0 /. 3.0; leak = 1.2; par = 1.5 }
+  | Cell_kind.Nor -> { effort = 5.0 /. 3.0; cap_pin = 5.0 /. 3.0; leak = 1.3; par = 1.6 }
+  | Cell_kind.And -> { effort = 4.0 /. 3.0; cap_pin = 4.0 /. 3.0; leak = 1.8; par = 2.0 }
+  | Cell_kind.Or -> { effort = 5.0 /. 3.0; cap_pin = 5.0 /. 3.0; leak = 1.9; par = 2.1 }
+  | Cell_kind.Xor -> { effort = 2.0; cap_pin = 2.0; leak = 2.4; par = 2.6 }
+  | Cell_kind.Xnor -> { effort = 2.0; cap_pin = 2.0; leak = 2.4; par = 2.6 }
+
+let base_factors t kind =
+  match List.assoc_opt kind t.overrides with
+  | Some f -> f
+  | None -> builtin_factors kind
+
+(* Scale the arity-2 base to n inputs: transistor stacks deepen, so effort
+   and pin capacitance grow with (n + 2)/4 relative to n = 2, leakage and
+   parasitics grow with the added transistor pairs. *)
+let factors t kind ~arity =
+  let f = base_factors t kind in
+  match kind with
+  | Cell_kind.Pi -> invalid_arg "Cell_lib.factors: Pi is not a library cell"
+  | Cell_kind.Not | Cell_kind.Buf -> f
+  | _ ->
+    if arity <= 2 then f
+    else begin
+      let scale = float_of_int (arity + 2) /. 4.0 in
+      let growth = float_of_int arity /. 2.0 in
+      {
+        effort = f.effort *. scale;
+        cap_pin = f.cap_pin *. scale;
+        leak = f.leak *. growth;
+        par = f.par *. growth;
+      }
+    end
+
+let size t size_idx = t.sizes.(size_idx)
+
+let input_cap t kind ~arity ~size_idx =
+  let f = factors t kind ~arity in
+  t.tech.Tech.c_gate *. f.cap_pin *. size t size_idx
+
+let vth_eff t ~vth_idx ~dvth ~dl =
+  t.tech.Tech.vth.(vth_idx) +. dvth +. (t.tech.Tech.k_rolloff *. dl)
+
+(* Carrier mobility degrades roughly as T^-1.5, raising drive resistance;
+   normalized to 1 at the 300 K calibration point. *)
+let mobility_factor t = (t.tech.Tech.temp_k /. 300.0) ** 1.5
+
+let drive_res t kind ~arity ~size_idx ~vth_idx ~dvth ~dl =
+  let f = factors t kind ~arity in
+  let v = vth_eff t ~vth_idx ~dvth ~dl in
+  let overdrive = t.tech.Tech.vdd -. v in
+  if overdrive <= 0.0 then invalid_arg "Cell_lib.drive_res: vth_eff >= vdd";
+  t.tech.Tech.r0 *. f.effort *. (1.0 +. dl) *. mobility_factor t
+  /. (size t size_idx *. (overdrive ** t.tech.Tech.alpha))
+
+let self_load t kind ~arity ~size_idx =
+  let f = factors t kind ~arity in
+  t.tech.Tech.c_par *. f.par *. size t size_idx
+
+let ln_leak_nominal t kind ~arity ~size_idx ~vth_idx =
+  let f = factors t kind ~arity in
+  (* sub-threshold prefactor carries the classical T² dependence (and the
+     exponent's n·vT already scales with T); both are 1 at 300 K *)
+  let t2 = (t.tech.Tech.temp_k /. 300.0) ** 2.0 in
+  log (t.tech.Tech.i0 *. t2 *. f.leak *. size t size_idx)
+  -. (t.tech.Tech.vth.(vth_idx) /. Tech.nvt t.tech)
+
+let dln_leak_dvth t = -1.0 /. Tech.nvt t.tech
+let dln_leak_dl t = -.t.tech.Tech.k_rolloff /. Tech.nvt t.tech
+
+let leak_current t kind ~arity ~size_idx ~vth_idx ~dvth ~dl =
+  exp
+    (ln_leak_nominal t kind ~arity ~size_idx ~vth_idx
+    +. (dln_leak_dvth t *. dvth)
+    +. (dln_leak_dl t *. dl))

@@ -1,0 +1,76 @@
+(** Dual-Vth, multi-size standard-cell library.
+
+    The library is parametric rather than enumerated: a cell is identified
+    by its logic function, arity, size index and threshold index, and its
+    electrical quantities come from logical-effort-style per-kind factors
+    scaled by size.  This mirrors how the paper treats cells (every gate
+    available at every size and both thresholds) without hard-coding a
+    cell list. *)
+
+type factors = {
+  effort : float;   (** logical effort: drive-resistance multiplier *)
+  cap_pin : float;  (** input capacitance per pin, in unit-inverter caps *)
+  leak : float;     (** leakage multiplier (effective leaking width) *)
+  par : float;      (** parasitic self-load multiplier *)
+}
+
+type t = {
+  tech : Tech.t;
+  sizes : float array;  (** ascending drive-strength multipliers; index 0 = unit *)
+  overrides : (Sl_netlist.Cell_kind.t * factors) list;
+      (** per-kind replacements for the built-in arity-2 factor table *)
+}
+
+val default : unit -> t
+(** {!Tech.default} with sizes [1, 1.5, 2, 3, 4, 6, 8] and built-in
+    factors. *)
+
+val create :
+  ?sizes:float array -> ?overrides:(Sl_netlist.Cell_kind.t * factors) list -> Tech.t -> t
+(** @raise Invalid_argument if [sizes] is empty or not ascending-positive. *)
+
+val num_sizes : t -> int
+val num_vth : t -> int
+
+val builtin_factors : Sl_netlist.Cell_kind.t -> factors
+(** The arity-2 logical-effort table (arity-1 for inverters/buffers). *)
+
+val factors : t -> Sl_netlist.Cell_kind.t -> arity:int -> factors
+(** Factors for an [arity]-input instance: stack/branch scaling applied to
+    the base (overridden) table.
+    @raise Invalid_argument for [Sl_netlist.Cell_kind.Pi]. *)
+
+val input_cap : t -> Sl_netlist.Cell_kind.t -> arity:int -> size_idx:int -> float
+(** Capacitance presented by one input pin, fF. *)
+
+val vth_eff : t -> vth_idx:int -> dvth:float -> dl:float -> float
+(** Effective threshold under variation: [vth + dvth + k_rolloff·dl],
+    where [dl] is the relative channel-length deviation ΔL/L. *)
+
+val drive_res :
+  t -> Sl_netlist.Cell_kind.t -> arity:int -> size_idx:int -> vth_idx:int ->
+  dvth:float -> dl:float -> float
+(** Alpha-power-law drive resistance, kΩ.  Temperature enters through
+    mobility degradation, (T/300K)^1.5. *)
+
+val self_load : t -> Sl_netlist.Cell_kind.t -> arity:int -> size_idx:int -> float
+(** Parasitic output capacitance, fF. *)
+
+val leak_current :
+  t -> Sl_netlist.Cell_kind.t -> arity:int -> size_idx:int -> vth_idx:int ->
+  dvth:float -> dl:float -> float
+(** Sub-threshold leakage, nA: exponential in [dvth] and [dl].
+    Temperature enters twice — the T² prefactor and the n·vT slope of the
+    exponent — reproducing the strong thermal growth of sub-threshold
+    current (both factors normalized at 300 K). *)
+
+val ln_leak_nominal :
+  t -> Sl_netlist.Cell_kind.t -> arity:int -> size_idx:int -> vth_idx:int -> float
+(** ln of the nominal leakage — the mean of the gate's ln-leakage under
+    variation, since ln I is linear in the Gaussian parameters. *)
+
+val dln_leak_dvth : t -> float
+(** ∂(ln I)/∂ΔVth = −1/(n·vT); independent of the cell. *)
+
+val dln_leak_dl : t -> float
+(** ∂(ln I)/∂ΔL = −k_rolloff/(n·vT). *)

@@ -1,0 +1,219 @@
+module Cell_kind = Sl_netlist.Cell_kind
+
+exception Parse_error of int * string
+
+let error line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+type token = Ident of string | Number of float | Str of string | Lbrace | Rbrace
+
+let tokenize text =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    || (c >= '0' && c <= '9')
+  in
+  let is_num c = (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E' in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '{' then begin
+      toks := (!line, Lbrace) :: !toks;
+      incr i
+    end
+    else if c = '}' then begin
+      toks := (!line, Rbrace) :: !toks;
+      incr i
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && text.[!j] <> '"' do
+        if text.[!j] = '\n' then error !line "unterminated string";
+        incr j
+      done;
+      if !j >= n then error !line "unterminated string";
+      toks := (!line, Str (String.sub text (!i + 1) (!j - !i - 1))) :: !toks;
+      i := !j + 1
+    end
+    else if (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' then begin
+      let j = ref !i in
+      while !j < n && is_num text.[!j] do
+        incr j
+      done;
+      let s = String.sub text !i (!j - !i) in
+      (match float_of_string_opt s with
+      | Some f -> toks := (!line, Number f) :: !toks
+      | None -> error !line "malformed number %S" s);
+      i := !j
+    end
+    else if is_ident c then begin
+      let j = ref !i in
+      while !j < n && is_ident text.[!j] do
+        incr j
+      done;
+      toks := (!line, Ident (String.sub text !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else error !line "unexpected character %C" c
+  done;
+  List.rev !toks
+
+let parse_string text =
+  let toks = ref (tokenize text) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next what =
+    match !toks with
+    | [] -> error 0 "unexpected end of input, expected %s" what
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let expect_ident what =
+    match next what with
+    | _, Ident s -> s
+    | line, _ -> error line "expected %s" what
+  in
+  let expect_lbrace () =
+    match next "'{'" with _, Lbrace -> () | line, _ -> error line "expected '{'"
+  in
+  let number what =
+    match next what with
+    | _, Number f -> f
+    | line, _ -> error line "expected a number for %s" what
+  in
+  let numbers_until_ident () =
+    (* consume a run of numbers (e.g. the vth or sizes list) *)
+    let rec loop acc =
+      match peek () with
+      | Some (_, Number f) ->
+        ignore (next "number");
+        loop (f :: acc)
+      | _ -> List.rev acc
+    in
+    loop []
+  in
+  (match next "'library'" with
+  | line, Ident "library" -> ignore line
+  | line, _ -> error line "expected 'library'");
+  let name =
+    match next "library name" with
+    | _, Str s | _, Ident s -> s
+    | line, _ -> error line "expected library name"
+  in
+  expect_lbrace ();
+  let tech = ref { Tech.default with Tech.name } in
+  let sizes = ref None in
+  let overrides = ref [] in
+  let rec body () =
+    match next "library body" with
+    | _, Rbrace -> ()
+    | line, Ident key -> begin
+      (match key with
+      | "vdd" -> tech := { !tech with Tech.vdd = number key }
+      | "temp_k" -> tech := { !tech with Tech.temp_k = number key }
+      | "n_swing" -> tech := { !tech with Tech.n_swing = number key }
+      | "alpha" -> tech := { !tech with Tech.alpha = number key }
+      | "r0" -> tech := { !tech with Tech.r0 = number key }
+      | "c_gate" -> tech := { !tech with Tech.c_gate = number key }
+      | "c_par" -> tech := { !tech with Tech.c_par = number key }
+      | "c_wire" -> tech := { !tech with Tech.c_wire = number key }
+      | "c_out" -> tech := { !tech with Tech.c_out = number key }
+      | "i0" -> tech := { !tech with Tech.i0 = number key }
+      | "k_rolloff" -> tech := { !tech with Tech.k_rolloff = number key }
+      | "vth" -> begin
+        match numbers_until_ident () with
+        | [] -> error line "vth needs at least one value"
+        | vs -> tech := { !tech with Tech.vth = Array.of_list vs }
+      end
+      | "sizes" -> begin
+        match numbers_until_ident () with
+        | [] -> error line "sizes needs at least one value"
+        | vs -> sizes := Some (Array.of_list vs)
+      end
+      | "cell" -> begin
+        let kname = expect_ident "cell kind" in
+        match Cell_kind.of_string kname with
+        | None | Some Cell_kind.Pi -> error line "unknown cell kind %S" kname
+        | Some kind ->
+          expect_lbrace ();
+          let f = ref (Cell_lib.builtin_factors kind) in
+          let rec fields () =
+            match next "cell body" with
+            | _, Rbrace -> ()
+            | fline, Ident fkey ->
+              (match fkey with
+              | "effort" -> f := { !f with Cell_lib.effort = number fkey }
+              | "cap_pin" -> f := { !f with Cell_lib.cap_pin = number fkey }
+              | "leak" -> f := { !f with Cell_lib.leak = number fkey }
+              | "par" -> f := { !f with Cell_lib.par = number fkey }
+              | _ -> error fline "unknown cell field %S" fkey);
+              fields ()
+            | fline, _ -> error fline "expected a cell field"
+          in
+          fields ();
+          overrides := (kind, !f) :: !overrides
+      end
+      | _ -> error line "unknown library field %S" key);
+      body ()
+    end
+    | line, _ -> error line "expected a field name or '}'"
+  in
+  body ();
+  (match peek () with
+  | Some (line, _) -> error line "trailing input after library block"
+  | None -> ());
+  match !sizes with
+  | Some s -> Cell_lib.create ~sizes:s ~overrides:(List.rev !overrides) !tech
+  | None -> Cell_lib.create ~overrides:(List.rev !overrides) !tech
+
+let parse_file path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse_string text
+
+let to_string (lib : Cell_lib.t) =
+  let t = lib.Cell_lib.tech in
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let floats arr =
+    String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.6g") arr))
+  in
+  pf "library \"%s\" {\n" t.Tech.name;
+  pf "  vdd %.6g\n" t.Tech.vdd;
+  pf "  temp_k %.6g\n" t.Tech.temp_k;
+  pf "  n_swing %.6g\n" t.Tech.n_swing;
+  pf "  alpha %.6g\n" t.Tech.alpha;
+  pf "  vth %s\n" (floats t.Tech.vth);
+  pf "  r0 %.6g\n" t.Tech.r0;
+  pf "  c_gate %.6g\n" t.Tech.c_gate;
+  pf "  c_par %.6g\n" t.Tech.c_par;
+  pf "  c_wire %.6g\n" t.Tech.c_wire;
+  pf "  c_out %.6g\n" t.Tech.c_out;
+  pf "  i0 %.6g\n" t.Tech.i0;
+  pf "  k_rolloff %.6g\n" t.Tech.k_rolloff;
+  pf "  sizes %s\n" (floats lib.Cell_lib.sizes);
+  List.iter
+    (fun (kind, f) ->
+      pf "  cell %s { effort %.6g cap_pin %.6g leak %.6g par %.6g }\n"
+        (Cell_kind.to_string kind) f.Cell_lib.effort f.Cell_lib.cap_pin
+        f.Cell_lib.leak f.Cell_lib.par)
+    lib.Cell_lib.overrides;
+  pf "}\n";
+  Buffer.contents buf
+
+let write_file path lib =
+  let oc = open_out path in
+  output_string oc (to_string lib);
+  close_out oc

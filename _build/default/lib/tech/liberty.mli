@@ -1,0 +1,40 @@
+(** A small Liberty-inspired text format for cell libraries, so users can
+    characterize their own technology without recompiling.
+
+    Example:
+    {v
+      library "my-90nm" {
+        vdd 1.1
+        temp_k 300
+        n_swing 1.4
+        alpha 1.3
+        vth 0.18 0.30
+        r0 4.1
+        c_gate 1.6
+        c_par 1.1
+        c_wire 0.3
+        c_out 6.0
+        i0 18000
+        k_rolloff 0.12
+        sizes 1 2 4 8
+        cell NAND { effort 1.4 cap_pin 1.4 leak 1.25 par 1.5 }
+      }
+    v}
+    All scalar fields default to {!Tech.default} values when omitted;
+    [cell] blocks override the built-in factor table for that kind. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse_string : string -> Cell_lib.t
+(** @raise Parse_error on syntax errors.
+    @raise Invalid_argument when values fail {!Tech.validate} or the size
+    table is invalid. *)
+
+val parse_file : string -> Cell_lib.t
+
+val to_string : Cell_lib.t -> string
+(** Render a library; [parse_string (to_string lib)] reconstructs an
+    equivalent library (same tech numbers, sizes and overrides). *)
+
+val write_file : string -> Cell_lib.t -> unit

@@ -1,0 +1,60 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Activity = Sl_netlist.Activity
+
+type breakdown = {
+  dynamic_nw : float;
+  leakage_nw : float;
+  leakage_fraction : float;
+}
+
+let dynamic_nw (d : Design.t) ~activity ~freq_ghz =
+  let vdd = d.Design.lib.Cell_lib.tech.Tech.vdd in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let id = g.Circuit.id in
+        (* fF · V² · toggles/cycle · GHz = µW; ×1000 → nW *)
+        acc :=
+          !acc
+          +. (0.5 *. Design.load d id *. vdd *. vdd
+             *. activity.Activity.trans.(id) *. freq_ghz *. 1000.0)
+      end)
+    d.Design.circuit.Circuit.gates;
+  !acc
+
+let breakdown ?(input_prob = 0.5) ?(input_trans = 0.15) ?freq_ghz (d : Design.t) =
+  let freq_ghz =
+    match freq_ghz with
+    | Some f -> f
+    | None ->
+      (* ps → GHz: 1000 / (1.25 · dmax); the arrival sweep is inlined
+         because the STA library sits above this one in the build graph *)
+      let dmax = ref 0.0 in
+      let arrival = Array.make (Circuit.num_gates d.Design.circuit) 0.0 in
+      Array.iter
+        (fun (g : Circuit.gate) ->
+          if g.Circuit.kind <> Cell_kind.Pi then begin
+            let worst = ref 0.0 in
+            Array.iter
+              (fun f -> if arrival.(f) > !worst then worst := arrival.(f))
+              g.Circuit.fanin;
+            arrival.(g.Circuit.id) <-
+              !worst +. Design.gate_delay d g.Circuit.id ~dvth:0.0 ~dl:0.0
+          end)
+        d.Design.circuit.Circuit.gates;
+      Array.iter
+        (fun id -> if arrival.(id) > !dmax then dmax := arrival.(id))
+        d.Design.circuit.Circuit.outputs;
+      1000.0 /. (1.25 *. Float.max 1e-9 !dmax)
+  in
+  let activity = Activity.analyze ~input_prob ~input_trans d.Design.circuit in
+  let dynamic_nw = dynamic_nw d ~activity ~freq_ghz in
+  let vdd = d.Design.lib.Cell_lib.tech.Tech.vdd in
+  let leakage_nw = Design.total_leak_nominal d *. vdd in
+  {
+    dynamic_nw;
+    leakage_nw;
+    leakage_fraction = leakage_nw /. Float.max 1e-12 (leakage_nw +. dynamic_nw);
+  }

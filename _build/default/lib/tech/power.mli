@@ -1,0 +1,23 @@
+(** Total-power accounting: dynamic (switching) power from signal
+    activity, and the leakage fraction of the total — the number that
+    motivates the whole exercise (leakage was approaching half of total
+    power at the 100 nm node). *)
+
+type breakdown = {
+  dynamic_nw : float;       (** Σ ½·α·C·Vdd²·f over all nets, nW *)
+  leakage_nw : float;       (** nominal leakage × Vdd, nW *)
+  leakage_fraction : float; (** leakage / (leakage + dynamic) *)
+}
+
+val dynamic_nw :
+  Design.t -> activity:Sl_netlist.Activity.t -> freq_ghz:float -> float
+(** Dynamic power, nW.  Each gate's output net switches
+    [activity.trans] times per cycle into its load capacitance. *)
+
+val breakdown :
+  ?input_prob:float -> ?input_trans:float -> ?freq_ghz:float ->
+  Design.t -> breakdown
+(** One-call report; [freq_ghz] defaults to 1/(1.25·nominal delay) — a
+    clock with 25 % margin over the design's own critical path —
+    and [input_trans] (primary-input toggles per cycle) to 0.15, a
+    typical datapath activity. *)

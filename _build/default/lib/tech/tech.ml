@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  vdd : float;
+  temp_k : float;
+  n_swing : float;
+  alpha : float;
+  vth : float array;
+  r0 : float;
+  c_gate : float;
+  c_par : float;
+  c_wire : float;
+  c_out : float;
+  i0 : float;
+  k_rolloff : float;
+}
+
+(* Boltzmann constant over elementary charge, V/K. *)
+let k_over_q = 8.617333262e-5
+
+let default =
+  {
+    name = "statleak-100nm";
+    vdd = 1.2;
+    temp_k = 300.0;
+    n_swing = 1.4;
+    alpha = 1.3;
+    vth = [| 0.20; 0.32 |];
+    (* r0 calibrated so a unit low-Vth inverter with fanout-4 load runs at
+       ~50 ps, the published FO4 figure for 100 nm. *)
+    r0 = 5.3;
+    c_gate = 2.0;
+    c_par = 1.4;
+    c_wire = 0.4;
+    c_out = 8.0;
+    (* i0 calibrated so a unit low-Vth inverter leaks ~50 nA at 300 K. *)
+    i0 = 12_500.0;
+    k_rolloff = 0.15;
+  }
+
+let thermal_voltage t = k_over_q *. t.temp_k
+let nvt t = t.n_swing *. thermal_voltage t
+
+let leak_ratio t =
+  let lo = t.vth.(0) and hi = t.vth.(Array.length t.vth - 1) in
+  exp ((hi -. lo) /. nvt t)
+
+let delay_penalty t =
+  let lo = t.vth.(0) and hi = t.vth.(Array.length t.vth - 1) in
+  ((t.vdd -. lo) /. (t.vdd -. hi)) ** t.alpha
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.vdd <= 0.0 then err "vdd must be positive"
+  else if t.temp_k <= 0.0 then err "temp_k must be positive"
+  else if Array.length t.vth < 2 then err "need at least two threshold levels"
+  else if
+    not
+      (Array.for_all (fun v -> v > 0.0 && v < t.vdd) t.vth)
+  then err "every vth must lie in (0, vdd)"
+  else begin
+    let ascending = ref true in
+    for i = 1 to Array.length t.vth - 1 do
+      if t.vth.(i) <= t.vth.(i - 1) then ascending := false
+    done;
+    if not !ascending then err "vth levels must be strictly ascending"
+    else if t.r0 <= 0.0 || t.c_gate <= 0.0 || t.c_par < 0.0 || t.i0 <= 0.0 then
+      err "r0, c_gate and i0 must be positive"
+    else if t.alpha < 1.0 || t.alpha > 2.0 then
+      err "alpha outside the physical range [1, 2]"
+    else Ok ()
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: vdd=%.2fV vth=[%s]V alpha=%.2f nvt=%.1fmV leak-ratio=%.1fx delay-penalty=%.3fx"
+    t.name t.vdd
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.2f") t.vth)))
+    t.alpha
+    (1000.0 *. nvt t)
+    (leak_ratio t) (delay_penalty t)

@@ -1,0 +1,53 @@
+(** Technology parameters.
+
+    BPTM-flavoured 100 nm constants (the node the DAC-2004 paper targets).
+    Units are chosen so products stay unit-consistent:
+    time in ps, capacitance in fF, resistance in kΩ (kΩ·fF = ps),
+    current in nA, voltage in V.
+
+    The delay model is the alpha-power law: a gate's drive resistance is
+    [r0 · effort · (1 + ΔL) / (size · (vdd − vth_eff)^alpha)] where
+    [vth_eff = vth + ΔVth + k_rolloff·ΔL] folds channel-length roll-off
+    into the threshold.  Sub-threshold leakage per gate is
+    [i0 · width · exp(−vth_eff / (n·vT))], exponential in both variation
+    parameters — the property the whole paper rests on. *)
+
+type t = {
+  name : string;
+  vdd : float;        (** supply, V *)
+  temp_k : float;     (** junction temperature, K *)
+  n_swing : float;    (** sub-threshold swing ideality factor (S = n·vT·ln10) *)
+  alpha : float;      (** alpha-power-law velocity-saturation exponent *)
+  vth : float array;  (** threshold levels, ascending (low first), V *)
+  r0 : float;         (** drive-resistance coefficient, kΩ·V^alpha *)
+  c_gate : float;     (** gate capacitance per unit width, fF *)
+  c_par : float;      (** parasitic (self-load) capacitance per unit width, fF *)
+  c_wire : float;     (** fixed wire capacitance per fanout edge, fF *)
+  c_out : float;      (** load presented by each primary output, fF *)
+  i0 : float;         (** leakage prefactor per unit width, nA *)
+  k_rolloff : float;  (** dVth/d(ΔL/L): threshold roll-off, V per unit relative L *)
+}
+
+val default : t
+(** The 100 nm technology used by every experiment unless overridden. *)
+
+val thermal_voltage : t -> float
+(** kT/q at [temp_k], V. *)
+
+val nvt : t -> float
+(** n·vT — the sub-threshold slope voltage; leakage changes by e per
+    [nvt] volts of threshold shift. *)
+
+val leak_ratio : t -> float
+(** Nominal leakage ratio between the lowest and highest threshold level
+    (≈ 20–30× for a 120 mV split at 100 nm). *)
+
+val delay_penalty : t -> float
+(** Nominal drive-resistance ratio of highest vs lowest threshold
+    (≈ 1.15–1.20 for the default technology). *)
+
+val validate : t -> (unit, string) result
+(** Check physical sanity: positive caps/currents, ascending [vth] all
+    below [vdd], at least two threshold levels. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/ks.ml: Array Float

@@ -1,0 +1,1 @@
+lib/util/regress.ml: Array Matrix Stats

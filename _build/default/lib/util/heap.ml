@@ -1,0 +1,71 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { prio = Array.make 16 0.0; data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h x =
+  let cap = Array.length h.prio in
+  if h.size >= cap then begin
+    let ncap = 2 * cap in
+    let np = Array.make ncap 0.0 in
+    Array.blit h.prio 0 np 0 h.size;
+    h.prio <- np;
+    let nd = Array.make ncap x in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+  else if Array.length h.data = 0 then h.data <- Array.make cap x
+
+let swap h i j =
+  let tp = h.prio.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.prio.(j) <- tp;
+  let td = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- td
+
+let push h p x =
+  grow h x;
+  h.prio.(h.size) <- p;
+  h.data.(h.size) <- x;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  while !i > 0 && h.prio.((!i - 1) / 2) < h.prio.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let sift_down h =
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let largest = ref !i in
+    if l < h.size && h.prio.(l) > h.prio.(!largest) then largest := l;
+    if r < h.size && h.prio.(r) > h.prio.(!largest) then largest := r;
+    if !largest = !i then continue_ := false
+    else begin
+      swap h !i !largest;
+      i := !largest
+    end
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let p = h.prio.(0) and x = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.prio.(0) <- h.prio.(h.size);
+      h.data.(0) <- h.data.(h.size);
+      sift_down h
+    end;
+    Some (p, x)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.prio.(0), h.data.(0))

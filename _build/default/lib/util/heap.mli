@@ -1,0 +1,14 @@
+(** Binary max-heap with float priorities, used by the K-critical-paths
+    search. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the highest priority. *)
+
+val peek : 'a t -> (float * 'a) option

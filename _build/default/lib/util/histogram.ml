@@ -1,0 +1,34 @@
+type t = { lo : float; width : float; counts : int array; total : int }
+
+let build_range ~bins ~lo ~hi xs =
+  if bins < 1 then invalid_arg "Histogram.build_range: bins < 1";
+  if not (hi > lo) then invalid_arg "Histogram.build_range: hi must exceed lo";
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let clamp i = Stdlib.max 0 (Stdlib.min (bins - 1) i) in
+  Array.iter
+    (fun x ->
+      let i = clamp (int_of_float (floor ((x -. lo) /. width))) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { lo; width; counts; total = Array.length xs }
+
+let build ~bins xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.build: empty sample";
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  let hi = if mx > mn then mx else mn +. 1.0 in
+  build_range ~bins ~lo:mn ~hi xs
+
+let centers t =
+  Array.mapi (fun i _ -> t.lo +. ((float_of_int i +. 0.5) *. t.width)) t.counts
+
+let densities t =
+  let norm = float_of_int t.total *. t.width in
+  Array.map (fun c -> if norm > 0.0 then float_of_int c /. norm else 0.0) t.counts
+
+let pp_rows ppf t =
+  let cs = centers t and ds = densities t in
+  Array.iteri
+    (fun i c -> Format.fprintf ppf "%.6g %d %.6g@." cs.(i) c ds.(i))
+    t.counts

@@ -1,0 +1,26 @@
+(** Fixed-width-bin histograms, used to render distribution figures as
+    text/CSV series. *)
+
+type t = {
+  lo : float;          (** left edge of the first bin *)
+  width : float;       (** bin width *)
+  counts : int array;  (** per-bin counts *)
+  total : int;         (** number of samples binned (outliers clamped) *)
+}
+
+val build : bins:int -> float array -> t
+(** [build ~bins xs] spans [min xs, max xs] with [bins] equal bins.
+    @raise Invalid_argument on empty input or [bins] < 1. *)
+
+val build_range : bins:int -> lo:float -> hi:float -> float array -> t
+(** Like {!build} with explicit range; samples outside are clamped to the
+    first/last bin. *)
+
+val centers : t -> float array
+(** Bin centers, same length as [counts]. *)
+
+val densities : t -> float array
+(** Normalized densities (integrate to 1 over the histogram span). *)
+
+val pp_rows : Format.formatter -> t -> unit
+(** One "center count density" row per bin — grep-friendly figure data. *)

@@ -1,0 +1,38 @@
+let statistic_against cdf samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Ks.statistic_against: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = cdf sorted.(i) in
+    let lo = float_of_int i /. float_of_int n in
+    let hi = float_of_int (i + 1) /. float_of_int n in
+    worst := Float.max !worst (Float.max (Float.abs (f -. lo)) (Float.abs (f -. hi)))
+  done;
+  !worst
+
+let statistic_two_sample xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 || ny = 0 then invalid_arg "Ks.statistic_two_sample: empty sample";
+  let sx = Array.copy xs and sy = Array.copy ys in
+  Array.sort compare sx;
+  Array.sort compare sy;
+  let i = ref 0 and j = ref 0 and worst = ref 0.0 in
+  while !i < nx && !j < ny do
+    if sx.(!i) <= sy.(!j) then incr i else incr j;
+    let fx = float_of_int !i /. float_of_int nx in
+    let fy = float_of_int !j /. float_of_int ny in
+    worst := Float.max !worst (Float.abs (fx -. fy))
+  done;
+  !worst
+
+let critical_value ?(alpha = 0.01) n =
+  if n < 1 then invalid_arg "Ks.critical_value: n < 1";
+  let c =
+    if alpha = 0.10 then 1.224
+    else if alpha = 0.05 then 1.358
+    else if alpha = 0.01 then 1.628
+    else invalid_arg "Ks.critical_value: alpha must be 0.10, 0.05 or 0.01"
+  in
+  c /. sqrt (float_of_int n)

@@ -1,0 +1,18 @@
+(** Kolmogorov–Smirnov distribution comparison.
+
+    Used by the validation tests to compare analytical CDFs (SSTA Gaussian,
+    Wilkinson lognormal) against Monte-Carlo empirical distributions with a
+    proper statistic instead of ad-hoc pointwise checks. *)
+
+val statistic_against : (float -> float) -> float array -> float
+(** [statistic_against cdf samples] is the one-sample KS statistic
+    sup_x |F_n(x) − cdf(x)|.  Does not mutate [samples].
+    @raise Invalid_argument on an empty sample. *)
+
+val statistic_two_sample : float array -> float array -> float
+(** Two-sample KS statistic between empirical distributions. *)
+
+val critical_value : ?alpha:float -> int -> float
+(** [critical_value ~alpha n] is the asymptotic one-sample rejection
+    threshold c(α)/√n (α ∈ {0.10, 0.05, 0.01}; default 0.01).
+    @raise Invalid_argument for unsupported α or n < 1. *)

@@ -1,0 +1,125 @@
+type t = { r : int; c : int; data : float array }
+
+let create r c =
+  if r < 0 || c < 0 then invalid_arg "Matrix.create: negative dimension";
+  { r; c; data = Array.make (r * c) 0.0 }
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.data.((i * m.c) + j)
+let set m i j v = m.data.((i * m.c) + j) <- v
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let of_arrays a =
+  let r = Array.length a in
+  let c = if r = 0 then 0 else Array.length a.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged input")
+    a;
+  let m = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      set m i j a.(i).(j)
+    done
+  done;
+  m
+
+let to_arrays m = Array.init m.r (fun i -> Array.init m.c (fun j -> get m i j))
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m =
+  let t = create m.c m.r in
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Matrix.mul: dimension mismatch";
+  let m = create a.r b.c in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.c - 1 do
+          set m i j (get m i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  m
+
+let mul_vec a x =
+  if a.c <> Array.length x then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.r (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.c - 1 do
+        acc := !acc +. (get a i j *. x.(j))
+      done;
+      !acc)
+
+let cholesky a =
+  if a.r <> a.c then invalid_arg "Matrix.cholesky: not square";
+  let n = a.r in
+  let l = create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (get l i k *. get l j k)
+      done;
+      if i = j then begin
+        (* Correlation matrices assembled from clipped kernels can be
+           indefinite at round-off scale; floor those pivots. *)
+        if !s < -1e-8 *. Float.max 1.0 (Float.abs (get a i i)) then
+          invalid_arg "Matrix.cholesky: matrix not positive semi-definite";
+        set l i j (sqrt (Float.max 0.0 !s))
+      end
+      else begin
+        let d = get l j j in
+        set l i j (if d > 0.0 then !s /. d else 0.0)
+      end
+    done
+  done;
+  l
+
+let solve_lower l b =
+  let n = l.r in
+  if Array.length b <> n then invalid_arg "Matrix.solve_lower: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (get l i j *. x.(j))
+    done;
+    x.(i) <- !s /. get l i i
+  done;
+  x
+
+let solve_upper u b =
+  let n = u.r in
+  if Array.length b <> n then invalid_arg "Matrix.solve_upper: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (get u i j *. x.(j))
+    done;
+    x.(i) <- !s /. get u i i
+  done;
+  x
+
+let pp ppf m =
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      Format.fprintf ppf "%s%.6g" (if j = 0 then "" else " ") (get m i j)
+    done;
+    Format.fprintf ppf "@."
+  done

@@ -1,0 +1,45 @@
+(** Small dense float matrices.
+
+    Enough linear algebra for the variation model: products, transposes,
+    Cholesky factorization (for correlated sampling) and triangular solves.
+    Dimensions in this code base stay below a few hundred (correlation
+    grids), so a straightforward O(n³) implementation is appropriate. *)
+
+type t
+(** Row-major dense matrix. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val identity : int -> t
+val of_arrays : float array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val to_arrays : t -> float array array
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val mul_vec : t -> float array -> float array
+(** Matrix–vector product. *)
+
+val cholesky : t -> t
+(** [cholesky a] returns lower-triangular [l] with [l·lᵀ = a] for a
+    symmetric positive-definite [a].  Near-semidefinite inputs (as produced
+    by clipped correlation functions) are handled by flooring tiny negative
+    pivots to zero.
+    @raise Invalid_argument if a pivot is significantly negative. *)
+
+val solve_lower : t -> float array -> float array
+(** Forward substitution with a lower-triangular matrix. *)
+
+val solve_upper : t -> float array -> float array
+(** Back substitution with an upper-triangular matrix. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regress.linear: length mismatch";
+  if n < 2 then invalid_arg "Regress.linear: need at least 2 points";
+  let mx = Stats.mean xs and my = Stats.mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  let slope = if !sxx > 0.0 then !sxy /. !sxx else 0.0 in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !syy > 0.0 && !sxx > 0.0 then !sxy *. !sxy /. (!sxx *. !syy) else 1.0
+  in
+  { slope; intercept; r2 }
+
+let loglog xs ys =
+  Array.iter (fun x -> if x <= 0.0 then invalid_arg "Regress.loglog: non-positive x") xs;
+  Array.iter (fun y -> if y <= 0.0 then invalid_arg "Regress.loglog: non-positive y") ys;
+  linear (Array.map log xs) (Array.map log ys)
+
+let polyfit2 xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regress.polyfit2: length mismatch";
+  if n < 3 then invalid_arg "Regress.polyfit2: need at least 3 points";
+  (* Normal equations for the 3-parameter model; solved by Cholesky. *)
+  let s = Array.make 5 0.0 in
+  let b = Array.make 3 0.0 in
+  for i = 0 to n - 1 do
+    let x = xs.(i) and y = ys.(i) in
+    let xp = [| 1.0; x; x *. x; x *. x *. x; x *. x *. x *. x |] in
+    for k = 0 to 4 do
+      s.(k) <- s.(k) +. xp.(k)
+    done;
+    b.(0) <- b.(0) +. y;
+    b.(1) <- b.(1) +. (y *. x);
+    b.(2) <- b.(2) +. (y *. x *. x)
+  done;
+  let a =
+    Matrix.of_arrays
+      [| [| s.(0); s.(1); s.(2) |]; [| s.(1); s.(2); s.(3) |]; [| s.(2); s.(3); s.(4) |] |]
+  in
+  let l = Matrix.cholesky a in
+  let y = Matrix.solve_lower l b in
+  let c = Matrix.solve_upper (Matrix.transpose l) y in
+  (c.(0), c.(1), c.(2))

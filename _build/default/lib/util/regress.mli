@@ -1,0 +1,16 @@
+(** Least-squares fits, used by the runtime-scaling experiment (T5) and by
+    library-characterization helpers. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear : float array -> float array -> fit
+(** [linear xs ys] fits ys ≈ slope·xs + intercept.
+    @raise Invalid_argument on length mismatch or fewer than 2 points. *)
+
+val loglog : float array -> float array -> fit
+(** Fit in log–log space: returns the exponent as [slope] — the empirical
+    complexity order.  All inputs must be positive. *)
+
+val polyfit2 : float array -> float array -> float * float * float
+(** Quadratic least squares: returns (c0, c1, c2) for
+    ys ≈ c0 + c1·x + c2·x². *)

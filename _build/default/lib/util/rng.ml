@@ -1,0 +1,109 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float;
+  mutable has_spare : bool;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64 is the recommended seeder for the xoshiro family: it
+   decorrelates consecutive integer seeds and never yields the all-zero
+   state forbidden by xoshiro. *)
+let splitmix64_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  { s0; s1; s2; s3; spare = 0.0; has_spare = false }
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (bits64 t) in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  { s0; s1; s2; s3; spare = 0.0; has_spare = false }
+
+let copy t = { t with s0 = t.s0 }
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling over the top 62 bits avoids modulo bias. *)
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  let bound = Int64.of_int n in
+  let rec loop () =
+    let r = Int64.logand (bits64 t) mask in
+    let v = Int64.rem r bound in
+    if Int64.sub r v > Int64.sub (Int64.logand mask (Int64.neg bound)) bound then loop ()
+    else Int64.to_int v
+  in
+  if n land (n - 1) = 0 then
+    Int64.to_int (Int64.logand (bits64 t) (Int64.of_int (n - 1)))
+  else loop ()
+
+(* 53 random mantissa bits mapped to [0,1). *)
+let unit_float t =
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let float t x = unit_float t *. x
+
+let uniform t =
+  let rec loop () =
+    let u = unit_float t in
+    if u > 0.0 then u else loop ()
+  in
+  loop ()
+
+let gaussian t =
+  if t.has_spare then begin
+    t.has_spare <- false;
+    t.spare
+  end
+  else begin
+    let rec loop () =
+      let u = (2.0 *. unit_float t) -. 1.0 in
+      let v = (2.0 *. unit_float t) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then loop ()
+      else begin
+        let m = sqrt (-2.0 *. log s /. s) in
+        t.spare <- v *. m;
+        t.has_spare <- true;
+        u *. m
+      end
+    in
+    loop ()
+  end
+
+let gaussian_vector t n = Array.init n (fun _ -> gaussian t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of statleak thread an explicit generator so
+    that every experiment is reproducible bit-for-bit from its seed.  The
+    generator is xoshiro256++ seeded through splitmix64, both implemented
+    from scratch (the sealed environment has no external RNG packages and
+    [Stdlib.Random] changes across compiler versions). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each Monte-Carlo batch its own stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state (same future stream as [t]). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n-1]; [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [0, x). *)
+
+val uniform : t -> float
+(** Uniform on (0, 1) — never exactly 0 or 1, safe for Φ⁻¹. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Marsaglia polar method). *)
+
+val gaussian_vector : t -> int -> float array
+(** [gaussian_vector t n] is an array of [n] i.i.d. standard normals. *)
+
+val shuffle : t -> 'a array -> unit
+(** Fisher–Yates in-place shuffle. *)

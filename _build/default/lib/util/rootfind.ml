@@ -1,0 +1,121 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let flo = f lo in
+  let fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then invalid_arg "Rootfind.bisect: root not bracketed"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let x = ref ((!lo +. !hi) /. 2.0) in
+    (try
+       for _ = 1 to max_iter do
+         x := (!lo +. !hi) /. 2.0;
+         let fx = f !x in
+         if fx = 0.0 || (!hi -. !lo) /. 2.0 < tol then raise Exit;
+         if !flo *. fx < 0.0 then hi := !x
+         else begin
+           lo := !x;
+           flo := fx
+         end
+       done
+     with Exit -> ());
+    !x
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then invalid_arg "Rootfind.brent: root not bracketed"
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref 0.0 and mflag = ref true in
+    let result = ref !b in
+    (try
+       for _ = 1 to max_iter do
+         if Float.abs (!b -. !a) < tol || !fb = 0.0 then begin
+           result := !b;
+           raise Exit
+         end;
+         let s =
+           if !fa <> !fc && !fb <> !fc then
+             (* inverse quadratic interpolation *)
+             (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+             +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+             +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+           else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+         in
+         let lo = ((3.0 *. !a) +. !b) /. 4.0 in
+         let cond1 = not ((s > Float.min lo !b && s < Float.max lo !b)) in
+         let cond2 = !mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0 in
+         let cond3 = (not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0 in
+         let cond4 = !mflag && Float.abs (!b -. !c) < tol in
+         let cond5 = (not !mflag) && Float.abs (!c -. !d) < tol in
+         let s =
+           if cond1 || cond2 || cond3 || cond4 || cond5 then begin
+             mflag := true;
+             (!a +. !b) /. 2.0
+           end
+           else begin
+             mflag := false;
+             s
+           end
+         in
+         let fs = f s in
+         d := !c;
+         c := !b;
+         fc := !fb;
+         if !fa *. fs < 0.0 then begin
+           b := s;
+           fb := fs
+         end
+         else begin
+           a := s;
+           fa := fs
+         end;
+         if Float.abs !fa < Float.abs !fb then begin
+           let t = !a in
+           a := !b;
+           b := t;
+           let t = !fa in
+           fa := !fb;
+           fb := t
+         end;
+         result := !b
+       done
+     with Exit -> ());
+    !result
+  end
+
+let golden_min ?(tol = 1e-9) f lo hi =
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (phi *. (!b -. !a))) in
+  let d = ref (!a +. (phi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  while Float.abs (!b -. !a) > tol do
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (phi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  (!a +. !b) /. 2.0

@@ -1,0 +1,17 @@
+(** Scalar root finding and bracketed minimization. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f lo hi] finds x ∈ [lo,hi] with f(x) = 0; [f lo] and [f hi]
+    must have opposite signs.
+    @raise Invalid_argument if the root is not bracketed. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method (inverse quadratic / secant / bisection hybrid); same
+    contract as {!bisect} but superlinear on smooth functions. *)
+
+val golden_min :
+  ?tol:float -> (float -> float) -> float -> float -> float
+(** [golden_min f lo hi] returns the abscissa of a local minimum of a
+    unimodal [f] on [lo, hi] by golden-section search. *)

@@ -1,0 +1,35 @@
+(** Special functions for Gaussian statistics.
+
+    Everything SSTA needs: the error function, the standard normal pdf,
+    CDF [phi]/[Phi], its inverse, and the first two moments of the maximum
+    of two jointly Gaussian variables (Clark's formulas). *)
+
+val erf : float -> float
+(** Error function, |relative error| < 1.2e-7 (Abramowitz–Stegun 7.1.26
+    refined with one Newton step against [erfc]). *)
+
+val erfc : float -> float
+(** Complementary error function, accurate in both tails. *)
+
+val normal_pdf : float -> float
+(** φ(x) = exp(-x²/2)/√(2π). *)
+
+val normal_cdf : float -> float
+(** Φ(x) = P(Z ≤ x) for Z ~ N(0,1). *)
+
+val normal_icdf : float -> float
+(** Φ⁻¹(p) for p ∈ (0,1).  Acklam's rational approximation polished with a
+    Halley step; |absolute error| < 1e-12 over (1e-300, 1-1e-16).
+    @raise Invalid_argument if p ∉ (0,1). *)
+
+val log_normal_cdf_tail : float -> float
+(** ln Φ(-x) for large positive x, computed without underflow (asymptotic
+    Mills-ratio expansion); used for extreme-yield reporting. *)
+
+val clark_max_moments :
+  mu1:float -> sigma1:float -> mu2:float -> sigma2:float -> rho:float ->
+  float * float * float
+(** [clark_max_moments ~mu1 ~sigma1 ~mu2 ~sigma2 ~rho] returns
+    [(mean, variance, tightness)] of [max(X1, X2)] for jointly Gaussian
+    X1, X2 with correlation [rho].  [tightness] is P(X1 ≥ X2) — the weight
+    given to X1's sensitivities when re-linearizing the max. *)

@@ -1,0 +1,90 @@
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let quantile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Stats.quantile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let covariance xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.covariance: length mismatch";
+  if n < 2 then invalid_arg "Stats.covariance: need at least 2 samples";
+  let mx = mean xs and my = mean ys in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+  done;
+  !acc /. float_of_int (n - 1)
+
+let correlation xs ys =
+  let sx = std xs and sy = std ys in
+  if sx = 0.0 || sy = 0.0 then 0.0 else covariance xs ys /. (sx *. sy)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  {
+    n;
+    mean = mean xs;
+    std = std xs;
+    min = mn;
+    max = mx;
+    p50 = quantile xs 0.50;
+    p95 = quantile xs 0.95;
+    p99 = quantile xs 0.99;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.6g std=%.6g min=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g"
+    s.n s.mean s.std s.min s.p50 s.p95 s.p99 s.max
+
+module Acc = struct
+  type t = { mutable n : int; mutable m : float; mutable m2 : float }
+
+  let create () = { n = 0; m = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.m in
+    t.m <- t.m +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.m))
+
+  let count t = t.n
+  let mean t = t.m
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let std t = sqrt (variance t)
+end

@@ -1,0 +1,46 @@
+(** Descriptive statistics over float samples. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;        (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+(** One-pass summary of a sample. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Sample variance (n-1 denominator); 0 for samples of size < 2. *)
+
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for p ∈ [0,1] with linear interpolation between order
+    statistics (type-7, the numpy default).  Does not mutate [xs].
+    @raise Invalid_argument on empty input or p outside [0,1]. *)
+
+val covariance : float array -> float array -> float
+(** Sample covariance; arrays must have equal length ≥ 2. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 when either sample is constant. *)
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming mean/variance accumulator (Welford). *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val std : t -> float
+end

@@ -1,0 +1,1 @@
+lib/variation/model.ml: Array Placement Sl_netlist Sl_util Spec

@@ -1,0 +1,1 @@
+lib/variation/model.mli: Placement Sl_netlist Sl_util Spec

@@ -1,0 +1,1 @@
+lib/variation/placement.ml: Array Float List Printf Sl_netlist Stdlib String

@@ -1,0 +1,1 @@
+lib/variation/placement.mli: Sl_netlist

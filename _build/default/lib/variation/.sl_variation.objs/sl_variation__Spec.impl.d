@@ -1,0 +1,1 @@
+lib/variation/spec.ml: Float Format Printf

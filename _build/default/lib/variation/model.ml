@@ -1,0 +1,170 @@
+module Circuit = Sl_netlist.Circuit
+module Rng = Sl_util.Rng
+module Matrix = Sl_util.Matrix
+
+type t = {
+  spec : Spec.t;
+  num_pcs : int;
+  (* per-gate coefficient vectors, shared per grid cell *)
+  gate_vth : float array array;
+  gate_l : float array array;
+  gate_cell : int array;
+  vth_rnd : float;
+  l_rnd : float;
+}
+
+let spec t = t.spec
+let num_pcs t = t.num_pcs
+let vth_coeffs t id = t.gate_vth.(id)
+let l_coeffs t id = t.gate_l.(id)
+let num_cells t =
+  match t.spec.Spec.spatial with
+  | Spec.Grid -> t.spec.Spec.grid * t.spec.Spec.grid
+  | Spec.Quadtree levels -> 1 lsl (2 * levels)
+let cell_index t id = t.gate_cell.(id)
+let vth_rnd_sigma t = t.vth_rnd
+let l_rnd_sigma t = t.l_rnd
+
+(* Cholesky factor of the grid correlation matrix under the exponential
+   kernel; row i is grid cell i's mixing weights over the spatial PCs. *)
+let grid_chol grid corr_length =
+  let g2 = grid * grid in
+  let center k =
+    let gx = k mod grid and gy = k / grid in
+    ( (float_of_int gx +. 0.5) /. float_of_int grid,
+      (float_of_int gy +. 0.5) /. float_of_int grid )
+  in
+  let cov = Matrix.create g2 g2 in
+  for i = 0 to g2 - 1 do
+    for j = 0 to g2 - 1 do
+      let xi, yi = center i and xj, yj = center j in
+      let d = sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)) in
+      Matrix.set cov i j (exp (-.d /. corr_length))
+    done
+  done;
+  Matrix.cholesky cov
+
+(* Unit-variance spatial mixing rows, one per finest-level cell, for
+   either correlation structure.  Returns (cells_per_side, dims, rows). *)
+let spatial_rows spec =
+  match spec.Spec.spatial with
+  | Spec.Grid ->
+    let grid = spec.Spec.grid in
+    let g2 = grid * grid in
+    let chol = grid_chol grid spec.Spec.corr_length in
+    let rows =
+      Array.init g2 (fun cell -> Array.init g2 (fun k -> Matrix.get chol cell k))
+    in
+    (grid, g2, rows)
+  | Spec.Quadtree levels ->
+    (* level l has 4^l cells; every level carries 1/levels of the spatial
+       variance, so two gates correlate by the fraction of tree levels
+       they share *)
+    let side = 1 lsl levels in
+    let dims = ref 0 in
+    let offset = Array.make (levels + 1) 0 in
+    for l = 1 to levels do
+      offset.(l) <- !dims;
+      dims := !dims + (1 lsl (2 * l))
+    done;
+    let w = 1.0 /. sqrt (float_of_int levels) in
+    let rows =
+      Array.init (side * side) (fun cell ->
+          let gx = cell mod side and gy = cell / side in
+          let v = Array.make !dims 0.0 in
+          for l = 1 to levels do
+            let shift = levels - l in
+            let lx = gx lsr shift and ly = gy lsr shift in
+            let idx = offset.(l) + (ly * (1 lsl l)) + lx in
+            v.(idx) <- w
+          done;
+          v)
+    in
+    (side, !dims, rows)
+
+let build ?placement spec circuit =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Model.build: " ^ msg));
+  let side, sdims, srows = spatial_rows spec in
+  let g2 = side * side in
+  let num_pcs = 2 * (1 + sdims) in
+  let placement =
+    match placement with Some p -> p | None -> Placement.by_level circuit
+  in
+  let make_cell_rows ~sigma ~offset =
+    (* one coefficient vector per cell: d2d entry + scaled spatial row *)
+    let s_d2d = sigma *. sqrt spec.Spec.frac_d2d in
+    let s_sp = sigma *. sqrt spec.Spec.frac_spatial in
+    Array.init g2 (fun cell ->
+        let v = Array.make num_pcs 0.0 in
+        v.(offset) <- s_d2d;
+        for k = 0 to sdims - 1 do
+          v.(offset + 1 + k) <- s_sp *. srows.(cell).(k)
+        done;
+        v)
+  in
+  let vth_rows = make_cell_rows ~sigma:spec.Spec.sigma_vth ~offset:0 in
+  let l_rows = make_cell_rows ~sigma:spec.Spec.sigma_l ~offset:(1 + sdims) in
+  let n = Circuit.num_gates circuit in
+  let gate_vth = Array.make n vth_rows.(0) in
+  let gate_l = Array.make n l_rows.(0) in
+  let gate_cell = Array.make n 0 in
+  for id = 0 to n - 1 do
+    let cell = Placement.cell_of placement ~grid:side id in
+    gate_cell.(id) <- cell;
+    gate_vth.(id) <- vth_rows.(cell);
+    gate_l.(id) <- l_rows.(cell)
+  done;
+  {
+    spec;
+    num_pcs;
+    gate_vth;
+    gate_l;
+    gate_cell;
+    vth_rnd = spec.Spec.sigma_vth *. sqrt spec.Spec.frac_random;
+    l_rnd = spec.Spec.sigma_l *. sqrt spec.Spec.frac_random;
+  }
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let correlation t g1 g2 param =
+  let coeffs, rnd =
+    match param with
+    | `Vth -> (vth_coeffs t, t.vth_rnd)
+    | `L -> (l_coeffs t, t.l_rnd)
+  in
+  let c1 = coeffs g1 and c2 = coeffs g2 in
+  let cov = dot c1 c2 +. if g1 = g2 then rnd *. rnd else 0.0 in
+  let v1 = dot c1 c1 +. (rnd *. rnd) in
+  let v2 = dot c2 c2 +. (rnd *. rnd) in
+  if v1 > 0.0 && v2 > 0.0 then cov /. sqrt (v1 *. v2) else 0.0
+
+module Sample = struct
+  type nonrec model = t
+
+  type t = { z : float array; dvth : float array; dl : float array }
+
+  let draw_with_z (m : model) rng z =
+    if Array.length z <> m.num_pcs then
+      invalid_arg "Model.Sample.draw_with_z: PC vector length mismatch";
+    let n = Array.length m.gate_vth in
+    let dvth = Array.make n 0.0 and dl = Array.make n 0.0 in
+    for id = 0 to n - 1 do
+      dvth.(id) <- dot m.gate_vth.(id) z +. (m.vth_rnd *. Rng.gaussian rng);
+      dl.(id) <- dot m.gate_l.(id) z +. (m.l_rnd *. Rng.gaussian rng)
+    done;
+    { z; dvth; dl }
+
+  let draw (m : model) rng =
+    draw_with_z m rng (Rng.gaussian_vector rng m.num_pcs)
+
+  let zero (m : model) =
+    let n = Array.length m.gate_vth in
+    { z = Array.make m.num_pcs 0.0; dvth = Array.make n 0.0; dl = Array.make n 0.0 }
+end

@@ -1,0 +1,71 @@
+(** The variation model bound to one circuit.
+
+    Each process parameter p ∈ {ΔVth, ΔL} of gate g decomposes as
+
+    {v Δp(g) = Σ_k  c_{p,g,k} · Z_k  +  σ_rnd(p) · R_g(p) v}
+
+    where the Z_k are shared unit normals ("principal components"): one
+    die-to-die component per parameter plus one per spatial grid cell,
+    mixed through the Cholesky factor of the grid-correlation matrix
+    (kernel exp(−d/λ)); the R_g are per-gate independent unit normals.
+    Coefficient vectors per grid cell are precomputed at build time, so
+    querying a gate is an array lookup.
+
+    PC index layout: [0] ΔVth die-to-die; [1 .. G²] ΔVth spatial;
+    [G²+1] ΔL die-to-die; [G²+2 .. 2G²+1] ΔL spatial. *)
+
+type t
+
+val build : ?placement:Placement.t -> Spec.t -> Sl_netlist.Circuit.t -> t
+(** [placement] defaults to {!Placement.by_level}; pass
+    {!Placement.of_coords} / {!Placement.parse_file} output to use a real
+    placement.
+    @raise Invalid_argument if the spec fails {!Spec.validate}. *)
+
+val spec : t -> Spec.t
+val num_pcs : t -> int
+
+val vth_coeffs : t -> int -> float array
+(** PC coefficient vector (length [num_pcs]) of gate [id]'s ΔVth.
+    The returned array is shared — do not mutate. *)
+
+val l_coeffs : t -> int -> float array
+(** Same for ΔL. *)
+
+val num_cells : t -> int
+(** Number of spatial grid cells (grid²). *)
+
+val cell_index : t -> int -> int
+(** Grid cell containing gate [id]; gates in one cell share their PC
+    coefficient vectors exactly. *)
+
+val vth_rnd_sigma : t -> float
+(** σ of the gate-independent ΔVth component. *)
+
+val l_rnd_sigma : t -> float
+
+val correlation : t -> int -> int -> [ `Vth | `L ] -> float
+(** Correlation between the given parameter of two gates (diagnostics and
+    tests; the analyses use the coefficient vectors directly). *)
+
+(** One die drawn from the model: the shared PC vector and the fully
+    materialized per-gate parameter deviations. *)
+module Sample : sig
+  type model := t
+
+  type t = {
+    z : float array;      (** PC values, length [num_pcs] *)
+    dvth : float array;   (** per-gate ΔVth, V *)
+    dl : float array;     (** per-gate ΔL/L *)
+  }
+
+  val draw : model -> Sl_util.Rng.t -> t
+
+  val draw_with_z : model -> Sl_util.Rng.t -> float array -> t
+  (** Materialize a die from a given PC vector (fresh independent
+      components from the generator) — used by stratified samplers.
+      @raise Invalid_argument on a PC-vector length mismatch. *)
+
+  val zero : model -> t
+  (** The nominal die (all deviations zero). *)
+end

@@ -1,0 +1,94 @@
+module Circuit = Sl_netlist.Circuit
+
+type t = { xs : float array; ys : float array }
+
+let by_level c =
+  let n = Circuit.num_gates c in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  let depth = float_of_int (Stdlib.max 1 c.Circuit.depth) in
+  let levels = Circuit.levels c in
+  Array.iter
+    (fun ids ->
+      let width = float_of_int (Stdlib.max 1 (Array.length ids - 1)) in
+      Array.iteri
+        (fun k id ->
+          xs.(id) <- float_of_int (Circuit.gate c id).Circuit.level /. depth;
+          ys.(id) <- (if Array.length ids = 1 then 0.5 else float_of_int k /. width))
+        ids)
+    levels;
+  { xs; ys }
+
+let of_coords c coords =
+  let base = by_level c in
+  let xs = Array.copy base.xs and ys = Array.copy base.ys in
+  let listed = Array.make (Array.length xs) false in
+  List.iter
+    (fun (net, x, y) ->
+      match Circuit.find c net with
+      | Some g ->
+        xs.(g.Circuit.id) <- x;
+        ys.(g.Circuit.id) <- y;
+        listed.(g.Circuit.id) <- true
+      | None -> invalid_arg (Printf.sprintf "Placement.of_coords: unknown net %S" net))
+    coords;
+  (* normalize the listed bounding box to the unit die; fall-back
+     (levelized) nets are already in [0,1] *)
+  let lo = ref infinity and hix = ref neg_infinity in
+  let loy = ref infinity and hiy = ref neg_infinity in
+  Array.iteri
+    (fun id l ->
+      if l then begin
+        lo := Float.min !lo xs.(id);
+        hix := Float.max !hix xs.(id);
+        loy := Float.min !loy ys.(id);
+        hiy := Float.max !hiy ys.(id)
+      end)
+    listed;
+  if Float.is_finite !lo then begin
+    let wx = Float.max 1e-12 (!hix -. !lo) in
+    let wy = Float.max 1e-12 (!hiy -. !loy) in
+    Array.iteri
+      (fun id l ->
+        if l then begin
+          xs.(id) <- (xs.(id) -. !lo) /. wx;
+          ys.(id) <- (ys.(id) -. !loy) /. wy
+        end)
+      listed
+  end;
+  { xs; ys }
+
+let parse_string c text =
+  let coords = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line =
+        match String.index_opt raw '#' with
+        | Some h -> String.trim (String.sub raw 0 h)
+        | None -> String.trim raw
+      in
+      if line <> "" then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ net; sx; sy ] -> begin
+          match (float_of_string_opt sx, float_of_string_opt sy) with
+          | Some x, Some y -> coords := (net, x, y) :: !coords
+          | _ -> failwith (Printf.sprintf "Placement.parse: bad coordinates on line %d" (i + 1))
+        end
+        | _ -> failwith (Printf.sprintf "Placement.parse: expected 'net x y' on line %d" (i + 1))
+      end)
+    (String.split_on_char '\n' text);
+  try of_coords c (List.rev !coords)
+  with Invalid_argument msg -> failwith msg
+
+let parse_file c path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse_string c text
+
+let coords t id = (t.xs.(id), t.ys.(id))
+
+let cell_of t ~grid id =
+  let clamp v = Stdlib.max 0 (Stdlib.min (grid - 1) v) in
+  let gx = clamp (int_of_float (t.xs.(id) *. float_of_int grid)) in
+  let gy = clamp (int_of_float (t.ys.(id) *. float_of_int grid)) in
+  (gy * grid) + gx

@@ -1,0 +1,32 @@
+(** Gate placement on the unit die.
+
+    The variation model needs a physical position per gate to evaluate
+    spatial correlation.  Lacking a real placer, gates are placed by logic
+    level (x = level / depth) and by order within the level (y spread over
+    [0,1]) — topologically adjacent logic ends up physically adjacent,
+    which is the behaviour a real placement exhibits and the property the
+    spatial-correlation model needs to be exercised meaningfully. *)
+
+type t
+
+val by_level : Sl_netlist.Circuit.t -> t
+(** Deterministic levelized placement. *)
+
+val of_coords : Sl_netlist.Circuit.t -> (string * float * float) list -> t
+(** Placement from explicit per-net coordinates (any scale — the bounding
+    box is normalized to the unit die).  Nets not listed fall back to the
+    levelized position.
+    @raise Invalid_argument if a listed net does not exist. *)
+
+val parse_string : Sl_netlist.Circuit.t -> string -> t
+(** Text format: one "net x y" triple per line, '#' comments.  This is
+    the hook for real placements (e.g. extracted from DEF).
+    @raise Failure on malformed lines or unknown nets. *)
+
+val parse_file : Sl_netlist.Circuit.t -> string -> t
+
+val coords : t -> int -> float * float
+(** [(x, y)] of gate [id], both in [0, 1]. *)
+
+val cell_of : t -> grid:int -> int -> int
+(** Grid-cell index (row-major, [0, grid²)) containing gate [id]. *)

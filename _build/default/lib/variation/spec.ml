@@ -1,0 +1,62 @@
+type spatial = Grid | Quadtree of int
+
+type t = {
+  sigma_vth : float;
+  sigma_l : float;
+  frac_d2d : float;
+  frac_spatial : float;
+  frac_random : float;
+  grid : int;
+  corr_length : float;
+  spatial : spatial;
+}
+
+let default =
+  {
+    sigma_vth = 0.025;
+    sigma_l = 0.06;
+    frac_d2d = 0.4;
+    frac_spatial = 0.3;
+    frac_random = 0.3;
+    grid = 4;
+    corr_length = 0.5;
+    spatial = Grid;
+  }
+
+let scaled k =
+  { default with sigma_vth = default.sigma_vth *. k; sigma_l = default.sigma_l *. k }
+
+let quadtree ?(levels = 3) () = { default with spatial = Quadtree levels }
+
+let no_spatial =
+  {
+    default with
+    frac_spatial = 0.0;
+    frac_random = default.frac_random +. default.frac_spatial;
+  }
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.sigma_vth < 0.0 || t.sigma_l < 0.0 then err "sigmas must be non-negative"
+  else if t.frac_d2d < 0.0 || t.frac_spatial < 0.0 || t.frac_random < 0.0 then
+    err "variance fractions must be non-negative"
+  else if Float.abs (t.frac_d2d +. t.frac_spatial +. t.frac_random -. 1.0) > 1e-9 then
+    err "variance fractions must sum to 1"
+  else if t.grid < 1 then err "grid must be at least 1"
+  else if t.corr_length <= 0.0 then err "corr_length must be positive"
+  else begin
+    match t.spatial with
+    | Grid -> Ok ()
+    | Quadtree l when l >= 1 && l <= 6 -> Ok ()
+    | Quadtree _ -> err "quadtree levels must lie in [1, 6]"
+  end
+
+let pp ppf t =
+  let structure =
+    match t.spatial with
+    | Grid -> Printf.sprintf "grid=%dx%d lambda=%.2f" t.grid t.grid t.corr_length
+    | Quadtree l -> Printf.sprintf "quadtree(%d levels)" l
+  in
+  Format.fprintf ppf "sigma_vth=%.1fmV sigma_l=%.1f%% split=%.0f/%.0f/%.0f %s"
+    (1000.0 *. t.sigma_vth) (100.0 *. t.sigma_l) (100.0 *. t.frac_d2d)
+    (100.0 *. t.frac_spatial) (100.0 *. t.frac_random) structure

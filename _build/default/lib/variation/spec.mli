@@ -1,0 +1,49 @@
+(** Process-variation specification: how much ΔVth and ΔL vary and how
+    the variance splits between die-to-die, spatially-correlated and
+    purely random (within-die independent) components. *)
+
+type spatial =
+  | Grid
+      (** [grid × grid] cells, exponential-kernel covariance factored by
+          Cholesky — the default *)
+  | Quadtree of int
+      (** [Quadtree l]: the Agarwal-style hierarchical model with [l]
+          levels of 4ᵏ cells each sharing equal variance; two gates
+          correlate by the number of tree levels they share *)
+
+type t = {
+  sigma_vth : float;     (** total ΔVth standard deviation, V *)
+  sigma_l : float;       (** total ΔL/L standard deviation (relative) *)
+  frac_d2d : float;      (** fraction of variance that is die-to-die *)
+  frac_spatial : float;  (** fraction that is spatially correlated within die *)
+  frac_random : float;   (** fraction that is gate-independent random *)
+  grid : int;            (** spatial-correlation grid is [grid × grid]
+                             (used by [Grid]) *)
+  corr_length : float;   (** correlation length of the spatial kernel,
+                             in units of die size (used by [Grid]) *)
+  spatial : spatial;     (** which within-die correlation structure *)
+}
+
+val default : t
+(** σ_Vth = 25 mV, σ_L = 6 %, variance split 40/30/30, 4×4 grid,
+    correlation length 0.5 — the 100 nm-era numbers the DAC-2004
+    literature uses. *)
+
+val scaled : float -> t
+(** [scaled k] multiplies both sigmas of {!default} by [k]; the knob used
+    by the variability-sweep experiment (F5). *)
+
+val no_spatial : t
+(** {!default} with the spatial fraction folded into the random fraction —
+    the A1 ablation. *)
+
+val quadtree : ?levels:int -> unit -> t
+(** {!default} with the hierarchical quadtree structure (default 3
+    levels) — the A8 ablation. *)
+
+val validate : t -> (unit, string) result
+(** Fractions must be non-negative and sum to 1 (±1e-9), sigmas
+    non-negative, grid ≥ 1, correlation length positive, quadtree levels
+    in [1, 6]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest List Test_activity Test_cli Test_core Test_extensions Test_golden Test_leakage Test_mc Test_netlist Test_opt Test_printers Test_ssta Test_sta Test_tech Test_util Test_variation

@@ -1,0 +1,1 @@
+test/test_activity.ml: Alcotest Array Float List Printf Sl_netlist Sl_opt Sl_sta Sl_tech Sl_variation

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Buffer Filename Printf Sl_netlist String Sys Unix

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Sl_netlist Sl_tech Sl_variation Statleak String

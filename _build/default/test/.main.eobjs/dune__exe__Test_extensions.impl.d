@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sl_leakage Sl_mc Sl_netlist Sl_ssta Sl_sta Sl_tech Sl_util Sl_variation String

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest List Sl_leakage Sl_opt Sl_ssta Sl_tech Statleak

@@ -1,0 +1,1 @@
+test/test_leakage.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sl_leakage Sl_mc Sl_netlist Sl_tech Sl_util Sl_variation

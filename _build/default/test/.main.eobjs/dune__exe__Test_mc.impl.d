@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Float Printf Sl_mc Sl_netlist Sl_sta Sl_tech Sl_util Sl_variation

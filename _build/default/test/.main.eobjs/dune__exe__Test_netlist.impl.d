@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bench_format Benchmarks Cell_kind Circuit Generators List Printf QCheck QCheck_alcotest Sl_netlist Sl_util String Verilog

@@ -1,0 +1,1 @@
+test/test_printers.ml: Alcotest Array Format List Sl_leakage Sl_netlist Sl_ssta Sl_sta Sl_tech Sl_util Sl_variation String

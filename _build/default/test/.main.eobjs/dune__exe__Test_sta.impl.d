@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Float List Option Printf QCheck QCheck_alcotest Sl_netlist Sl_sta Sl_tech Sl_util

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Array Cell_lib Design Float Liberty List Printf Sl_netlist Sl_tech Tech

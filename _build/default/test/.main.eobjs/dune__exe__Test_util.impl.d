@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Histogram Int64 List Matrix Printf QCheck QCheck_alcotest Regress Rng Rootfind Sl_util Special Stats

@@ -1,0 +1,1 @@
+test/test_variation.ml: Alcotest Array Float List Model Option Placement Printf QCheck QCheck_alcotest Sl_netlist Sl_util Sl_variation Spec

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "statleak"
+    (List.concat
+       [
+         Test_util.suite;
+         Test_netlist.suite;
+         Test_tech.suite;
+         Test_variation.suite;
+         Test_sta.suite;
+         Test_ssta.suite;
+         Test_leakage.suite;
+         Test_mc.suite;
+         Test_opt.suite;
+         Test_core.suite;
+         Test_extensions.suite;
+         Test_activity.suite;
+         Test_golden.suite;
+         Test_printers.suite;
+         Test_cli.suite;
+       ])

@@ -1,0 +1,129 @@
+module Activity = Sl_netlist.Activity
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Benchmarks = Sl_netlist.Benchmarks
+module Generators = Sl_netlist.Generators
+module Power = Sl_tech.Power
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > eps *. Float.max 1.0 (Float.max (Float.abs expected) (Float.abs actual))
+  then Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let test_and_tree_probability_exact () =
+  (* fanout-free: independence is exact.  AND over 8 inputs: p = 2^-8 *)
+  let c = Generators.and_tree 8 in
+  let a = Activity.analyze c in
+  let root = c.Circuit.outputs.(0) in
+  check_float ~eps:1e-12 "p(root)" (1.0 /. 256.0) a.Activity.prob.(root)
+
+let test_parity_tree_probability_and_density () =
+  let c = Generators.parity_tree 16 in
+  let a = Activity.analyze c in
+  let root = c.Circuit.outputs.(0) in
+  check_float ~eps:1e-12 "p = 1/2" 0.5 a.Activity.prob.(root);
+  (* XOR passes every input transition: density = sum over 16 inputs *)
+  check_float ~eps:1e-12 "density = 16 * 0.5" 8.0 a.Activity.trans.(root)
+
+let test_matches_exhaustive_on_trees () =
+  (* fanout-free circuits: propagated probabilities are exact *)
+  List.iter
+    (fun c ->
+      let a = Activity.analyze c in
+      let exact = Activity.exhaustive_prob c in
+      Array.iteri
+        (fun id p -> check_float ~eps:1e-12 (Printf.sprintf "net %d" id) exact.(id) p)
+        a.Activity.prob)
+    [ Generators.and_tree 8; Generators.parity_tree 8 ]
+
+let test_reconvergence_error_bounded () =
+  (* c17 reconverges; independence is approximate but close *)
+  let c = Benchmarks.c17 () in
+  let a = Activity.analyze c in
+  let exact = Activity.exhaustive_prob c in
+  Array.iteri
+    (fun id p ->
+      if Float.abs (p -. exact.(id)) > 0.12 then
+        Alcotest.failf "net %d: propagated %.3f vs exact %.3f" id p exact.(id))
+    a.Activity.prob
+
+let test_biased_inputs () =
+  let c = Generators.and_tree 4 in
+  let a = Activity.analyze ~input_prob:0.9 c in
+  let root = c.Circuit.outputs.(0) in
+  check_float ~eps:1e-12 "p = 0.9^4" (0.9 ** 4.0) a.Activity.prob.(root);
+  (* quiet inputs produce a quiet circuit *)
+  let q = Activity.analyze ~input_trans:0.0 c in
+  Alcotest.(check bool) "no toggles anywhere" true
+    (Array.for_all (fun d -> d = 0.0) q.Activity.trans)
+
+let test_rejects_bad_params () =
+  let c = Benchmarks.c17 () in
+  (match Activity.analyze ~input_prob:1.5 c with
+  | _ -> Alcotest.fail "p > 1 accepted"
+  | exception Invalid_argument _ -> ());
+  match Activity.analyze ~input_trans:(-1.0) c with
+  | _ -> Alcotest.fail "negative density accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_exhaustive_guard () =
+  let c = Generators.random_dag ~seed:5 ~gates:100 ~inputs:25 ~outputs:4 in
+  match Activity.exhaustive_prob c with
+  | _ -> Alcotest.fail "25 inputs accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- Power ---------- *)
+
+let test_power_breakdown_sane () =
+  let d = Design.create ~size_idx:2 (Cell_lib.default ()) (Generators.alu 16) in
+  let b = Power.breakdown d in
+  Alcotest.(check bool) "positive components" true
+    (b.Power.dynamic_nw > 0.0 && b.Power.leakage_nw > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "leakage fraction %.3f in (0.02, 0.8)" b.Power.leakage_fraction)
+    true
+    (b.Power.leakage_fraction > 0.02 && b.Power.leakage_fraction < 0.8)
+
+let test_power_scales_with_frequency () =
+  let d = Design.create ~size_idx:2 (Cell_lib.default ()) (Benchmarks.c17 ()) in
+  let act = Activity.analyze d.Design.circuit in
+  let p1 = Power.dynamic_nw d ~activity:act ~freq_ghz:1.0 in
+  let p2 = Power.dynamic_nw d ~activity:act ~freq_ghz:2.0 in
+  check_float ~eps:1e-12 "linear in f" (2.0 *. p1) p2
+
+let test_optimization_cuts_leakage_fraction () =
+  let circuit = Generators.ripple_adder 16 in
+  let d = Design.create ~size_idx:2 (Cell_lib.default ()) circuit in
+  let before = (Power.breakdown d).Power.leakage_fraction in
+  let model = Sl_variation.Model.build Sl_variation.Spec.default circuit in
+  let tmax = 1.25 *. Sl_sta.Sta.dmax d in
+  let _ = Sl_opt.Stat_opt.optimize (Sl_opt.Stat_opt.default_config ~tmax ~eta:0.95) d model in
+  (* evaluate the optimized design at the same clock as before: breakdown's
+     default frequency derives from each design's own dmax, so pin it *)
+  let after = (Power.breakdown ~freq_ghz:(1000.0 /. (1.25 *. tmax)) d).Power.leakage_fraction in
+  Alcotest.(check bool)
+    (Printf.sprintf "leak fraction %.3f -> %.3f" before after)
+    true (after < before /. 2.0)
+
+let suite =
+  [
+    ( "netlist.activity",
+      [
+        Alcotest.test_case "AND tree exact" `Quick test_and_tree_probability_exact;
+        Alcotest.test_case "parity tree" `Quick test_parity_tree_probability_and_density;
+        Alcotest.test_case "matches exhaustive on trees" `Quick test_matches_exhaustive_on_trees;
+        Alcotest.test_case "reconvergence bounded" `Quick test_reconvergence_error_bounded;
+        Alcotest.test_case "biased inputs" `Quick test_biased_inputs;
+        Alcotest.test_case "rejects bad params" `Quick test_rejects_bad_params;
+        Alcotest.test_case "exhaustive guard" `Quick test_exhaustive_guard;
+      ] );
+    ( "tech.power",
+      [
+        Alcotest.test_case "breakdown sane" `Quick test_power_breakdown_sane;
+        Alcotest.test_case "linear in frequency" `Quick test_power_scales_with_frequency;
+        Alcotest.test_case "optimization cuts fraction" `Quick test_optimization_cuts_leakage_fraction;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(* End-to-end CLI coverage: run the real binary (declared as a test
+   dependency in dune) and check exit codes and key output. *)
+
+let cli = "../bin/statleak_cli.exe"
+
+let run args =
+  let cmd = Printf.sprintf "%s %s 2>&1" cli args in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+let check_ok msg (code, out) needle =
+  if code <> 0 then Alcotest.failf "%s: exit %d\n%s" msg code out;
+  if not (contains out needle) then
+    Alcotest.failf "%s: output missing %S\n%s" msg needle out
+
+let test_bench_list () = check_ok "bench-list" (run "bench-list") "mult16"
+let test_info () = check_ok "info" (run "info c17") "6 cells"
+
+let test_sta () =
+  check_ok "sta" (run "sta c17") "critical path"
+
+let test_ssta_critical () =
+  check_ok "ssta" (run "ssta c17 --critical 2") "most statistically critical"
+
+let test_leakage () = check_ok "leakage" (run "leakage c17") "mean leakage"
+
+let test_export_bench_roundtrip () =
+  let code, out = run "export c17 --format bench" in
+  if code <> 0 then Alcotest.failf "export failed: %s" out;
+  (* the exported text must re-parse to the same circuit *)
+  let c = Sl_netlist.Bench_format.parse_string ~name:"c17" out in
+  Alcotest.(check int) "cells" 6 (Sl_netlist.Circuit.num_cells c)
+
+let test_export_verilog () =
+  check_ok "verilog" (run "export c17 --format verilog") "endmodule"
+
+let test_optimize_det () =
+  check_ok "optimize det"
+    (run "optimize c17 --mode det --samples 0 --tmax-factor 1.3")
+    "det optimizer: feasible=true"
+
+let test_optimize_rejects_bad_mode () =
+  let code, _ = run "optimize c17 --mode frob --samples 0" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+
+let test_unknown_circuit_fails () =
+  let code, out = run "info definitely-not-a-circuit" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool) "helpful message" true (contains out "bench-list")
+
+let test_parse_file_path () =
+  (* write a bench file and load it through the CLI *)
+  let path = Filename.temp_file "cli_test" ".bench" in
+  let oc = open_out path in
+  output_string oc "INPUT(a)\nOUTPUT(o)\no = NOT(a)\n";
+  close_out oc;
+  let r = run (Printf.sprintf "info %s" path) in
+  Sys.remove path;
+  check_ok "file path" r "1 cells"
+
+let suite =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "bench-list" `Quick test_bench_list;
+        Alcotest.test_case "info" `Quick test_info;
+        Alcotest.test_case "sta" `Quick test_sta;
+        Alcotest.test_case "ssta --critical" `Quick test_ssta_critical;
+        Alcotest.test_case "leakage" `Quick test_leakage;
+        Alcotest.test_case "export bench roundtrip" `Quick test_export_bench_roundtrip;
+        Alcotest.test_case "export verilog" `Quick test_export_verilog;
+        Alcotest.test_case "optimize det" `Quick test_optimize_det;
+        Alcotest.test_case "rejects bad mode" `Quick test_optimize_rejects_bad_mode;
+        Alcotest.test_case "unknown circuit" `Quick test_unknown_circuit_fails;
+        Alcotest.test_case "bench file path" `Quick test_parse_file_path;
+      ] );
+  ]

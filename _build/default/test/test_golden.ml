@@ -1,0 +1,79 @@
+(* Golden regression values.
+
+   Every quantity below is fully deterministic (fixed seeds, analytic
+   models), so these pin the recorded EXPERIMENTS.md numbers tightly.  A
+   failure here means the models or optimizers changed behaviour — if the
+   change is intentional, re-run `dune exec bench/main.exe`, update
+   EXPERIMENTS.md and then these expectations. *)
+
+module Setup = Statleak.Setup
+module Evaluate = Statleak.Evaluate
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
+
+let within msg lo hi actual =
+  if not (actual >= lo && actual <= hi) then
+    Alcotest.failf "%s: %.6g outside golden band [%.6g, %.6g]" msg actual lo hi
+
+let test_golden_nominal_delays () =
+  List.iter
+    (fun (name, d0) ->
+      let s = Setup.of_benchmark name in
+      within (name ^ " D0") (0.995 *. d0) (1.005 *. d0) s.Setup.d0)
+    [ ("c17", 153.8); ("add32", 3290.6); ("mult8", 2862.5); ("alu32", 3754.7);
+      ("bshift32", 933.6) ]
+
+let test_golden_leakage_analysis () =
+  let s = Setup.of_benchmark "mult8" in
+  let l = Leak_ssta.create (Setup.fresh_design s) s.Setup.model in
+  within "mult8 nominal leak" 54.3e3 55.6e3 (Leak_ssta.nominal l);
+  within "mult8 mean leak" 71.2e3 72.7e3 (Leak_ssta.mean l);
+  within "mean/nominal inflation" 1.30 1.32 (Leak_ssta.mean l /. Leak_ssta.nominal l)
+
+let test_golden_ssta_moments () =
+  let s = Setup.of_benchmark "add32" in
+  let res = Ssta.analyze (Setup.fresh_design s) s.Setup.model in
+  within "add32 delay mean" 3280.0 3320.0 res.Ssta.circuit_delay.Canonical.mean;
+  within "add32 delay sigma" 185.0 200.0 (Canonical.sigma res.Ssta.circuit_delay)
+
+let test_golden_headline_add32 () =
+  (* the T2 row everything else hangs off: det 5.41 uA, stat 0.69 uA *)
+  let s = Setup.of_benchmark "add32" in
+  let tmax = Setup.tmax s ~factor:1.25 in
+  let d_det = Setup.fresh_design s in
+  let st_det =
+    Sl_opt.Det_opt.optimize (Sl_opt.Det_opt.default_config ~tmax) d_det s.Setup.spec
+  in
+  Alcotest.(check bool) "det feasible" true st_det.Sl_opt.Det_opt.feasible;
+  let m_det = Evaluate.design s ~tmax d_det in
+  within "det leak" 4.8e3 6.0e3 m_det.Evaluate.leak_mean;
+  let d_stat = Setup.fresh_design s in
+  let st_stat =
+    Sl_opt.Stat_opt.optimize
+      (Sl_opt.Stat_opt.default_config ~tmax ~eta:0.95)
+      d_stat s.Setup.model
+  in
+  Alcotest.(check bool) "stat feasible" true st_stat.Sl_opt.Stat_opt.feasible;
+  let m_stat = Evaluate.design s ~tmax d_stat in
+  within "stat leak" 0.55e3 0.85e3 m_stat.Evaluate.leak_mean;
+  within "stat yield" 0.950 0.960 m_stat.Evaluate.yield_ssta;
+  within "improvement" 80.0 95.0
+    (Evaluate.improvement m_det.Evaluate.leak_mean m_stat.Evaluate.leak_mean)
+
+let test_golden_tech_constants () =
+  within "leak ratio" 25.0 30.0 (Sl_tech.Tech.leak_ratio Sl_tech.Tech.default);
+  within "delay penalty" 1.17 1.19 (Sl_tech.Tech.delay_penalty Sl_tech.Tech.default);
+  within "nvt mV" 35.0 38.0 (1000.0 *. Sl_tech.Tech.nvt Sl_tech.Tech.default)
+
+let suite =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "nominal delays" `Quick test_golden_nominal_delays;
+        Alcotest.test_case "leakage analysis" `Quick test_golden_leakage_analysis;
+        Alcotest.test_case "ssta moments" `Quick test_golden_ssta_moments;
+        Alcotest.test_case "headline add32" `Quick test_golden_headline_add32;
+        Alcotest.test_case "tech constants" `Quick test_golden_tech_constants;
+      ] );
+  ]

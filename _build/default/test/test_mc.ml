@@ -1,0 +1,131 @@
+module Mc = Sl_mc.Mc
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Circuit = Sl_netlist.Circuit
+module Benchmarks = Sl_netlist.Benchmarks
+module Generators = Sl_netlist.Generators
+module Spec = Sl_variation.Spec
+module Model = Sl_variation.Model
+module Sta = Sl_sta.Sta
+
+let setup circuit =
+  let d = Design.create (Cell_lib.default ()) circuit in
+  let m = Model.build Spec.default circuit in
+  (d, m)
+
+let test_deterministic_in_seed () =
+  let d, m = setup (Benchmarks.c17 ()) in
+  let r1 = Mc.run ~seed:3 ~samples:200 d m in
+  let r2 = Mc.run ~seed:3 ~samples:200 d m in
+  Alcotest.(check (array (float 0.0))) "same delays" r1.Mc.delay r2.Mc.delay;
+  Alcotest.(check (array (float 0.0))) "same leaks" r1.Mc.leak r2.Mc.leak;
+  let r3 = Mc.run ~seed:4 ~samples:200 d m in
+  Alcotest.(check bool) "different seed differs" true (r1.Mc.delay <> r3.Mc.delay)
+
+let test_all_positive () =
+  let d, m = setup (Generators.ripple_adder 8) in
+  let r = Mc.run ~seed:5 ~samples:500 d m in
+  Alcotest.(check bool) "delays positive" true (Array.for_all (fun x -> x > 0.0) r.Mc.delay);
+  Alcotest.(check bool) "leaks positive" true (Array.for_all (fun x -> x > 0.0) r.Mc.leak)
+
+let test_yield_boundaries () =
+  let d, m = setup (Benchmarks.c17 ()) in
+  let r = Mc.run ~seed:7 ~samples:500 d m in
+  Alcotest.(check (float 1e-12)) "yield 1 at huge tmax" 1.0 (Mc.timing_yield r ~tmax:1e9);
+  Alcotest.(check (float 1e-12)) "yield 0 at tiny tmax" 0.0 (Mc.timing_yield r ~tmax:0.01)
+
+let test_yield_interpolates () =
+  let d, m = setup (Generators.ripple_adder 16) in
+  let r = Mc.run ~seed:9 ~samples:2000 d m in
+  let median = Mc.delay_quantile r 0.5 in
+  let y = Mc.timing_yield r ~tmax:median in
+  Alcotest.(check bool) "yield at median ~ 0.5" true (y > 0.45 && y < 0.55)
+
+let test_sample_leak_matches_evaluator () =
+  (* the fast per-sample evaluator inside run must agree with the direct
+     per-gate model evaluation *)
+  let d, m = setup (Benchmarks.c17 ()) in
+  let rng = Sl_util.Rng.create 13 in
+  for _ = 1 to 20 do
+    let s = Model.Sample.draw m rng in
+    let direct = Mc.total_leak_of_sample d s in
+    (* reproduce via a 1-sample run? Instead compare against manual sum *)
+    let manual = ref 0.0 in
+    for id = 0 to Circuit.num_gates d.Design.circuit - 1 do
+      manual :=
+        !manual
+        +. Design.gate_leak d id ~dvth:s.Model.Sample.dvth.(id) ~dl:s.Model.Sample.dl.(id)
+    done;
+    if Float.abs (direct -. !manual) > 1e-9 *. !manual then
+      Alcotest.failf "sample leak %.6g vs manual %.6g" direct !manual
+  done
+
+let test_delay_sample_consistency () =
+  (* delays produced by run must match a direct STA on the same dies *)
+  let d, m = setup (Benchmarks.c17 ()) in
+  let r = Mc.run ~seed:21 ~samples:50 d m in
+  (* regenerate the same dies with the same seed *)
+  let rng = Sl_util.Rng.create 21 in
+  for i = 0 to 49 do
+    let s = Model.Sample.draw m rng in
+    let dmax = Sta.dmax ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl d in
+    if Float.abs (dmax -. r.Mc.delay.(i)) > 1e-9 *. dmax then
+      Alcotest.failf "sample %d: %.6g vs %.6g" i dmax r.Mc.delay.(i)
+  done
+
+let test_variation_increases_spread () =
+  let c = Generators.ripple_adder 8 in
+  let d = Design.create (Cell_lib.default ()) c in
+  let m_small = Model.build (Spec.scaled 0.5) c in
+  let m_big = Model.build (Spec.scaled 2.0) c in
+  let r_small = Mc.run ~seed:31 ~samples:1500 d m_small in
+  let r_big = Mc.run ~seed:31 ~samples:1500 d m_big in
+  Alcotest.(check bool) "delay spread grows" true (Mc.delay_std r_big > Mc.delay_std r_small);
+  Alcotest.(check bool) "leak spread grows" true (Mc.leak_std r_big > Mc.leak_std r_small);
+  Alcotest.(check bool) "leak mean grows" true (Mc.leak_mean r_big > Mc.leak_mean r_small)
+
+let test_joint_yield () =
+  let d, m = setup (Generators.ripple_adder 16) in
+  let r = Mc.run ~seed:41 ~samples:2000 d m in
+  let tmax = Mc.delay_quantile r 0.9 in
+  (* unconstrained power cap reduces to timing yield *)
+  Alcotest.(check (float 1e-9)) "cap=inf is timing yield"
+    (Mc.timing_yield r ~tmax)
+    (Mc.joint_yield r ~tmax ~lmax:infinity);
+  (* joint yield is monotone in the cap and below the marginals *)
+  let lmed = Mc.leak_quantile r 0.5 in
+  let y_tight = Mc.joint_yield r ~tmax ~lmax:(0.5 *. lmed) in
+  let y_med = Mc.joint_yield r ~tmax ~lmax:lmed in
+  Alcotest.(check bool) "monotone in cap" true (y_tight <= y_med);
+  Alcotest.(check bool) "below timing marginal" true
+    (y_med <= Mc.timing_yield r ~tmax);
+  (* fast dies leak: delay/leak anti-correlation makes the joint yield
+     strictly below the independence product *)
+  let p_leak = float_of_int (Array.fold_left (fun a l -> if l <= lmed then a + 1 else a) 0 r.Mc.leak)
+               /. float_of_int (Array.length r.Mc.leak) in
+  Alcotest.(check bool)
+    (Printf.sprintf "joint %.3f < product %.3f" y_med (Mc.timing_yield r ~tmax *. p_leak))
+    true
+    (y_med < (Mc.timing_yield r ~tmax *. p_leak) +. 0.02)
+
+let test_rejects_zero_samples () =
+  let d, m = setup (Benchmarks.c17 ()) in
+  match Mc.run ~seed:1 ~samples:0 d m with
+  | _ -> Alcotest.fail "0 samples accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "mc",
+      [
+        Alcotest.test_case "deterministic in seed" `Quick test_deterministic_in_seed;
+        Alcotest.test_case "all positive" `Quick test_all_positive;
+        Alcotest.test_case "yield boundaries" `Quick test_yield_boundaries;
+        Alcotest.test_case "yield interpolates" `Quick test_yield_interpolates;
+        Alcotest.test_case "sample leak evaluator" `Quick test_sample_leak_matches_evaluator;
+        Alcotest.test_case "delay sample consistency" `Quick test_delay_sample_consistency;
+        Alcotest.test_case "variation increases spread" `Slow test_variation_increases_spread;
+        Alcotest.test_case "joint yield" `Quick test_joint_yield;
+        Alcotest.test_case "rejects zero samples" `Quick test_rejects_zero_samples;
+      ] );
+  ]

@@ -1,0 +1,397 @@
+module Inc_sta = Sl_opt.Inc_sta
+module Det_opt = Sl_opt.Det_opt
+module Stat_opt = Sl_opt.Stat_opt
+module Anneal = Sl_opt.Anneal
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Benchmarks = Sl_netlist.Benchmarks
+module Generators = Sl_netlist.Generators
+module Spec = Sl_variation.Spec
+module Model = Sl_variation.Model
+module Sta = Sl_sta.Sta
+module Ssta = Sl_ssta.Ssta
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Rng = Sl_util.Rng
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > eps *. Float.max 1.0 (Float.max (Float.abs expected) (Float.abs actual))
+  then Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let design circuit = Design.create ~size_idx:2 (Cell_lib.default ()) circuit
+
+let cells (d : Design.t) =
+  Array.to_list d.Design.circuit.Circuit.gates
+  |> List.filter_map (fun (g : Circuit.gate) ->
+         if g.Circuit.kind = Cell_kind.Pi then None else Some g.Circuit.id)
+  |> Array.of_list
+
+(* ---------- Inc_sta ---------- *)
+
+let test_inc_matches_full_sta () =
+  let d = design (Generators.array_multiplier 6) in
+  let inc = Inc_sta.create d in
+  check_float ~eps:1e-12 "initial dmax" (Sta.dmax d) (Inc_sta.dmax inc);
+  let ids = cells d in
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let id = ids.(Rng.int rng (Array.length ids)) in
+    Design.set_vth d id (Rng.int rng 2);
+    Design.set_size d id (Rng.int rng 7);
+    Inc_sta.update_gate inc id;
+    check_float ~eps:1e-9 "incremental = full" (Sta.dmax d) (Inc_sta.dmax inc)
+  done
+
+let test_inc_corner_shift () =
+  let d = design (Benchmarks.c17 ()) in
+  let inc = Inc_sta.create ~dvth:0.05 ~dl:0.1 d in
+  let n = Circuit.num_gates d.Design.circuit in
+  let dvth = Array.make n 0.05 and dl = Array.make n 0.1 in
+  check_float ~eps:1e-12 "corner dmax" (Sta.dmax ~dvth ~dl d) (Inc_sta.dmax inc)
+
+let test_inc_slacks_match_analyze () =
+  let d = design (Generators.ripple_adder 8) in
+  let inc = Inc_sta.create d in
+  let tmax = Inc_sta.dmax inc +. 50.0 in
+  let s_inc = Inc_sta.slacks inc ~tmax in
+  let res = Sta.analyze ~tmax d in
+  Array.iteri
+    (fun i s -> check_float ~eps:1e-9 (Printf.sprintf "slack %d" i) res.Sta.slack.(i) s)
+    s_inc
+
+(* ---------- Det_opt ---------- *)
+
+let spec = Spec.default
+
+let test_det_respects_corner_timing () =
+  let d = design (Generators.ripple_adder 16) in
+  let tmax = 1.25 *. Sta.dmax d in
+  let cfg = Det_opt.default_config ~tmax in
+  let st = Det_opt.optimize cfg d spec in
+  Alcotest.(check bool) "feasible" true st.Det_opt.feasible;
+  Alcotest.(check bool) "corner delay within tmax" true
+    (st.Det_opt.corner_dmax <= tmax +. 1e-6);
+  (* verify independently at the same corner *)
+  let k = cfg.Det_opt.corner_k in
+  let n = Circuit.num_gates d.Design.circuit in
+  let dvth = Array.make n (k *. spec.Spec.sigma_vth) in
+  let dl = Array.make n (k *. spec.Spec.sigma_l) in
+  Alcotest.(check bool) "independent corner check" true (Sta.dmax ~dvth ~dl d <= tmax +. 1e-6)
+
+let test_det_reduces_leakage () =
+  let c = Generators.ripple_adder 16 in
+  let d = design c in
+  let before = Design.total_leak_nominal d in
+  let tmax = 1.3 *. Sta.dmax d in
+  let st = Det_opt.optimize (Det_opt.default_config ~tmax) d spec in
+  Alcotest.(check bool) "feasible" true st.Det_opt.feasible;
+  let after = Design.total_leak_nominal d in
+  Alcotest.(check bool)
+    (Printf.sprintf "leak %.3g < %.3g" after before)
+    true (after < 0.7 *. before)
+
+let test_det_deterministic () =
+  let run () =
+    let d = design (Generators.array_multiplier 6) in
+    let tmax = 1.25 *. Sta.dmax d in
+    let _ = Det_opt.optimize (Det_opt.default_config ~tmax) d spec in
+    (Array.copy d.Design.vth_idx, Array.copy d.Design.size_idx)
+  in
+  let v1, s1 = run () in
+  let v2, s2 = run () in
+  Alcotest.(check (array int)) "same vth" v1 v2;
+  Alcotest.(check (array int)) "same sizes" s1 s2
+
+let test_det_vth_only_respects_knobs () =
+  let d = design (Generators.ripple_adder 8) in
+  let tmax = 1.3 *. Sta.dmax d in
+  let sizes_before = Array.copy d.Design.size_idx in
+  let cfg = { (Det_opt.default_config ~tmax) with Det_opt.allow_size = false } in
+  let st = Det_opt.optimize cfg d spec in
+  Alcotest.(check int) "no size moves" 0 st.Det_opt.size_moves;
+  Alcotest.(check (array int)) "sizes untouched" sizes_before d.Design.size_idx
+
+let test_det_infeasible_reported () =
+  (* an impossible constraint: half the nominal delay *)
+  let d = design (Generators.array_multiplier 6) in
+  let tmax = 0.5 *. Sta.dmax d in
+  let st = Det_opt.optimize (Det_opt.default_config ~tmax) d spec in
+  Alcotest.(check bool) "infeasible" false st.Det_opt.feasible
+
+(* ---------- Stat_opt ---------- *)
+
+let stat_setup circuit =
+  let d = design circuit in
+  let model = Model.build spec circuit in
+  (d, model)
+
+let test_stat_meets_yield_target () =
+  List.iter
+    (fun circuit ->
+      let d, model = stat_setup circuit in
+      let tmax = 1.25 *. Sta.dmax d in
+      let eta = 0.95 in
+      let st = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta) d model in
+      Alcotest.(check bool) "feasible" true st.Stat_opt.feasible;
+      (* verify with an independent SSTA and with Monte Carlo *)
+      let res = Ssta.analyze d model in
+      let y = Ssta.timing_yield res ~tmax in
+      Alcotest.(check bool) (Printf.sprintf "ssta yield %.3f >= eta" y) true (y >= eta -. 1e-9);
+      let mc = Sl_mc.Mc.run ~seed:5 ~samples:2000 d model in
+      let ymc = Sl_mc.Mc.timing_yield mc ~tmax in
+      Alcotest.(check bool)
+        (Printf.sprintf "mc yield %.3f within 3%% of target" ymc)
+        true
+        (ymc >= eta -. 0.03))
+    [ Generators.ripple_adder 16; Generators.array_multiplier 6 ]
+
+let test_stat_reduces_statistical_leak () =
+  let d, model = stat_setup (Generators.alu 8) in
+  let before = Leak_ssta.mean (Leak_ssta.create d model) in
+  let tmax = 1.25 *. Sta.dmax d in
+  let st = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d model in
+  Alcotest.(check bool) "feasible" true st.Stat_opt.feasible;
+  let after = Leak_ssta.mean (Leak_ssta.create d model) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3g < half of %.3g" after before)
+    true (after < 0.5 *. before)
+
+let test_stat_beats_or_ties_det () =
+  List.iter
+    (fun circuit ->
+      let d_det = design circuit in
+      let tmax = 1.25 *. Sta.dmax d_det in
+      let st_det = Det_opt.optimize (Det_opt.default_config ~tmax) d_det spec in
+      let d_stat, model = stat_setup circuit in
+      let st_stat = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d_stat model in
+      Alcotest.(check bool) "both feasible" true
+        (st_det.Det_opt.feasible && st_stat.Stat_opt.feasible);
+      let leak d = Leak_ssta.mean (Leak_ssta.create d model) in
+      let l_det = leak d_det and l_stat = leak d_stat in
+      Alcotest.(check bool)
+        (Printf.sprintf "stat %.4g <= 1.05 * det %.4g" l_stat l_det)
+        true
+        (l_stat <= 1.05 *. l_det))
+    [ Generators.ripple_adder 16; Generators.alu 8 ]
+
+let test_stat_knob_restrictions () =
+  let d, model = stat_setup (Generators.ripple_adder 8) in
+  let tmax = 1.3 *. Sta.dmax d in
+  let sizes_before = Array.copy d.Design.size_idx in
+  let cfg =
+    { (Stat_opt.default_config ~tmax ~eta:0.95) with Stat_opt.allow_size = false }
+  in
+  let st = Stat_opt.optimize cfg d model in
+  Alcotest.(check int) "no size moves" 0 st.Stat_opt.size_moves;
+  Alcotest.(check (array int)) "sizes untouched" sizes_before d.Design.size_idx;
+  let d2, model2 = stat_setup (Generators.ripple_adder 8) in
+  let vth_before = Array.copy d2.Design.vth_idx in
+  let cfg2 =
+    { (Stat_opt.default_config ~tmax ~eta:0.95) with Stat_opt.allow_vth = false }
+  in
+  let st2 = Stat_opt.optimize cfg2 d2 model2 in
+  Alcotest.(check int) "no vth moves" 0 st2.Stat_opt.vth_moves;
+  Alcotest.(check (array int)) "vth untouched" vth_before d2.Design.vth_idx
+
+let test_stat_deterministic () =
+  let run () =
+    let d, model = stat_setup (Generators.ripple_adder 16) in
+    let tmax = 1.25 *. Sta.dmax d in
+    let _ = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d model in
+    (Array.copy d.Design.vth_idx, Array.copy d.Design.size_idx)
+  in
+  let v1, s1 = run () in
+  let v2, s2 = run () in
+  Alcotest.(check (array int)) "same vth" v1 v2;
+  Alcotest.(check (array int)) "same sizes" s1 s2
+
+let test_stat_tight_yield_target () =
+  (* very strict yield: the optimizer must stay conservative *)
+  let d, model = stat_setup (Generators.ripple_adder 16) in
+  let tmax = 1.25 *. Sta.dmax d in
+  let st = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.999) d model in
+  Alcotest.(check bool) "feasible" true st.Stat_opt.feasible;
+  Alcotest.(check bool) "yield >= 0.999" true (st.Stat_opt.final_yield >= 0.999 -. 1e-9)
+
+let test_stat_loose_beats_tight () =
+  let leak_at eta =
+    let d, model = stat_setup (Generators.alu 8) in
+    let tmax = 1.2 *. Sta.dmax d in
+    let _ = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta) d model in
+    Leak_ssta.mean (Leak_ssta.create d model)
+  in
+  let loose = leak_at 0.80 and tight = leak_at 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "leak(eta=0.80)=%.4g <= leak(eta=0.99)=%.4g" loose tight)
+    true (loose <= tight +. 1e-9)
+
+let test_stat_infeasible_start_repair () =
+  (* at a tight constraint the initial yield is below target; the
+     optimizer must first repair it (mult8 at 1.10 starts ~0.93) *)
+  let d, model = stat_setup (Generators.array_multiplier 8) in
+  let tmax = 1.10 *. Sta.dmax d in
+  let st = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d model in
+  Alcotest.(check bool) "repaired and feasible" true st.Stat_opt.feasible
+
+(* ---------- Lr_opt ---------- *)
+
+let test_lr_feasible_and_reduces () =
+  List.iter
+    (fun circuit ->
+      let d = design circuit in
+      let before = Design.total_leak_nominal d in
+      let tmax = 1.25 *. Sta.dmax d in
+      let st = Sl_opt.Lr_opt.optimize (Sl_opt.Lr_opt.default_config ~tmax) d spec in
+      Alcotest.(check bool) "feasible" true st.Sl_opt.Lr_opt.feasible;
+      Alcotest.(check bool) "corner met" true (st.Sl_opt.Lr_opt.corner_dmax <= tmax +. 1e-6);
+      let after = Design.total_leak_nominal d in
+      Alcotest.(check bool)
+        (Printf.sprintf "leak %.3g < %.3g" after before)
+        true (after < before))
+    [ Generators.ripple_adder 16; Generators.alu 8 ]
+
+let test_lr_beats_or_ties_greedy_corner () =
+  (* the LR warm start + greedy polish can never be worse than the greedy
+     alone by more than noise, and usually wins clearly *)
+  List.iter
+    (fun circuit ->
+      let d_lr = design circuit in
+      let tmax = 1.25 *. Sta.dmax d_lr in
+      let st_lr = Sl_opt.Lr_opt.optimize (Sl_opt.Lr_opt.default_config ~tmax) d_lr spec in
+      let d_det = design circuit in
+      let st_det = Det_opt.optimize (Det_opt.default_config ~tmax) d_det spec in
+      Alcotest.(check bool) "both feasible" true
+        (st_lr.Sl_opt.Lr_opt.feasible && st_det.Det_opt.feasible);
+      let l_lr = Design.total_leak_nominal d_lr in
+      let l_det = Design.total_leak_nominal d_det in
+      Alcotest.(check bool)
+        (Printf.sprintf "LR %.4g <= 1.1 * greedy %.4g" l_lr l_det)
+        true
+        (l_lr <= 1.1 *. l_det))
+    [ Generators.ripple_adder 16; Generators.alu 8 ]
+
+let test_lr_corner_verified_independently () =
+  let d = design (Generators.ripple_adder 16) in
+  let tmax = 1.25 *. Sta.dmax d in
+  let cfg = Sl_opt.Lr_opt.default_config ~tmax in
+  let st = Sl_opt.Lr_opt.optimize cfg d spec in
+  Alcotest.(check bool) "feasible" true st.Sl_opt.Lr_opt.feasible;
+  let k = cfg.Sl_opt.Lr_opt.corner_k in
+  let n = Circuit.num_gates d.Design.circuit in
+  let dvth = Array.make n (k *. spec.Spec.sigma_vth) in
+  let dl = Array.make n (k *. spec.Spec.sigma_l) in
+  Alcotest.(check bool) "independent corner check" true
+    (Sta.dmax ~dvth ~dl d <= tmax +. 1e-6)
+
+let test_lr_deterministic () =
+  let run () =
+    let d = design (Generators.ripple_adder 16) in
+    let tmax = 1.25 *. Sta.dmax d in
+    let _ = Sl_opt.Lr_opt.optimize (Sl_opt.Lr_opt.default_config ~tmax) d spec in
+    (Array.copy d.Design.vth_idx, Array.copy d.Design.size_idx)
+  in
+  let v1, s1 = run () in
+  let v2, s2 = run () in
+  Alcotest.(check (array int)) "same vth" v1 v2;
+  Alcotest.(check (array int)) "same sizes" s1 s2
+
+(* ---------- Anneal ---------- *)
+
+let test_anneal_feasible_and_improves () =
+  let d, model = stat_setup (Generators.ripple_adder 8) in
+  let tmax = 1.25 *. Sta.dmax d in
+  let before = Leak_ssta.mean (Leak_ssta.create d model) in
+  let cfg = { (Anneal.default_config ~tmax ~eta:0.95) with Anneal.iterations = 3000 } in
+  let st = Anneal.optimize cfg d model in
+  Alcotest.(check bool) "feasible" true st.Anneal.feasible;
+  let after = Leak_ssta.mean (Leak_ssta.create d model) in
+  Alcotest.(check bool) "improved" true (after < before)
+
+let test_anneal_deterministic_in_seed () =
+  let run seed =
+    let d, model = stat_setup (Benchmarks.c17 ()) in
+    let tmax = 1.25 *. Sta.dmax d in
+    let cfg =
+      { (Anneal.default_config ~tmax ~eta:0.95) with Anneal.iterations = 500; seed }
+    in
+    let _ = Anneal.optimize cfg d model in
+    (Array.copy d.Design.vth_idx, Array.copy d.Design.size_idx)
+  in
+  let v1, s1 = run 7 in
+  let v2, s2 = run 7 in
+  Alcotest.(check (array int)) "same vth" v1 v2;
+  Alcotest.(check (array int)) "same sizes" s1 s2
+
+let test_greedy_close_to_anneal () =
+  (* the greedy optimizer should be within 2x of a long annealing run on a
+     small circuit (it is usually better) *)
+  let d_g, model = stat_setup (Benchmarks.c17 ()) in
+  let tmax = 1.25 *. Sta.dmax d_g in
+  let _ = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d_g model in
+  let d_a, model_a = stat_setup (Benchmarks.c17 ()) in
+  let cfg = { (Anneal.default_config ~tmax ~eta:0.95) with Anneal.iterations = 8000 } in
+  let st_a = Anneal.optimize cfg d_a model_a in
+  Alcotest.(check bool) "anneal feasible" true st_a.Anneal.feasible;
+  let lg = Leak_ssta.mean (Leak_ssta.create d_g model) in
+  let la = Leak_ssta.mean (Leak_ssta.create d_a model_a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %.4g <= 2x anneal %.4g" lg la)
+    true (lg <= 2.0 *. la)
+
+let prop_stat_never_violates =
+  QCheck.Test.make ~name:"stat-opt result always meets eta (random dags)" ~count:5
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let c = Generators.random_dag ~seed ~gates:150 ~inputs:16 ~outputs:8 in
+      let d = design c in
+      let model = Model.build spec c in
+      let tmax = 1.25 *. Sta.dmax d in
+      let st = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.9) d model in
+      (not st.Stat_opt.feasible) || st.Stat_opt.final_yield >= 0.9 -. 1e-9)
+
+let suite =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  [
+    ( "opt.inc_sta",
+      [
+        Alcotest.test_case "matches full STA" `Quick test_inc_matches_full_sta;
+        Alcotest.test_case "corner shift" `Quick test_inc_corner_shift;
+        Alcotest.test_case "slacks match analyze" `Quick test_inc_slacks_match_analyze;
+      ] );
+    ( "opt.det",
+      [
+        Alcotest.test_case "respects corner timing" `Quick test_det_respects_corner_timing;
+        Alcotest.test_case "reduces leakage" `Quick test_det_reduces_leakage;
+        Alcotest.test_case "deterministic" `Quick test_det_deterministic;
+        Alcotest.test_case "knob restriction" `Quick test_det_vth_only_respects_knobs;
+        Alcotest.test_case "infeasible reported" `Quick test_det_infeasible_reported;
+      ] );
+    ( "opt.stat",
+      [
+        Alcotest.test_case "meets yield target" `Slow test_stat_meets_yield_target;
+        Alcotest.test_case "reduces statistical leak" `Quick test_stat_reduces_statistical_leak;
+        Alcotest.test_case "beats or ties det" `Quick test_stat_beats_or_ties_det;
+        Alcotest.test_case "knob restrictions" `Quick test_stat_knob_restrictions;
+        Alcotest.test_case "deterministic" `Quick test_stat_deterministic;
+        Alcotest.test_case "tight yield target" `Quick test_stat_tight_yield_target;
+        Alcotest.test_case "loose eta beats tight" `Quick test_stat_loose_beats_tight;
+        Alcotest.test_case "infeasible start repaired" `Quick test_stat_infeasible_start_repair;
+      ]
+      @ qc [ prop_stat_never_violates ] );
+    ( "opt.lr",
+      [
+        Alcotest.test_case "feasible and reduces" `Quick test_lr_feasible_and_reduces;
+        Alcotest.test_case "beats or ties greedy" `Quick test_lr_beats_or_ties_greedy_corner;
+        Alcotest.test_case "corner verified" `Quick test_lr_corner_verified_independently;
+        Alcotest.test_case "deterministic" `Quick test_lr_deterministic;
+      ] );
+    ( "opt.anneal",
+      [
+        Alcotest.test_case "feasible and improves" `Quick test_anneal_feasible_and_improves;
+        Alcotest.test_case "deterministic in seed" `Quick test_anneal_deterministic_in_seed;
+        Alcotest.test_case "greedy close to anneal" `Slow test_greedy_close_to_anneal;
+      ] );
+  ]

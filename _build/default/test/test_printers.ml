@@ -1,0 +1,104 @@
+(* Pretty-printer and formatter coverage: these are user-facing (CLI,
+   logs, reports) and format-string mistakes only explode at runtime. *)
+
+let render pp v = Format.asprintf "%a" pp v
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_tech_pp () =
+  let s = render Sl_tech.Tech.pp Sl_tech.Tech.default in
+  Alcotest.(check bool) "mentions name" true (contains s "statleak-100nm");
+  Alcotest.(check bool) "mentions vdd" true (contains s "1.20")
+
+let test_spec_pp () =
+  let s = render Sl_variation.Spec.pp Sl_variation.Spec.default in
+  Alcotest.(check bool) "grid structure" true (contains s "grid=4x4");
+  let q = render Sl_variation.Spec.pp (Sl_variation.Spec.quadtree ()) in
+  Alcotest.(check bool) "quadtree structure" true (contains q "quadtree")
+
+let test_canonical_pp () =
+  let c = Sl_ssta.Canonical.make ~mean:3.5 ~coeffs:[| 1.0; 2.0 |] ~rnd:0.5 in
+  let s = render Sl_ssta.Canonical.pp c in
+  Alcotest.(check bool) "mentions mean" true (contains s "3.5");
+  Alcotest.(check bool) "mentions PC count" true (contains s "2 PCs")
+
+let test_lognormal_pp () =
+  let l = Sl_leakage.Lognormal.of_gaussian_exponent ~mu:1.0 ~sigma:0.5 in
+  Alcotest.(check bool) "format" true (contains (render Sl_leakage.Lognormal.pp l) "LogN")
+
+let test_stats_pp_summary () =
+  let s = Sl_util.Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  let str = render Sl_util.Stats.pp_summary s in
+  Alcotest.(check bool) "n" true (contains str "n=3");
+  Alcotest.(check bool) "mean" true (contains str "mean=2")
+
+let test_histogram_pp_rows () =
+  let h = Sl_util.Histogram.build_range ~bins:2 ~lo:0.0 ~hi:2.0 [| 0.5; 1.5; 1.6 |] in
+  let s = render Sl_util.Histogram.pp_rows h in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "one row per bin" 2 (List.length lines)
+
+let test_circuit_pp_and_stats () =
+  let c = Sl_netlist.Benchmarks.c17 () in
+  let s = render Sl_netlist.Circuit.pp c in
+  Alcotest.(check bool) "cells" true (contains s "6 cells");
+  Alcotest.(check bool) "depth" true (contains s "depth 3")
+
+let test_cell_kind_pp () =
+  Alcotest.(check string) "nand" "NAND" (render Sl_netlist.Cell_kind.pp Sl_netlist.Cell_kind.Nand)
+
+let test_paths_pp () =
+  let d =
+    Sl_tech.Design.create (Sl_tech.Cell_lib.default ()) (Sl_netlist.Benchmarks.c17 ())
+  in
+  match Sl_sta.Paths.k_most_critical d ~k:1 with
+  | [ p ] ->
+    let s = render (Sl_sta.Paths.pp d.Sl_tech.Design.circuit) p in
+    Alcotest.(check bool) "has arrow" true (contains s "->");
+    Alcotest.(check bool) "has ps" true (contains s "ps")
+  | _ -> Alcotest.fail "expected one path"
+
+let test_rng_copy_same_stream () =
+  let a = Sl_util.Rng.create 42 in
+  ignore (Sl_util.Rng.bits64 a);
+  let b = Sl_util.Rng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copies agree" (Sl_util.Rng.bits64 a) (Sl_util.Rng.bits64 b)
+  done
+
+let test_matrix_pp () =
+  let m = Sl_util.Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let s = render Sl_util.Matrix.pp m in
+  Alcotest.(check bool) "two lines" true (List.length (String.split_on_char '\n' (String.trim s)) = 2)
+
+let test_design_digest () =
+  let d =
+    Sl_tech.Design.create (Sl_tech.Cell_lib.default ()) (Sl_netlist.Benchmarks.c17 ())
+  in
+  let s = Sl_tech.Design.assignment_digest d in
+  Alcotest.(check bool) "vth counts" true (contains s "v[6,0]");
+  Sl_tech.Design.set_vth d d.Sl_tech.Design.circuit.Sl_netlist.Circuit.outputs.(0) 1;
+  let s' = Sl_tech.Design.assignment_digest d in
+  Alcotest.(check bool) "updated counts" true (contains s' "v[5,1]")
+
+let suite =
+  [
+    ( "printers",
+      [
+        Alcotest.test_case "tech" `Quick test_tech_pp;
+        Alcotest.test_case "spec" `Quick test_spec_pp;
+        Alcotest.test_case "canonical" `Quick test_canonical_pp;
+        Alcotest.test_case "lognormal" `Quick test_lognormal_pp;
+        Alcotest.test_case "stats summary" `Quick test_stats_pp_summary;
+        Alcotest.test_case "histogram rows" `Quick test_histogram_pp_rows;
+        Alcotest.test_case "circuit" `Quick test_circuit_pp_and_stats;
+        Alcotest.test_case "cell kind" `Quick test_cell_kind_pp;
+        Alcotest.test_case "paths" `Quick test_paths_pp;
+        Alcotest.test_case "rng copy" `Quick test_rng_copy_same_stream;
+        Alcotest.test_case "matrix" `Quick test_matrix_pp;
+        Alcotest.test_case "design digest" `Quick test_design_digest;
+      ] );
+  ]

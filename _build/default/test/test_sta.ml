@@ -1,0 +1,247 @@
+module Sta = Sl_sta.Sta
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Benchmarks = Sl_netlist.Benchmarks
+module Generators = Sl_netlist.Generators
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > eps *. Float.max 1.0 (Float.max (Float.abs expected) (Float.abs actual))
+  then Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let design ?(circuit = Benchmarks.c17 ()) () = Design.create (Cell_lib.default ()) circuit
+
+let test_chain_delay_is_sum () =
+  (* inverter chain: dmax = sum of gate delays *)
+  let b = Circuit.Builder.create "chain" in
+  ignore (Circuit.Builder.add_input b "a");
+  let prev = ref "a" in
+  for i = 0 to 9 do
+    let net = Printf.sprintf "i%d" i in
+    ignore (Circuit.Builder.add_gate b net Cell_kind.Not [ !prev ]);
+    prev := net
+  done;
+  Circuit.Builder.mark_output b !prev;
+  let c = Circuit.Builder.build b in
+  let d = design ~circuit:c () in
+  let res = Sta.analyze d in
+  let sum = Array.fold_left ( +. ) 0.0 res.Sta.delay in
+  check_float ~eps:1e-12 "dmax = sum of delays" sum res.Sta.dmax
+
+let test_arrival_monotone_along_paths () =
+  let d = design ~circuit:(Generators.random_dag ~seed:5 ~gates:400 ~inputs:30 ~outputs:10) () in
+  let res = Sta.analyze d in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      Array.iter
+        (fun f ->
+          if res.Sta.arrival.(f) >= res.Sta.arrival.(g.Circuit.id) +. 1e-12 then
+            Alcotest.failf "arrival not monotone at gate %d" g.Circuit.id)
+        g.Circuit.fanin)
+    d.Design.circuit.Circuit.gates
+
+let test_slack_nonnegative_at_dmax () =
+  let d = design ~circuit:(Benchmarks.c17 ()) () in
+  let res = Sta.analyze d in
+  Array.iter
+    (fun s ->
+      if s < -1e-9 then Alcotest.failf "negative slack %g with tmax = dmax" s)
+    res.Sta.slack;
+  check_float ~eps:1e-12 "worst slack = 0" 0.0 (Sta.worst_slack res)
+
+let test_slack_shifts_with_tmax () =
+  let d = design () in
+  let r0 = Sta.analyze d in
+  let r1 = Sta.analyze ~tmax:(r0.Sta.dmax +. 10.0) d in
+  check_float ~eps:1e-9 "worst slack = margin" 10.0 (Sta.worst_slack r1)
+
+let test_critical_path_valid () =
+  let d = design ~circuit:(Generators.array_multiplier 8) () in
+  let res = Sta.analyze d in
+  let path = Sta.critical_path d.Design.circuit res in
+  Alcotest.(check bool) "starts at PI" true
+    ((Circuit.gate d.Design.circuit path.(0)).Circuit.kind = Cell_kind.Pi);
+  Alcotest.(check bool) "ends at PO" true
+    (Circuit.is_po d.Design.circuit path.(Array.length path - 1));
+  (* consecutive gates connected, arrival at end = dmax *)
+  for i = 1 to Array.length path - 1 do
+    let g = Circuit.gate d.Design.circuit path.(i) in
+    if not (Array.exists (fun f -> f = path.(i - 1)) g.Circuit.fanin) then
+      Alcotest.fail "path not connected"
+  done;
+  check_float ~eps:1e-9 "path ends at dmax" res.Sta.dmax
+    res.Sta.arrival.(path.(Array.length path - 1));
+  (* every gate on the critical path has (near) zero slack *)
+  Array.iter
+    (fun id ->
+      if (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi then
+        check_float ~eps:1e-6 "critical gate slack" 0.0 res.Sta.slack.(id))
+    path
+
+let test_high_vth_slows_circuit () =
+  let d = design ~circuit:(Generators.ripple_adder 8) () in
+  let d0 = Sta.dmax d in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then Design.set_vth d g.Circuit.id 1)
+    d.Design.circuit.Circuit.gates;
+  let d1 = Sta.dmax d in
+  let penalty = Sl_tech.Tech.delay_penalty Sl_tech.Tech.default in
+  check_float ~eps:1e-9 "uniform swap scales dmax" penalty (d1 /. d0)
+
+let test_upsizing_pi_driven_gate_speeds_up () =
+  (* Upsizing a gate driven only by primary inputs cannot slow anything
+     upstream, so the circuit gets strictly faster on an inverter chain.
+     (Upsizing a mid-path gate may legitimately hurt: it loads its own
+     critical fanin — the effect sizers must evaluate, not assume.) *)
+  let b = Circuit.Builder.create "chain" in
+  ignore (Circuit.Builder.add_input b "a");
+  let prev = ref "a" in
+  for i = 0 to 7 do
+    let net = Printf.sprintf "i%d" i in
+    ignore (Circuit.Builder.add_gate b net Cell_kind.Not [ !prev ]);
+    prev := net
+  done;
+  Circuit.Builder.mark_output b !prev;
+  let c = Circuit.Builder.build b in
+  let d = design ~circuit:c () in
+  let before = Sta.dmax d in
+  let first =
+    match Circuit.find c "i0" with Some g -> g.Circuit.id | None -> Alcotest.fail "i0"
+  in
+  Design.set_size d first 3;
+  let after = Sta.dmax d in
+  Alcotest.(check bool)
+    (Printf.sprintf "dmax %.2f < %.2f" after before)
+    true (after < before)
+
+let test_variation_shifts_delay () =
+  let d = design () in
+  let n = Circuit.num_gates d.Design.circuit in
+  let slow = Array.make n 0.05 in
+  let fast = Array.make n (-0.05) in
+  let zero = Array.make n 0.0 in
+  let d_nom = Sta.dmax d in
+  let d_slow = Sta.dmax ~dvth:slow ~dl:zero d in
+  let d_fast = Sta.dmax ~dvth:fast ~dl:zero d in
+  Alcotest.(check bool) "slow > nom > fast" true (d_slow > d_nom && d_nom > d_fast)
+
+let test_fast_matches_reference () =
+  let circuits =
+    [ Benchmarks.c17 (); Generators.array_multiplier 6;
+      Generators.random_dag ~seed:9 ~gates:300 ~inputs:20 ~outputs:8 ]
+  in
+  List.iter
+    (fun c ->
+      let d = design ~circuit:c () in
+      (* randomize assignment a bit *)
+      let rng = Sl_util.Rng.create 4 in
+      Array.iter
+        (fun (g : Circuit.gate) ->
+          if g.Circuit.kind <> Cell_kind.Pi then begin
+            Design.set_vth d g.Circuit.id (Sl_util.Rng.int rng 2);
+            Design.set_size d g.Circuit.id (Sl_util.Rng.int rng 7)
+          end)
+        d.Design.circuit.Circuit.gates;
+      let fast = Sta.Fast.create d in
+      let n = Circuit.num_gates c in
+      for _ = 1 to 20 do
+        let dvth = Array.init n (fun _ -> 0.03 *. Sl_util.Rng.gaussian rng) in
+        let dl = Array.init n (fun _ -> 0.06 *. Sl_util.Rng.gaussian rng) in
+        let ref_d = Sta.dmax ~dvth ~dl d in
+        let fast_d = Sta.Fast.dmax fast ~dvth ~dl in
+        check_float ~eps:1e-9 "fast = reference" ref_d fast_d
+      done)
+    circuits
+
+(* ---------- Slew-aware mode ---------- *)
+
+let test_slew_exceeds_step_model () =
+  List.iter
+    (fun c ->
+      let d = design ~circuit:c () in
+      let ratio = Sl_sta.Slew.dmax_ratio d in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ramp/step %.3f in (1, 1.6)" c.Circuit.name ratio)
+        true
+        (ratio > 1.0 && ratio < 1.6))
+    [ Benchmarks.c17 (); Generators.ripple_adder 8; Generators.array_multiplier 6 ]
+
+let test_slew_zero_beta_matches_step () =
+  let d = design ~circuit:(Generators.ripple_adder 8) () in
+  let r = Sl_sta.Slew.analyze ~beta:0.0 d in
+  check_float ~eps:1e-9 "beta=0 reduces to step model" (Sta.dmax d) r.Sl_sta.Slew.dmax
+
+let test_slew_monotone_in_input_slew () =
+  let d = design () in
+  let slow = (Sl_sta.Slew.analyze ~s0:120.0 d).Sl_sta.Slew.dmax in
+  let fast = (Sl_sta.Slew.analyze ~s0:10.0 d).Sl_sta.Slew.dmax in
+  Alcotest.(check bool) "slower driver, slower circuit" true (slow > fast)
+
+let test_slew_upsizing_sharpens_edges () =
+  (* upsizing a gate reduces its RC and therefore its output slew *)
+  let b = Circuit.Builder.create "pair" in
+  ignore (Circuit.Builder.add_input b "a");
+  ignore (Circuit.Builder.add_gate b "x" Cell_kind.Not [ "a" ]);
+  ignore (Circuit.Builder.add_gate b "y" Cell_kind.Not [ "x" ]);
+  Circuit.Builder.mark_output b "y";
+  let c = Circuit.Builder.build b in
+  let d = design ~circuit:c () in
+  let x = (Option.get (Circuit.find c "x")).Circuit.id in
+  let before = (Sl_sta.Slew.analyze d).Sl_sta.Slew.slew.(x) in
+  Design.set_size d x 4;
+  let after = (Sl_sta.Slew.analyze d).Sl_sta.Slew.slew.(x) in
+  Alcotest.(check bool) "slew drops" true (after < before)
+
+let test_slew_rejects_negative_params () =
+  let d = design () in
+  match Sl_sta.Slew.analyze ~beta:(-0.1) d with
+  | _ -> Alcotest.fail "negative beta accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_dmax_positive =
+  QCheck.Test.make ~name:"dmax positive on random dags" ~count:15
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let c = Generators.random_dag ~seed ~gates:100 ~inputs:10 ~outputs:5 in
+      let d = design ~circuit:c () in
+      Sta.dmax d > 0.0)
+
+let prop_upsize_never_hurts_own_delay =
+  (* upsizing a gate strictly reduces its own drive resistance; its delay
+     can only grow through self-load, which the model keeps bounded *)
+  QCheck.Test.make ~name:"monotone arrival under tighter delays" ~count:15
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let c = Generators.random_dag ~seed ~gates:80 ~inputs:10 ~outputs:5 in
+      let d = design ~circuit:c () in
+      let delays = Sta.delays d in
+      let shaved = Array.map (fun x -> 0.9 *. x) delays in
+      let a1 = Sta.arrivals c delays and a2 = Sta.arrivals c shaved in
+      Array.for_all2 (fun x y -> y <= x +. 1e-12) a1 a2)
+
+let suite =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  [
+    ( "sta",
+      [
+        Alcotest.test_case "chain delay is sum" `Quick test_chain_delay_is_sum;
+        Alcotest.test_case "arrival monotone" `Quick test_arrival_monotone_along_paths;
+        Alcotest.test_case "slack nonneg at dmax" `Quick test_slack_nonnegative_at_dmax;
+        Alcotest.test_case "slack shifts with tmax" `Quick test_slack_shifts_with_tmax;
+        Alcotest.test_case "critical path valid" `Quick test_critical_path_valid;
+        Alcotest.test_case "high vth slows circuit" `Quick test_high_vth_slows_circuit;
+        Alcotest.test_case "upsizing speeds up" `Quick test_upsizing_pi_driven_gate_speeds_up;
+        Alcotest.test_case "variation shifts delay" `Quick test_variation_shifts_delay;
+        Alcotest.test_case "Fast matches reference" `Quick test_fast_matches_reference;
+        Alcotest.test_case "slew exceeds step" `Quick test_slew_exceeds_step_model;
+        Alcotest.test_case "slew beta=0 is step" `Quick test_slew_zero_beta_matches_step;
+        Alcotest.test_case "slew monotone in s0" `Quick test_slew_monotone_in_input_slew;
+        Alcotest.test_case "upsizing sharpens edges" `Quick test_slew_upsizing_sharpens_edges;
+        Alcotest.test_case "slew rejects negatives" `Quick test_slew_rejects_negative_params;
+      ]
+      @ qc [ prop_dmax_positive; prop_upsize_never_hurts_own_delay ] );
+  ]

@@ -1,0 +1,347 @@
+open Sl_tech
+module Cell_kind = Sl_netlist.Cell_kind
+module Generators = Sl_netlist.Generators
+module Benchmarks = Sl_netlist.Benchmarks
+module Circuit = Sl_netlist.Circuit
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > eps *. Float.max 1.0 (Float.max (Float.abs expected) (Float.abs actual))
+  then Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+(* ---------- Tech ---------- *)
+
+let test_default_validates () =
+  match Tech.validate Tech.default with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "default tech invalid: %s" msg
+
+let test_leak_ratio_magnitude () =
+  (* 120 mV split at n·vT ≈ 36 mV → e^(0.12/0.0362) ≈ 27x *)
+  let r = Tech.leak_ratio Tech.default in
+  Alcotest.(check bool) "leak ratio 15-40x" true (r > 15.0 && r < 40.0)
+
+let test_delay_penalty_magnitude () =
+  let p = Tech.delay_penalty Tech.default in
+  Alcotest.(check bool) "delay penalty 10-25%" true (p > 1.10 && p < 1.25)
+
+let test_validate_catches_bad_techs () =
+  let bad =
+    [
+      ("vdd", { Tech.default with Tech.vdd = -1.0 });
+      ("vth order", { Tech.default with Tech.vth = [| 0.32; 0.20 |] });
+      ("vth above vdd", { Tech.default with Tech.vth = [| 0.2; 1.5 |] });
+      ("single vth", { Tech.default with Tech.vth = [| 0.2 |] });
+      ("alpha", { Tech.default with Tech.alpha = 3.0 });
+      ("r0", { Tech.default with Tech.r0 = 0.0 });
+    ]
+  in
+  List.iter
+    (fun (name, t) ->
+      match Tech.validate t with
+      | Ok () -> Alcotest.failf "%s: should be invalid" name
+      | Error _ -> ())
+    bad
+
+(* ---------- Cell_lib ---------- *)
+
+let lib () = Cell_lib.default ()
+
+let test_sizes_monotone_cap () =
+  let l = lib () in
+  let caps =
+    Array.init (Cell_lib.num_sizes l) (fun s ->
+        Cell_lib.input_cap l Cell_kind.Nand ~arity:2 ~size_idx:s)
+  in
+  Array.iteri
+    (fun i c -> if i > 0 && c <= caps.(i - 1) then Alcotest.fail "cap not increasing")
+    caps
+
+let test_drive_res_decreases_with_size () =
+  let l = lib () in
+  let r s =
+    Cell_lib.drive_res l Cell_kind.Nand ~arity:2 ~size_idx:s ~vth_idx:0 ~dvth:0.0
+      ~dl:0.0
+  in
+  for s = 1 to Cell_lib.num_sizes l - 1 do
+    Alcotest.(check bool) "R decreasing in size" true (r s < r (s - 1))
+  done
+
+let test_drive_res_vth_penalty () =
+  let l = lib () in
+  let r v =
+    Cell_lib.drive_res l Cell_kind.Not ~arity:1 ~size_idx:0 ~vth_idx:v ~dvth:0.0 ~dl:0.0
+  in
+  check_float ~eps:1e-9 "penalty matches tech" (Tech.delay_penalty Tech.default)
+    (r 1 /. r 0)
+
+let test_leak_vth_ratio () =
+  let l = lib () in
+  let i v =
+    Cell_lib.leak_current l Cell_kind.Not ~arity:1 ~size_idx:0 ~vth_idx:v ~dvth:0.0
+      ~dl:0.0
+  in
+  check_float ~eps:1e-9 "ratio matches tech" (Tech.leak_ratio Tech.default)
+    (i 0 /. i 1)
+
+let test_leak_exponential_in_dvth () =
+  let l = lib () in
+  let i dv =
+    Cell_lib.leak_current l Cell_kind.Not ~arity:1 ~size_idx:0 ~vth_idx:0 ~dvth:dv
+      ~dl:0.0
+  in
+  (* I(dv)·I(−dv) = I(0)² for an exponential model *)
+  check_float ~eps:1e-9 "exponential symmetry"
+    (i 0.0 *. i 0.0)
+    (i 0.02 *. i (-0.02))
+
+let test_leak_linear_in_size () =
+  let l = lib () in
+  let i s =
+    Cell_lib.leak_current l Cell_kind.Not ~arity:1 ~size_idx:s ~vth_idx:0 ~dvth:0.0
+      ~dl:0.0
+  in
+  check_float ~eps:1e-9 "leak scales with width"
+    (l.Cell_lib.sizes.(3) /. l.Cell_lib.sizes.(0))
+    (i 3 /. i 0)
+
+let test_arity_scaling_monotone () =
+  let l = lib () in
+  let f2 = Cell_lib.factors l Cell_kind.Nand ~arity:2 in
+  let f4 = Cell_lib.factors l Cell_kind.Nand ~arity:4 in
+  Alcotest.(check bool) "effort grows with arity" true
+    (f4.Cell_lib.effort > f2.Cell_lib.effort);
+  Alcotest.(check bool) "leak grows with arity" true (f4.Cell_lib.leak > f2.Cell_lib.leak)
+
+let test_rejects_bad_sizes () =
+  (match Cell_lib.create ~sizes:[||] Tech.default with
+  | _ -> Alcotest.fail "empty sizes accepted"
+  | exception Invalid_argument _ -> ());
+  match Cell_lib.create ~sizes:[| 1.0; 1.0 |] Tech.default with
+  | _ -> Alcotest.fail "non-ascending sizes accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_pi_rejected () =
+  match Cell_lib.factors (lib ()) Cell_kind.Pi ~arity:0 with
+  | _ -> Alcotest.fail "Pi accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_temperature_raises_leakage () =
+  let at temp_k =
+    let l = Cell_lib.create { Tech.default with Tech.temp_k } in
+    Cell_lib.leak_current l Cell_kind.Not ~arity:1 ~size_idx:0 ~vth_idx:0 ~dvth:0.0
+      ~dl:0.0
+  in
+  let i300 = at 300.0 and i350 = at 350.0 and i400 = at 400.0 in
+  Alcotest.(check bool) "monotone in T" true (i300 < i350 && i350 < i400);
+  (* sub-threshold current grows steeply: several-fold over 100 K *)
+  Alcotest.(check bool)
+    (Printf.sprintf "100K growth %.1fx in [3, 30]" (i400 /. i300))
+    true
+    (i400 /. i300 > 3.0 && i400 /. i300 < 30.0)
+
+let test_temperature_slows_gates () =
+  let at temp_k =
+    let l = Cell_lib.create { Tech.default with Tech.temp_k } in
+    Cell_lib.drive_res l Cell_kind.Not ~arity:1 ~size_idx:0 ~vth_idx:0 ~dvth:0.0
+      ~dl:0.0
+  in
+  let r300 = at 300.0 and r400 = at 400.0 in
+  check_float ~eps:1e-9 "mobility factor" ((400.0 /. 300.0) ** 1.5) (r400 /. r300)
+
+let test_temperature_neutral_at_300k () =
+  (* the calibration point: temperature factors are exactly 1 *)
+  let l = lib () in
+  let i =
+    Cell_lib.leak_current l Cell_kind.Not ~arity:1 ~size_idx:0 ~vth_idx:0 ~dvth:0.0
+      ~dl:0.0
+  in
+  (* unit inverter calibrated to ~50 nA at 300 K *)
+  Alcotest.(check bool) (Printf.sprintf "unit inv leak %.0f nA" i) true
+    (i > 30.0 && i < 80.0)
+
+(* ---------- Design ---------- *)
+
+let design () = Design.create (lib ()) (Benchmarks.c17 ())
+
+let test_design_initial_assignment () =
+  let d = design () in
+  Alcotest.(check int) "no high vth initially" 0 (Design.count_high_vth d);
+  let d1 = Design.create ~vth_idx:1 (lib ()) (Benchmarks.c17 ()) in
+  Alcotest.(check int) "all high vth" 6 (Design.count_high_vth d1)
+
+let test_design_set_and_copy () =
+  let d = design () in
+  let cell =
+    (* first non-PI gate *)
+    let found = ref (-1) in
+    Array.iter
+      (fun (g : Circuit.gate) ->
+        if !found < 0 && g.Circuit.kind <> Cell_kind.Pi then found := g.Circuit.id)
+      d.Design.circuit.Circuit.gates;
+    !found
+  in
+  let d2 = Design.copy d in
+  Design.set_vth d cell 1;
+  Alcotest.(check int) "original mutated" 1 (Design.count_high_vth d);
+  Alcotest.(check int) "copy unaffected" 0 (Design.count_high_vth d2)
+
+let test_design_rejects_pi_and_range () =
+  let d = design () in
+  let pi = d.Design.circuit.Circuit.inputs.(0) in
+  (match Design.set_vth d pi 1 with
+  | _ -> Alcotest.fail "PI accepted"
+  | exception Invalid_argument _ -> ());
+  match Design.set_size d (Circuit.num_gates d.Design.circuit - 1) 99 with
+  | _ -> Alcotest.fail "out-of-range size accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_design_leak_drops_with_high_vth () =
+  let d = design () in
+  let before = Design.total_leak_nominal d in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then Design.set_vth d g.Circuit.id 1)
+    d.Design.circuit.Circuit.gates;
+  let after = Design.total_leak_nominal d in
+  check_float ~eps:1e-9 "full swap scales by leak ratio"
+    (Tech.leak_ratio Tech.default) (before /. after)
+
+let test_design_delay_positive_and_sens () =
+  let d = design () in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then begin
+        let id = g.Circuit.id in
+        let d0 = Design.gate_delay d id ~dvth:0.0 ~dl:0.0 in
+        Alcotest.(check bool) "positive delay" true (d0 > 0.0);
+        let sv, sl = Design.gate_delay_sens d id in
+        Alcotest.(check bool) "positive sensitivities" true (sv > 0.0 && sl > 0.0);
+        (* finite-difference check of the analytic derivatives *)
+        let h = 1e-5 in
+        let fd_v =
+          (Design.gate_delay d id ~dvth:h ~dl:0.0 -. Design.gate_delay d id ~dvth:(-.h) ~dl:0.0)
+          /. (2.0 *. h)
+        in
+        let fd_l =
+          (Design.gate_delay d id ~dvth:0.0 ~dl:h -. Design.gate_delay d id ~dvth:0.0 ~dl:(-.h))
+          /. (2.0 *. h)
+        in
+        check_float ~eps:1e-4 "dvth derivative" fd_v sv;
+        check_float ~eps:1e-4 "dl derivative" fd_l sl
+      end)
+    d.Design.circuit.Circuit.gates
+
+let test_load_includes_po_and_fanout () =
+  let d = design () in
+  (* every PO-driving gate's load includes c_out *)
+  Array.iter
+    (fun id ->
+      Alcotest.(check bool) "PO load at least c_out" true
+        (Design.load d id >= Tech.default.Tech.c_out))
+    d.Design.circuit.Circuit.outputs
+
+let test_upsizing_fanout_increases_load () =
+  let d = design () in
+  let g22 =
+    match Circuit.find d.Design.circuit "G22" with
+    | Some g -> g
+    | None -> Alcotest.fail "G22 missing"
+  in
+  let drv = g22.Circuit.fanin.(0) in
+  let before = Design.load d drv in
+  Design.set_size d g22.Circuit.id 3;
+  let after = Design.load d drv in
+  Alcotest.(check bool) "load grew" true (after > before)
+
+(* ---------- Liberty ---------- *)
+
+let test_liberty_roundtrip () =
+  let l =
+    Cell_lib.create ~sizes:[| 1.0; 2.0; 4.0 |]
+      ~overrides:[ (Cell_kind.Nand, { Cell_lib.effort = 1.4; cap_pin = 1.5; leak = 1.1; par = 1.6 }) ]
+      { Tech.default with Tech.vdd = 1.1; name = "roundtrip-90nm" }
+  in
+  let l' = Liberty.parse_string (Liberty.to_string l) in
+  check_float "vdd" 1.1 l'.Cell_lib.tech.Tech.vdd;
+  Alcotest.(check string) "name" "roundtrip-90nm" l'.Cell_lib.tech.Tech.name;
+  Alcotest.(check int) "sizes" 3 (Cell_lib.num_sizes l');
+  let f = Cell_lib.factors l' Cell_kind.Nand ~arity:2 in
+  check_float "override effort" 1.4 f.Cell_lib.effort
+
+let test_liberty_defaults_when_omitted () =
+  let l = Liberty.parse_string "library \"min\" { vdd 1.0 }" in
+  check_float "vdd taken" 1.0 l.Cell_lib.tech.Tech.vdd;
+  check_float "alpha defaulted" Tech.default.Tech.alpha l.Cell_lib.tech.Tech.alpha
+
+let test_liberty_parse_errors () =
+  let cases =
+    [
+      ("no library kw", "foo \"x\" { }");
+      ("bad field", "library \"x\" { frobnicate 1.0 }");
+      ("unterminated", "library \"x\" { vdd 1.0 ");
+      ("bad cell kind", "library \"x\" { cell FROB { } }");
+      ("trailing", "library \"x\" { } extra");
+      ("unterminated string", "library \"x { }");
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      match Liberty.parse_string text with
+      | _ -> Alcotest.failf "%s: expected Parse_error" name
+      | exception Liberty.Parse_error _ -> ())
+    cases
+
+let test_liberty_rejects_invalid_values () =
+  match Liberty.parse_string "library \"x\" { vdd -2.0 }" with
+  | _ -> Alcotest.fail "invalid tech accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_liberty_comments () =
+  let l = Liberty.parse_string "# hello\nlibrary \"x\" { # inline\n vdd 1.3 }" in
+  check_float "vdd" 1.3 l.Cell_lib.tech.Tech.vdd
+
+let suite =
+  [
+    ( "tech.tech",
+      [
+        Alcotest.test_case "default validates" `Quick test_default_validates;
+        Alcotest.test_case "leak ratio magnitude" `Quick test_leak_ratio_magnitude;
+        Alcotest.test_case "delay penalty magnitude" `Quick test_delay_penalty_magnitude;
+        Alcotest.test_case "validate catches bad" `Quick test_validate_catches_bad_techs;
+      ] );
+    ( "tech.cell_lib",
+      [
+        Alcotest.test_case "cap monotone in size" `Quick test_sizes_monotone_cap;
+        Alcotest.test_case "R decreasing in size" `Quick test_drive_res_decreases_with_size;
+        Alcotest.test_case "R vth penalty" `Quick test_drive_res_vth_penalty;
+        Alcotest.test_case "leak vth ratio" `Quick test_leak_vth_ratio;
+        Alcotest.test_case "leak exponential" `Quick test_leak_exponential_in_dvth;
+        Alcotest.test_case "leak linear in size" `Quick test_leak_linear_in_size;
+        Alcotest.test_case "arity scaling" `Quick test_arity_scaling_monotone;
+        Alcotest.test_case "rejects bad sizes" `Quick test_rejects_bad_sizes;
+        Alcotest.test_case "rejects Pi" `Quick test_pi_rejected;
+        Alcotest.test_case "temperature raises leakage" `Quick test_temperature_raises_leakage;
+        Alcotest.test_case "temperature slows gates" `Quick test_temperature_slows_gates;
+        Alcotest.test_case "neutral at 300K" `Quick test_temperature_neutral_at_300k;
+      ] );
+    ( "tech.design",
+      [
+        Alcotest.test_case "initial assignment" `Quick test_design_initial_assignment;
+        Alcotest.test_case "set and copy" `Quick test_design_set_and_copy;
+        Alcotest.test_case "rejects PI and range" `Quick test_design_rejects_pi_and_range;
+        Alcotest.test_case "leak drops with high vth" `Quick test_design_leak_drops_with_high_vth;
+        Alcotest.test_case "delay and sensitivities" `Quick test_design_delay_positive_and_sens;
+        Alcotest.test_case "PO load" `Quick test_load_includes_po_and_fanout;
+        Alcotest.test_case "fanout sizing affects load" `Quick test_upsizing_fanout_increases_load;
+      ] );
+    ( "tech.liberty",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_liberty_roundtrip;
+        Alcotest.test_case "defaults when omitted" `Quick test_liberty_defaults_when_omitted;
+        Alcotest.test_case "parse errors" `Quick test_liberty_parse_errors;
+        Alcotest.test_case "rejects invalid values" `Quick test_liberty_rejects_invalid_values;
+        Alcotest.test_case "comments" `Quick test_liberty_comments;
+      ] );
+  ]

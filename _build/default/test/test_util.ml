@@ -1,0 +1,419 @@
+open Sl_util
+
+let feq ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "Rng.int out of range: %d" x
+  done
+
+let test_rng_int_uniformity () =
+  let r = Rng.create 11 in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let x = Rng.int r 8 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expect = float_of_int n /. 8.0 in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expect) /. expect in
+      if dev > 0.05 then Alcotest.failf "bucket %d deviates %.3f" i dev)
+    counts
+
+let test_rng_uniform_open () =
+  let r = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform r in
+    if not (u > 0.0 && u < 1.0) then Alcotest.failf "uniform out of (0,1): %g" u
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 13 in
+  let n = 200_000 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to n do
+    Stats.Acc.add acc (Rng.gaussian r)
+  done;
+  if Float.abs (Stats.Acc.mean acc) > 0.01 then
+    Alcotest.failf "gaussian mean too far from 0: %g" (Stats.Acc.mean acc);
+  if Float.abs (Stats.Acc.variance acc -. 1.0) > 0.02 then
+    Alcotest.failf "gaussian variance too far from 1: %g" (Stats.Acc.variance acc)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 99 in
+  let child = Rng.split parent in
+  let xs = Array.init 2000 (fun _ -> Rng.gaussian parent) in
+  let ys = Array.init 2000 (fun _ -> Rng.gaussian child) in
+  let rho = Stats.correlation xs ys in
+  if Float.abs rho > 0.08 then Alcotest.failf "split streams correlate: %g" rho
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 21 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  let sb = Array.copy b in
+  Array.sort compare sb;
+  Alcotest.(check (array int)) "same multiset" a sb;
+  Alcotest.(check bool) "actually permuted" true (b <> a)
+
+(* ---------- Special ---------- *)
+
+let test_erf_known_values () =
+  (* reference values from tables *)
+  check_float ~eps:1e-6 "erf 0" 0.0 (Special.erf 0.0);
+  check_float ~eps:1e-6 "erf 1" 0.8427007929 (Special.erf 1.0);
+  check_float ~eps:1e-6 "erf 2" 0.9953222650 (Special.erf 2.0);
+  check_float ~eps:1e-6 "erf -1" (-0.8427007929) (Special.erf (-1.0))
+
+let test_erfc_symmetry () =
+  List.iter
+    (fun x ->
+      check_float ~eps:1e-6 "erfc(x) + erfc(-x) = 2" 2.0
+        (Special.erfc x +. Special.erfc (-.x)))
+    [ 0.0; 0.3; 1.0; 2.5; 5.0 ]
+
+let test_normal_cdf_values () =
+  check_float ~eps:1e-7 "Phi 0" 0.5 (Special.normal_cdf 0.0);
+  check_float ~eps:1e-6 "Phi 1.6449" 0.95 (Special.normal_cdf 1.6448536269514722);
+  check_float ~eps:1e-6 "Phi 2.3263" 0.99 (Special.normal_cdf 2.3263478740408408);
+  check_float ~eps:1e-6 "Phi -1" 0.15865525393145707 (Special.normal_cdf (-1.0))
+
+let test_icdf_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Special.normal_icdf p in
+      check_float ~eps:1e-9 (Printf.sprintf "Phi(Phi^-1(%g))" p) p (Special.normal_cdf x))
+    [ 1e-9; 1e-4; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.9999; 1.0 -. 1e-9 ]
+
+let test_icdf_invalid () =
+  List.iter
+    (fun p ->
+      match Special.normal_icdf p with
+      | _ -> Alcotest.failf "normal_icdf %g should raise" p
+      | exception Invalid_argument _ -> ())
+    [ 0.0; 1.0; -0.5; 2.0 ]
+
+let test_log_tail_matches_direct () =
+  List.iter
+    (fun x ->
+      let direct = log (Special.normal_cdf (-.x)) in
+      let v = Special.log_normal_cdf_tail x in
+      check_float ~eps:1e-6 (Printf.sprintf "log tail at %g" x) direct v)
+    [ 1.0; 3.0; 8.0; 20.0 ]
+
+let test_log_tail_extreme () =
+  (* At x = 40 the direct CDF underflows; the asymptotic value must still
+     be finite and close to -x^2/2. *)
+  let v = Special.log_normal_cdf_tail 40.0 in
+  Alcotest.(check bool) "finite" true (Float.is_finite v);
+  Alcotest.(check bool) "roughly -x^2/2" true (v < -780.0 && v > -812.0)
+
+let test_clark_independent_standard () =
+  (* E[max(Z1,Z2)] = 1/sqrt(pi) for independent standard normals. *)
+  let mean, var, t =
+    Special.clark_max_moments ~mu1:0.0 ~sigma1:1.0 ~mu2:0.0 ~sigma2:1.0 ~rho:0.0
+  in
+  check_float ~eps:1e-9 "mean" (1.0 /. sqrt Float.pi) mean;
+  check_float ~eps:1e-9 "var" (1.0 -. (1.0 /. Float.pi)) var;
+  check_float ~eps:1e-9 "tightness" 0.5 t
+
+let test_clark_dominant_operand () =
+  (* A far-dominant operand makes max ~ that operand. *)
+  let mean, var, t =
+    Special.clark_max_moments ~mu1:100.0 ~sigma1:2.0 ~mu2:0.0 ~sigma2:3.0 ~rho:0.0
+  in
+  check_float ~eps:1e-6 "mean" 100.0 mean;
+  check_float ~eps:1e-6 "var" 4.0 var;
+  check_float ~eps:1e-9 "tightness" 1.0 t
+
+let test_clark_degenerate_equal () =
+  let mean, var, t =
+    Special.clark_max_moments ~mu1:3.0 ~sigma1:1.0 ~mu2:1.0 ~sigma2:1.0 ~rho:1.0
+  in
+  check_float ~eps:1e-12 "mean" 3.0 mean;
+  check_float ~eps:1e-12 "var" 1.0 var;
+  check_float ~eps:1e-12 "tightness" 1.0 t
+
+let test_clark_vs_monte_carlo () =
+  let mu1 = 1.0 and sigma1 = 0.5 and mu2 = 1.2 and sigma2 = 0.3 and rho = 0.4 in
+  let mean, var, _ = Special.clark_max_moments ~mu1 ~sigma1 ~mu2 ~sigma2 ~rho in
+  let r = Rng.create 8 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 200_000 do
+    let z1 = Rng.gaussian r in
+    let zc = Rng.gaussian r in
+    let z2 = (rho *. z1) +. (sqrt (1.0 -. (rho *. rho)) *. zc) in
+    Stats.Acc.add acc (Float.max (mu1 +. (sigma1 *. z1)) (mu2 +. (sigma2 *. z2)))
+  done;
+  if Float.abs (Stats.Acc.mean acc -. mean) > 0.005 then
+    Alcotest.failf "Clark mean %.4f vs MC %.4f" mean (Stats.Acc.mean acc);
+  if Float.abs (Stats.Acc.variance acc -. var) > 0.005 then
+    Alcotest.failf "Clark var %.4f vs MC %.4f" var (Stats.Acc.variance acc)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "mean" 3.0 (Stats.mean xs);
+  check_float "variance" 2.5 (Stats.variance xs);
+  check_float "std" (sqrt 2.5) (Stats.std xs)
+
+let test_stats_quantile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "median" 3.0 (Stats.quantile xs 0.5);
+  check_float "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1" 5.0 (Stats.quantile xs 1.0);
+  check_float "q.25" 2.0 (Stats.quantile xs 0.25);
+  (* does not mutate *)
+  Alcotest.(check (array (float 0.0))) "input intact" [| 5.0; 1.0; 3.0; 2.0; 4.0 |] xs
+
+let test_stats_acc_matches_batch () =
+  let r = Rng.create 17 in
+  let xs = Array.init 1000 (fun _ -> Rng.gaussian r) in
+  let acc = Stats.Acc.create () in
+  Array.iter (Stats.Acc.add acc) xs;
+  check_float ~eps:1e-9 "mean" (Stats.mean xs) (Stats.Acc.mean acc);
+  check_float ~eps:1e-9 "variance" (Stats.variance xs) (Stats.Acc.variance acc)
+
+let test_stats_correlation_perfect () =
+  let xs = Array.init 100 float_of_int in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  check_float ~eps:1e-12 "rho=1" 1.0 (Stats.correlation xs ys);
+  let ys' = Array.map (fun x -> -.x) xs in
+  check_float ~eps:1e-12 "rho=-1" (-1.0) (Stats.correlation xs ys')
+
+let test_stats_summary () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let s = Stats.summarize xs in
+  check_float "p50" 50.0 s.Stats.p50;
+  check_float "p95" 95.0 s.Stats.p95;
+  check_float "p99" 99.0 s.Stats.p99;
+  check_float "min" 0.0 s.Stats.min;
+  check_float "max" 100.0 s.Stats.max
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_counts () =
+  let h = Histogram.build_range ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.6; 2.5; 3.5; 9.0 |] in
+  Alcotest.(check (array int)) "counts" [| 1; 2; 1; 2 |] h.Histogram.counts;
+  Alcotest.(check int) "total" 6 h.Histogram.total
+
+let test_histogram_density_integrates () =
+  let r = Rng.create 23 in
+  let xs = Array.init 5000 (fun _ -> Rng.gaussian r) in
+  let h = Histogram.build ~bins:50 xs in
+  let sum =
+    Array.fold_left (fun acc d -> acc +. (d *. h.Histogram.width)) 0.0 (Histogram.densities h)
+  in
+  check_float ~eps:1e-9 "densities integrate to 1" 1.0 sum
+
+(* ---------- Matrix ---------- *)
+
+let test_matrix_mul_identity () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Matrix.identity 2 in
+  Alcotest.(check (array (array (float 1e-12))))
+    "A*I = A" (Matrix.to_arrays a)
+    (Matrix.to_arrays (Matrix.mul a i))
+
+let test_matrix_cholesky_roundtrip () =
+  let a =
+    Matrix.of_arrays
+      [| [| 4.0; 2.0; 0.6 |]; [| 2.0; 5.0; 1.0 |]; [| 0.6; 1.0; 3.0 |] |]
+  in
+  let l = Matrix.cholesky a in
+  let llt = Matrix.mul l (Matrix.transpose l) in
+  let aa = Matrix.to_arrays a and bb = Matrix.to_arrays llt in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v -> check_float ~eps:1e-10 (Printf.sprintf "llt %d %d" i j) aa.(i).(j) v)
+        row)
+    bb
+
+let test_matrix_cholesky_rejects_indefinite () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  match Matrix.cholesky a with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_matrix_triangular_solves () =
+  let a =
+    Matrix.of_arrays
+      [| [| 4.0; 2.0; 0.6 |]; [| 2.0; 5.0; 1.0 |]; [| 0.6; 1.0; 3.0 |] |]
+  in
+  let x_true = [| 1.0; -2.0; 0.5 |] in
+  let b = Matrix.mul_vec a x_true in
+  let l = Matrix.cholesky a in
+  let y = Matrix.solve_lower l b in
+  let x = Matrix.solve_upper (Matrix.transpose l) y in
+  Array.iteri
+    (fun i v -> check_float ~eps:1e-10 (Printf.sprintf "x %d" i) x_true.(i) v)
+    x
+
+(* ---------- Rootfind / Regress ---------- *)
+
+let test_bisect_sqrt2 () =
+  let root = Rootfind.bisect (fun x -> (x *. x) -. 2.0) 0.0 2.0 in
+  check_float ~eps:1e-9 "sqrt 2" (sqrt 2.0) root
+
+let test_brent_matches_bisect () =
+  let f x = cos x -. x in
+  let r1 = Rootfind.bisect f 0.0 1.0 in
+  let r2 = Rootfind.brent f 0.0 1.0 in
+  check_float ~eps:1e-8 "brent = bisect" r1 r2
+
+let test_brent_unbracketed () =
+  match Rootfind.brent (fun x -> (x *. x) +. 1.0) (-1.0) 1.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_golden_min () =
+  let x = Rootfind.golden_min (fun x -> (x -. 1.3) ** 2.0) (-10.0) 10.0 in
+  check_float ~eps:1e-6 "argmin" 1.3 x
+
+let test_regress_exact_line () =
+  let xs = Array.init 10 float_of_int in
+  let ys = Array.map (fun x -> (3.0 *. x) -. 4.0) xs in
+  let f = Regress.linear xs ys in
+  check_float ~eps:1e-12 "slope" 3.0 f.Regress.slope;
+  check_float ~eps:1e-12 "intercept" (-4.0) f.Regress.intercept;
+  check_float ~eps:1e-12 "r2" 1.0 f.Regress.r2
+
+let test_regress_loglog_power () =
+  let xs = Array.init 20 (fun i -> float_of_int (i + 1)) in
+  let ys = Array.map (fun x -> 2.0 *. (x ** 1.5)) xs in
+  let f = Regress.loglog xs ys in
+  check_float ~eps:1e-9 "exponent" 1.5 f.Regress.slope
+
+let test_polyfit2_exact () =
+  let xs = Array.init 10 float_of_int in
+  let ys = Array.map (fun x -> 1.0 +. (2.0 *. x) +. (0.5 *. x *. x)) xs in
+  let c0, c1, c2 = Regress.polyfit2 xs ys in
+  check_float ~eps:1e-8 "c0" 1.0 c0;
+  check_float ~eps:1e-8 "c1" 2.0 c1;
+  check_float ~eps:1e-8 "c2" 0.5 c2
+
+(* ---------- qcheck properties ---------- *)
+
+let prop_icdf_monotone =
+  QCheck.Test.make ~name:"icdf monotone" ~count:500
+    QCheck.(pair (float_bound_exclusive 1.0) (float_bound_exclusive 1.0))
+    (fun (a, b) ->
+      QCheck.assume (a > 0.0 && b > 0.0 && a <> b);
+      let lo = Float.min a b and hi = Float.max a b in
+      Special.normal_icdf lo <= Special.normal_icdf hi)
+
+let prop_cdf_bounds =
+  QCheck.Test.make ~name:"cdf in [0,1]" ~count:1000
+    QCheck.(float_range (-50.0) 50.0)
+    (fun x ->
+      let p = Special.normal_cdf x in
+      p >= 0.0 && p <= 1.0)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantile within min/max" ~count:300
+    QCheck.(pair (array_of_size (Gen.int_range 1 50) (float_range (-1000.0) 1000.0)) (float_range 0.0 1.0))
+    (fun (xs, p) ->
+      let q = Stats.quantile xs p in
+      let mn = Array.fold_left Float.min xs.(0) xs in
+      let mx = Array.fold_left Float.max xs.(0) xs in
+      q >= mn && q <= mx)
+
+let prop_clark_mean_dominates =
+  (* E[max(X,Y)] >= max(E X, E Y) *)
+  QCheck.Test.make ~name:"clark mean >= max of means" ~count:500
+    QCheck.(
+      quad (float_range (-5.0) 5.0) (float_range 0.01 3.0) (float_range (-5.0) 5.0)
+        (float_range 0.01 3.0))
+    (fun (mu1, sigma1, mu2, sigma2) ->
+      let mean, _, _ = Special.clark_max_moments ~mu1 ~sigma1 ~mu2 ~sigma2 ~rho:0.3 in
+      mean >= Float.max mu1 mu2 -. 1e-9)
+
+let suite =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "int uniformity" `Quick test_rng_int_uniformity;
+        Alcotest.test_case "uniform open interval" `Quick test_rng_uniform_open;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+      ] );
+    ( "util.special",
+      [
+        Alcotest.test_case "erf known values" `Quick test_erf_known_values;
+        Alcotest.test_case "erfc symmetry" `Quick test_erfc_symmetry;
+        Alcotest.test_case "normal cdf values" `Quick test_normal_cdf_values;
+        Alcotest.test_case "icdf roundtrip" `Quick test_icdf_roundtrip;
+        Alcotest.test_case "icdf invalid input" `Quick test_icdf_invalid;
+        Alcotest.test_case "log tail matches direct" `Quick test_log_tail_matches_direct;
+        Alcotest.test_case "log tail extreme" `Quick test_log_tail_extreme;
+        Alcotest.test_case "clark independent" `Quick test_clark_independent_standard;
+        Alcotest.test_case "clark dominant" `Quick test_clark_dominant_operand;
+        Alcotest.test_case "clark degenerate" `Quick test_clark_degenerate_equal;
+        Alcotest.test_case "clark vs MC" `Slow test_clark_vs_monte_carlo;
+      ]
+      @ qc [ prop_icdf_monotone; prop_cdf_bounds; prop_clark_mean_dominates ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic moments" `Quick test_stats_basic;
+        Alcotest.test_case "quantile" `Quick test_stats_quantile;
+        Alcotest.test_case "acc matches batch" `Quick test_stats_acc_matches_batch;
+        Alcotest.test_case "perfect correlation" `Quick test_stats_correlation_perfect;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+      ]
+      @ qc [ prop_quantile_bounds ] );
+    ( "util.histogram",
+      [
+        Alcotest.test_case "counts" `Quick test_histogram_counts;
+        Alcotest.test_case "density integrates" `Quick test_histogram_density_integrates;
+      ] );
+    ( "util.matrix",
+      [
+        Alcotest.test_case "mul identity" `Quick test_matrix_mul_identity;
+        Alcotest.test_case "cholesky roundtrip" `Quick test_matrix_cholesky_roundtrip;
+        Alcotest.test_case "cholesky rejects indefinite" `Quick test_matrix_cholesky_rejects_indefinite;
+        Alcotest.test_case "triangular solves" `Quick test_matrix_triangular_solves;
+      ] );
+    ( "util.numerics",
+      [
+        Alcotest.test_case "bisect sqrt2" `Quick test_bisect_sqrt2;
+        Alcotest.test_case "brent matches bisect" `Quick test_brent_matches_bisect;
+        Alcotest.test_case "brent unbracketed" `Quick test_brent_unbracketed;
+        Alcotest.test_case "golden min" `Quick test_golden_min;
+        Alcotest.test_case "regress exact line" `Quick test_regress_exact_line;
+        Alcotest.test_case "regress loglog power" `Quick test_regress_loglog_power;
+        Alcotest.test_case "polyfit2 exact" `Quick test_polyfit2_exact;
+      ] );
+  ]

@@ -1,0 +1,345 @@
+open Sl_variation
+module Benchmarks = Sl_netlist.Benchmarks
+module Generators = Sl_netlist.Generators
+module Rng = Sl_util.Rng
+module Stats = Sl_util.Stats
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > eps *. Float.max 1.0 (Float.max (Float.abs expected) (Float.abs actual))
+  then Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let test_spec_default_valid () =
+  (match Spec.validate Spec.default with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "default spec invalid: %s" m);
+  match Spec.validate Spec.no_spatial with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "no_spatial invalid: %s" m
+
+let test_spec_validation () =
+  let bad =
+    [
+      ("fractions", { Spec.default with Spec.frac_d2d = 0.9 });
+      ("negative sigma", { Spec.default with Spec.sigma_vth = -0.01 });
+      ("grid", { Spec.default with Spec.grid = 0 });
+      ("corr", { Spec.default with Spec.corr_length = 0.0 });
+    ]
+  in
+  List.iter
+    (fun (name, s) ->
+      match Spec.validate s with
+      | Ok () -> Alcotest.failf "%s should be invalid" name
+      | Error _ -> ())
+    bad
+
+let test_scaled () =
+  let s = Spec.scaled 2.0 in
+  check_float "sigma_vth doubled" (2.0 *. Spec.default.Spec.sigma_vth) s.Spec.sigma_vth;
+  check_float "fractions kept" Spec.default.Spec.frac_d2d s.Spec.frac_d2d
+
+let test_placement_in_unit_square () =
+  let c = Benchmarks.c17 () in
+  let p = Placement.by_level c in
+  for id = 0 to Sl_netlist.Circuit.num_gates c - 1 do
+    let x, y = Placement.coords p id in
+    if not (x >= 0.0 && x <= 1.0 && y >= 0.0 && y <= 1.0) then
+      Alcotest.failf "gate %d at (%g, %g)" id x y
+  done
+
+let test_placement_cells_in_range () =
+  let c = Generators.random_dag ~seed:3 ~gates:300 ~inputs:20 ~outputs:10 in
+  let p = Placement.by_level c in
+  for id = 0 to Sl_netlist.Circuit.num_gates c - 1 do
+    let cell = Placement.cell_of p ~grid:4 id in
+    if cell < 0 || cell >= 16 then Alcotest.failf "cell %d out of range" cell
+  done
+
+let model () =
+  Model.build Spec.default (Generators.random_dag ~seed:11 ~gates:400 ~inputs:30 ~outputs:10)
+
+let test_model_total_variance () =
+  (* per-gate total variance must equal sigma² regardless of the split *)
+  let m = model () in
+  let n = 430 in
+  for id = 0 to n - 1 do
+    let cv = Model.vth_coeffs m id in
+    let v =
+      Array.fold_left (fun a c -> a +. (c *. c)) 0.0 cv
+      +. (Model.vth_rnd_sigma m ** 2.0)
+    in
+    check_float ~eps:1e-9 "vth variance" (Spec.default.Spec.sigma_vth ** 2.0) v;
+    let cl = Model.l_coeffs m id in
+    let v =
+      Array.fold_left (fun a c -> a +. (c *. c)) 0.0 cl
+      +. (Model.l_rnd_sigma m ** 2.0)
+    in
+    check_float ~eps:1e-9 "l variance" (Spec.default.Spec.sigma_l ** 2.0) v
+  done
+
+let test_model_correlation_bounds_and_self () =
+  let m = model () in
+  check_float ~eps:1e-12 "self correlation" 1.0 (Model.correlation m 5 5 `Vth);
+  for _ = 1 to 50 do
+    let r = Model.correlation m 3 77 `Vth in
+    if not (r >= -1.0 && r <= 1.0) then Alcotest.failf "rho %g" r
+  done
+
+let test_correlation_floor_is_d2d () =
+  (* any two gates share at least the die-to-die variance fraction *)
+  let m = model () in
+  let rho = Model.correlation m 0 429 `Vth in
+  Alcotest.(check bool) "rho >= frac_d2d" true (rho >= Spec.default.Spec.frac_d2d -. 1e-9)
+
+let test_same_cell_gates_more_correlated () =
+  let m = model () in
+  (* find two gates in the same cell and two in different cells *)
+  let same = ref None and diff = ref None in
+  for a = 0 to 100 do
+    for b = a + 1 to 100 do
+      if Model.cell_index m a = Model.cell_index m b && !same = None then
+        same := Some (a, b);
+      if Model.cell_index m a <> Model.cell_index m b && !diff = None then
+        diff := Some (a, b)
+    done
+  done;
+  match (!same, !diff) with
+  | Some (a, b), Some (c, d) ->
+    let r_same = Model.correlation m a b `Vth in
+    let r_diff = Model.correlation m c d `Vth in
+    Alcotest.(check bool)
+      (Printf.sprintf "same-cell rho %.3f > diff-cell rho %.3f" r_same r_diff)
+      true (r_same > r_diff)
+  | _ -> Alcotest.fail "could not find gate pairs"
+
+let test_no_spatial_model () =
+  let c = Generators.random_dag ~seed:11 ~gates:400 ~inputs:30 ~outputs:10 in
+  let m = Model.build Spec.no_spatial c in
+  (* between different cells, only d2d correlation remains *)
+  let found = ref false in
+  for a = 0 to 50 do
+    for b = 0 to 50 do
+      if (not !found) && Model.cell_index m a <> Model.cell_index m b then begin
+        found := true;
+        check_float ~eps:1e-9 "pure d2d correlation" Spec.no_spatial.Spec.frac_d2d
+          (Model.correlation m a b `Vth)
+      end
+    done
+  done;
+  Alcotest.(check bool) "pair found" true !found
+
+let test_sample_moments_match_model () =
+  let m = model () in
+  let rng = Rng.create 31 in
+  let n_samples = 4000 in
+  let g1 = 17 and g2 = 399 in
+  let x1 = Array.make n_samples 0.0 and x2 = Array.make n_samples 0.0 in
+  for i = 0 to n_samples - 1 do
+    let s = Model.Sample.draw m rng in
+    x1.(i) <- s.Model.Sample.dvth.(g1);
+    x2.(i) <- s.Model.Sample.dvth.(g2)
+  done;
+  let sd = Spec.default.Spec.sigma_vth in
+  if Float.abs (Stats.std x1 -. sd) > 0.05 *. sd then
+    Alcotest.failf "sample std %.5f vs model %.5f" (Stats.std x1) sd;
+  let rho_model = Model.correlation m g1 g2 `Vth in
+  let rho_emp = Stats.correlation x1 x2 in
+  if Float.abs (rho_model -. rho_emp) > 0.06 then
+    Alcotest.failf "rho model %.3f vs empirical %.3f" rho_model rho_emp
+
+let test_sample_l_independent_of_vth () =
+  let m = model () in
+  let rng = Rng.create 37 in
+  let n_samples = 3000 in
+  let xv = Array.make n_samples 0.0 and xl = Array.make n_samples 0.0 in
+  for i = 0 to n_samples - 1 do
+    let s = Model.Sample.draw m rng in
+    xv.(i) <- s.Model.Sample.dvth.(10);
+    xl.(i) <- s.Model.Sample.dl.(10)
+  done;
+  let rho = Stats.correlation xv xl in
+  Alcotest.(check bool) (Printf.sprintf "vth-l independence (rho=%.3f)" rho) true
+    (Float.abs rho < 0.06)
+
+let test_zero_sample () =
+  let m = model () in
+  let s = Model.Sample.zero m in
+  Alcotest.(check bool) "all zeros" true
+    (Array.for_all (fun x -> x = 0.0) s.Model.Sample.dvth
+    && Array.for_all (fun x -> x = 0.0) s.Model.Sample.dl)
+
+let test_deterministic_sampling () =
+  let m = model () in
+  let s1 = Model.Sample.draw m (Rng.create 77) in
+  let s2 = Model.Sample.draw m (Rng.create 77) in
+  Alcotest.(check (array (float 0.0))) "same dies" s1.Model.Sample.dvth s2.Model.Sample.dvth
+
+(* ---------- user placements ---------- *)
+
+let test_placement_of_coords () =
+  let c = Benchmarks.c17 () in
+  (* put G1 and G22 at opposite corners of a 100x100 die *)
+  let p = Placement.of_coords c [ ("G1", 0.0, 0.0); ("G22", 100.0, 100.0) ] in
+  let g1 = (Option.get (Sl_netlist.Circuit.find c "G1")).Sl_netlist.Circuit.id in
+  let g22 = (Option.get (Sl_netlist.Circuit.find c "G22")).Sl_netlist.Circuit.id in
+  let x1, y1 = Placement.coords p g1 in
+  let x2, y2 = Placement.coords p g22 in
+  check_float "G1 at origin" 0.0 (x1 +. y1);
+  check_float "G22 at far corner" 2.0 (x2 +. y2)
+
+let test_placement_of_coords_rejects_unknown () =
+  let c = Benchmarks.c17 () in
+  match Placement.of_coords c [ ("ghost", 0.0, 0.0) ] with
+  | _ -> Alcotest.fail "unknown net accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_placement_parse () =
+  let c = Benchmarks.c17 () in
+  let p = Placement.parse_string c "# comment\nG1 0 0\nG22 10 10\n" in
+  let g22 = (Option.get (Sl_netlist.Circuit.find c "G22")).Sl_netlist.Circuit.id in
+  let x, y = Placement.coords p g22 in
+  check_float "normalized" 2.0 (x +. y);
+  (match Placement.parse_string c "G1 zero 0\n" with
+  | _ -> Alcotest.fail "bad coordinate accepted"
+  | exception Failure _ -> ());
+  match Placement.parse_string c "G1 0\n" with
+  | _ -> Alcotest.fail "short line accepted"
+  | exception Failure _ -> ()
+
+let test_model_with_custom_placement () =
+  let c = Benchmarks.c17 () in
+  (* all gates in one corner: every pair lands in the same grid cell, so
+     spatial correlation saturates at d2d + spatial *)
+  let names =
+    Array.to_list c.Sl_netlist.Circuit.gates
+    |> List.map (fun (g : Sl_netlist.Circuit.gate) -> (g.Sl_netlist.Circuit.name, 0.0, 0.0))
+  in
+  let p = Placement.of_coords c names in
+  let m = Model.build ~placement:p Spec.default c in
+  check_float ~eps:1e-9 "saturated correlation"
+    (Spec.default.Spec.frac_d2d +. Spec.default.Spec.frac_spatial)
+    (Model.correlation m 0 (Sl_netlist.Circuit.num_gates c - 1) `Vth)
+
+(* ---------- quadtree structure ---------- *)
+
+let test_quadtree_variance_preserved () =
+  let spec = Spec.quadtree () in
+  let c = Generators.random_dag ~seed:11 ~gates:300 ~inputs:20 ~outputs:8 in
+  let m = Model.build spec c in
+  for id = 0 to 100 do
+    let cv = Model.vth_coeffs m id in
+    let v =
+      Array.fold_left (fun a x -> a +. (x *. x)) 0.0 cv
+      +. (Model.vth_rnd_sigma m ** 2.0)
+    in
+    check_float ~eps:1e-9 "quadtree vth variance" (spec.Spec.sigma_vth ** 2.0) v
+  done
+
+let test_quadtree_correlation_levels () =
+  let spec = Spec.quadtree ~levels:3 () in
+  let c = Generators.random_dag ~seed:11 ~gates:600 ~inputs:20 ~outputs:8 in
+  let m = Model.build spec c in
+  (* same finest cell: full d2d + spatial correlation *)
+  let same = ref None and far = ref None in
+  let n = 620 in
+  (try
+     for a = 0 to n - 1 do
+       for b = a + 1 to n - 1 do
+         if !same = None && Model.cell_index m a = Model.cell_index m b then
+           same := Some (a, b);
+         (* opposite corners of the die share no quadtree level *)
+         if
+           !far = None
+           && Model.cell_index m a = 0
+           && Model.cell_index m b = (8 * 8) - 1
+         then far := Some (a, b);
+         if !same <> None && !far <> None then raise Exit
+       done
+     done
+   with Exit -> ());
+  (match !same with
+  | Some (a, b) ->
+    check_float ~eps:1e-9 "same cell: d2d + spatial"
+      (spec.Spec.frac_d2d +. spec.Spec.frac_spatial)
+      (Model.correlation m a b `Vth)
+  | None -> Alcotest.fail "no same-cell pair found");
+  match !far with
+  | Some (a, b) ->
+    check_float ~eps:1e-9 "opposite corners: d2d only" spec.Spec.frac_d2d
+      (Model.correlation m a b `Vth)
+  | None -> ()  (* placement may not populate both corners; fine *)
+
+let test_quadtree_sampling_matches_model () =
+  let spec = Spec.quadtree ~levels:2 () in
+  let c = Generators.random_dag ~seed:13 ~gates:200 ~inputs:16 ~outputs:8 in
+  let m = Model.build spec c in
+  let rng = Rng.create 5 in
+  let g1 = 20 and g2 = 150 in
+  let xs = Array.make 3000 0.0 and ys = Array.make 3000 0.0 in
+  for i = 0 to 2999 do
+    let s = Model.Sample.draw m rng in
+    xs.(i) <- s.Model.Sample.dvth.(g1);
+    ys.(i) <- s.Model.Sample.dvth.(g2)
+  done;
+  let rho_model = Model.correlation m g1 g2 `Vth in
+  let rho_emp = Stats.correlation xs ys in
+  if Float.abs (rho_model -. rho_emp) > 0.07 then
+    Alcotest.failf "quadtree rho model %.3f vs empirical %.3f" rho_model rho_emp
+
+let prop_correlation_decreases_with_distance =
+  QCheck.Test.make ~name:"spatial correlation decays with distance" ~count:10
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let c = Generators.random_dag ~seed ~gates:200 ~inputs:16 ~outputs:4 in
+      let m = Model.build Spec.default c in
+      let p = Placement.by_level c in
+      (* compare a near pair and a far pair anchored at gate 0 *)
+      let x0, y0 = Placement.coords p 0 in
+      let dist i =
+        let x, y = Placement.coords p i in
+        sqrt (((x -. x0) ** 2.0) +. ((y -. y0) ** 2.0))
+      in
+      let near = ref 1 and far = ref 1 in
+      for i = 1 to 199 do
+        if dist i < dist !near then near := i;
+        if dist i > dist !far then far := i
+      done;
+      dist !far <= dist !near
+      || Model.correlation m 0 !near `Vth >= Model.correlation m 0 !far `Vth -. 1e-9)
+
+let suite =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  [
+    ( "variation.spec",
+      [
+        Alcotest.test_case "default valid" `Quick test_spec_default_valid;
+        Alcotest.test_case "validation" `Quick test_spec_validation;
+        Alcotest.test_case "scaled" `Quick test_scaled;
+      ] );
+    ( "variation.placement",
+      [
+        Alcotest.test_case "unit square" `Quick test_placement_in_unit_square;
+        Alcotest.test_case "cells in range" `Quick test_placement_cells_in_range;
+        Alcotest.test_case "of_coords" `Quick test_placement_of_coords;
+        Alcotest.test_case "of_coords rejects unknown" `Quick test_placement_of_coords_rejects_unknown;
+        Alcotest.test_case "parse" `Quick test_placement_parse;
+        Alcotest.test_case "model with custom placement" `Quick test_model_with_custom_placement;
+      ] );
+    ( "variation.model",
+      [
+        Alcotest.test_case "total variance preserved" `Quick test_model_total_variance;
+        Alcotest.test_case "correlation bounds" `Quick test_model_correlation_bounds_and_self;
+        Alcotest.test_case "d2d floor" `Quick test_correlation_floor_is_d2d;
+        Alcotest.test_case "same-cell correlation" `Quick test_same_cell_gates_more_correlated;
+        Alcotest.test_case "no-spatial ablation" `Quick test_no_spatial_model;
+        Alcotest.test_case "sample moments" `Slow test_sample_moments_match_model;
+        Alcotest.test_case "vth-l independence" `Slow test_sample_l_independent_of_vth;
+        Alcotest.test_case "zero sample" `Quick test_zero_sample;
+        Alcotest.test_case "deterministic sampling" `Quick test_deterministic_sampling;
+        Alcotest.test_case "quadtree variance" `Quick test_quadtree_variance_preserved;
+        Alcotest.test_case "quadtree correlation levels" `Quick test_quadtree_correlation_levels;
+        Alcotest.test_case "quadtree sampling" `Slow test_quadtree_sampling_matches_model;
+      ]
+      @ qc [ prop_correlation_decreases_with_distance ] );
+  ]

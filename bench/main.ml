@@ -16,6 +16,7 @@
 module Experiments = Statleak.Experiments
 module Setup = Statleak.Setup
 module Benchmarks = Sl_netlist.Benchmarks
+module Circuit = Sl_netlist.Circuit
 module Design = Sl_tech.Design
 module Spec = Sl_variation.Spec
 module Model = Sl_variation.Model
@@ -26,14 +27,44 @@ module Det_opt = Sl_opt.Det_opt
 module Stat_opt = Sl_opt.Stat_opt
 module Anneal = Sl_opt.Anneal
 
-let print_experiments ~quick =
+let print_experiments ~quick ~jobs =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (o : Experiments.output) ->
       Printf.printf "=== %s: %s ===\n%s\n%!" o.Experiments.id o.Experiments.title
         o.Experiments.body)
-    (Experiments.all ~quick ());
+    (Experiments.all ~quick ~jobs ());
   Printf.printf "(experiment reproduction took %.1f s)\n\n%!" (Unix.gettimeofday () -. t0)
+
+(* ---------- Monte-Carlo seq-vs-parallel speedup ---------- *)
+
+let run_speedup ~quick ~jobs =
+  (* largest benchmark circuit: where parallel MC matters most *)
+  let name, cells =
+    List.fold_left
+      (fun ((_, best) as acc) n ->
+        match Benchmarks.by_name n with
+        | Some c when Circuit.num_cells c > best -> (n, Circuit.num_cells c)
+        | _ -> acc)
+      ("", 0) Benchmarks.names
+  in
+  let samples = if quick then 1000 else 5000 in
+  let s = Setup.of_benchmark name in
+  let d = Setup.fresh_design s in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "=== Monte-Carlo speedup: %s (%d cells), %d dies ===\n%!" name cells
+    samples;
+  let r_seq, t_seq = time (fun () -> Mc.run ~jobs:1 ~seed:47 ~samples d s.Setup.model) in
+  let r_par, t_par = time (fun () -> Mc.run ~jobs ~seed:47 ~samples d s.Setup.model) in
+  let identical = r_seq.Mc.delay = r_par.Mc.delay && r_seq.Mc.leak = r_par.Mc.leak in
+  Printf.printf
+    "jobs=1: %6.2f s    jobs=%d: %6.2f s    speedup: %.2fx    bit-identical: %b\n\n%!"
+    t_seq jobs t_par (t_seq /. t_par) identical;
+  if not identical then failwith "speedup bench: parallel MC diverged from sequential"
 
 (* ---------- bechamel kernels, one per experiment ---------- *)
 
@@ -175,5 +206,14 @@ let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
-  print_experiments ~quick;
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> int_of_string v
+      | _ :: rest -> find rest
+      | [] -> Sl_util.Parallel.default_jobs ()
+    in
+    find args
+  in
+  print_experiments ~quick ~jobs;
+  run_speedup ~quick ~jobs;
   if not no_bechamel then run_bechamel ()

@@ -57,6 +57,13 @@ let samples_arg =
   let doc = "Monte-Carlo sample count." in
   Arg.(value & opt int 2000 & info [ "samples" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo evaluation (default: all cores).  Results \
+     are bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let load_circuit spec =
   if Sys.file_exists spec && not (Sys.is_directory spec) then Bench_format.parse_file spec
   else
@@ -160,11 +167,11 @@ let leakage circuit_spec lib_file sigma_scale size_idx =
         (Leak_ssta.quantile l p /. 1000.0))
     [ 0.5; 0.95; 0.99 ]
 
-let mc circuit_spec lib_file sigma_scale size_idx factor seed samples =
+let mc circuit_spec lib_file sigma_scale size_idx factor seed samples jobs =
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let d = Setup.fresh_design s in
   let tmax = Setup.tmax s ~factor in
-  let r = Mc.run ~seed ~samples d s.Setup.model in
+  let r = Mc.run ?jobs ~seed ~samples d s.Setup.model in
   Printf.printf "%d dies, Tmax = %.1f ps (%.2f * D0)\n" samples tmax factor;
   Printf.printf "delay:  mean %.1f ps, std %.1f ps, yield %.4f\n" (Mc.delay_mean r)
     (Mc.delay_std r)
@@ -189,13 +196,13 @@ let print_metrics tag tmax (m : Evaluate.metrics) =
     m.Evaluate.total_width;
   ignore tmax
 
-let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples dump =
+let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples jobs dump =
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let tmax = Setup.tmax s ~factor in
   Printf.printf "%s: D0 = %.1f ps, Tmax = %.1f ps (%.2fx), eta = %.2f, mode = %s\n"
     s.Setup.name s.Setup.d0 tmax factor eta mode;
   let d = Setup.fresh_design s in
-  print_metrics "init" tmax (Evaluate.design ~mc_samples:samples s ~tmax d);
+  print_metrics "init" tmax (Evaluate.design ~mc_samples:samples ?jobs s ~tmax d);
   (match mode with
   | "det" ->
     let st = Sl_opt.Det_opt.optimize (Sl_opt.Det_opt.default_config ~tmax) d s.Setup.spec in
@@ -222,7 +229,7 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
   | other ->
     Printf.eprintf "error: unknown mode %S (use det, lr or stat)\n" other;
     exit 2);
-  print_metrics "final" tmax (Evaluate.design ~mc_samples:samples s ~tmax d);
+  print_metrics "final" tmax (Evaluate.design ~mc_samples:samples ?jobs s ~tmax d);
   match dump with
   | None -> ()
   | Some path ->
@@ -283,8 +290,8 @@ let export circuit_spec format out =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
-let experiments quick ids =
-  let outputs = Experiments.all ~quick () in
+let experiments quick jobs ids =
+  let outputs = Experiments.all ~quick ?jobs () in
   let selected =
     match ids with
     | [] -> outputs
@@ -333,7 +340,7 @@ let mc_cmd =
   Cmd.v (Cmd.info "mc" ~doc:"Monte-Carlo reference evaluation.")
     Term.(
       const mc $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg $ factor_arg
-      $ seed_arg $ samples_arg)
+      $ seed_arg $ samples_arg $ jobs_arg)
 
 let optimize_cmd =
   let mode_arg =
@@ -352,7 +359,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run a leakage optimizer and report before/after metrics.")
     Term.(
       const optimize $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
-      $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ dump_arg)
+      $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ jobs_arg $ dump_arg)
 
 let paths_cmd =
   let k_arg =
@@ -394,7 +401,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const experiments $ quick_arg $ ids_arg)
+    Term.(const experiments $ quick_arg $ jobs_arg $ ids_arg)
 
 let () =
   let doc = "statistical leakage optimization under process variation (DAC 2004 reproduction)" in

@@ -22,11 +22,11 @@ type metrics = {
   total_width : float;
 }
 
-let design ?(mc_samples = 0) ?(seed = 1) (s : Setup.t) ~tmax d =
+let design ?(mc_samples = 0) ?(seed = 1) ?jobs (s : Setup.t) ~tmax d =
   let res = Ssta.analyze d s.Setup.model in
   let leak = Leak_ssta.create d s.Setup.model in
   let mc =
-    if mc_samples > 0 then Some (Mc.run ~seed ~samples:mc_samples d s.Setup.model)
+    if mc_samples > 0 then Some (Mc.run ?jobs ~seed ~samples:mc_samples d s.Setup.model)
     else None
   in
   let cells = float_of_int (Circuit.num_cells s.Setup.circuit) in

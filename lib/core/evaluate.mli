@@ -23,8 +23,11 @@ type metrics = {
 }
 
 val design :
-  ?mc_samples:int -> ?seed:int -> Setup.t -> tmax:float -> Sl_tech.Design.t -> metrics
-(** [mc_samples] defaults to 0 (no MC); [seed] defaults to 1. *)
+  ?mc_samples:int -> ?seed:int -> ?jobs:int ->
+  Setup.t -> tmax:float -> Sl_tech.Design.t -> metrics
+(** [mc_samples] defaults to 0 (no MC); [seed] defaults to 1.  [jobs]
+    bounds the Monte-Carlo worker domains (default: all cores); the
+    metrics do not depend on it. *)
 
 val improvement : float -> float -> float
 (** [improvement base opt] = percentage reduction of [opt] vs [base]. *)

@@ -84,18 +84,18 @@ let t1 ?(names = default_names) () =
 (* ------------------------------------------------------------------ *)
 
 let headline ?(names = default_names) ?(factor = 1.25) ?(eta = 0.95) ?(mc_samples = 1000)
-    () =
+    ?jobs () =
   let results =
     List.map
       (fun name ->
         let s = Setup.of_benchmark name in
         let tmax = Setup.tmax s ~factor in
         let init = Setup.fresh_design s in
-        let m_init = Evaluate.design ~mc_samples s ~tmax init in
+        let m_init = Evaluate.design ~mc_samples ?jobs s ~tmax init in
         let d_det, st_det, _ = run_det ~factor s in
-        let m_det = Evaluate.design ~mc_samples s ~tmax d_det in
+        let m_det = Evaluate.design ~mc_samples ?jobs s ~tmax d_det in
         let d_stat, st_stat, _ = run_stat ~factor ~eta s in
-        let m_stat = Evaluate.design ~mc_samples s ~tmax d_stat in
+        let m_stat = Evaluate.design ~mc_samples ?jobs s ~tmax d_stat in
         (name, m_init, (st_det, m_det), (st_stat, m_stat)))
       names
   in
@@ -161,7 +161,7 @@ let headline ?(names = default_names) ?(factor = 1.25) ?(eta = 0.95) ?(mc_sample
 (* T4: model-vs-MC validation                                          *)
 (* ------------------------------------------------------------------ *)
 
-let t4 ?(names = medium_names) ?(samples = 10_000) () =
+let t4 ?(names = medium_names) ?(samples = 10_000) ?jobs () =
   let rows =
     List.concat_map
       (fun name ->
@@ -172,7 +172,7 @@ let t4 ?(names = medium_names) ?(samples = 10_000) () =
             let d = Setup.fresh_design s in
             let res = Ssta.analyze d s.Setup.model in
             let leak = Leak_ssta.create d s.Setup.model in
-            let mc = Mc.run ~seed:7 ~samples d s.Setup.model in
+            let mc = Mc.run ?jobs ~seed:7 ~samples d s.Setup.model in
             let y_s = Ssta.timing_yield res ~tmax in
             let y_m = Mc.timing_yield mc ~tmax in
             let lm = Leak_ssta.mean leak and lmc = Mc.leak_mean mc in
@@ -301,11 +301,11 @@ let t6 ?(names = medium_names) () =
 (* F1: leakage distribution vs nominal                                 *)
 (* ------------------------------------------------------------------ *)
 
-let f1 ?(name = "mult8") ?(samples = 5000) () =
+let f1 ?(name = "mult8") ?(samples = 5000) ?jobs () =
   let s = Setup.of_benchmark name in
   let d = Setup.fresh_design s in
   let leak = Leak_ssta.create d s.Setup.model in
-  let mc = Mc.run ~seed:13 ~samples d s.Setup.model in
+  let mc = Mc.run ?jobs ~seed:13 ~samples d s.Setup.model in
   let h = Histogram.build ~bins:30 mc.Mc.leak in
   let centers = Histogram.centers h and dens = Histogram.densities h in
   let rows =
@@ -459,11 +459,11 @@ let f5 ?(name = "alu32") ?(scales = [ 0.5; 1.0; 1.5; 2.0 ]) ?(factor = 1.25) () 
 (* F6: delay CDF, SSTA vs MC                                           *)
 (* ------------------------------------------------------------------ *)
 
-let f6 ?(name = "mult8") ?(samples = 8000) () =
+let f6 ?(name = "mult8") ?(samples = 8000) ?jobs () =
   let s = Setup.of_benchmark name in
   let d = Setup.fresh_design s in
   let res = Ssta.analyze d s.Setup.model in
-  let mc = Mc.run ~seed:17 ~samples d s.Setup.model in
+  let mc = Mc.run ?jobs ~seed:17 ~samples d s.Setup.model in
   let cd = res.Ssta.circuit_delay in
   let mu = cd.Canonical.mean and sg = Canonical.sigma cd in
   let rows =
@@ -537,7 +537,7 @@ let f7 ?(name = "alu32") ?(factor = 1.25) () =
 (* A1: spatial-correlation ablation                                    *)
 (* ------------------------------------------------------------------ *)
 
-let a1 ?(names = [ "alu32"; "mult8" ]) () =
+let a1 ?(names = [ "alu32"; "mult8" ]) ?jobs () =
   let rows =
     List.concat_map
       (fun name ->
@@ -553,7 +553,7 @@ let a1 ?(names = [ "alu32"; "mult8" ]) () =
           (fun (tag, s_opt) ->
             (* optimize under s_opt's model, evaluate under the full model *)
             let d, st, _ = run_stat s_opt in
-            let m = Evaluate.design ~mc_samples:2000 s_full ~tmax d in
+            let m = Evaluate.design ~mc_samples:2000 ?jobs s_full ~tmax d in
             [
               name;
               tag;
@@ -734,7 +734,7 @@ let a5 ?(names = [ "alu32"; "mult8" ]) ?(survey_samples = 200) () =
 (* A6: SSTA engine cross-validation (extension)                         *)
 (* ------------------------------------------------------------------ *)
 
-let a6 ?(names = [ "add32"; "mult8"; "alu32" ]) ?(k = 200) ?(samples = 5000) () =
+let a6 ?(names = [ "add32"; "mult8"; "alu32" ]) ?(k = 200) ?(samples = 5000) ?jobs () =
   let rows =
     List.map
       (fun name ->
@@ -742,7 +742,7 @@ let a6 ?(names = [ "add32"; "mult8"; "alu32" ]) ?(k = 200) ?(samples = 5000) () 
         let d = Setup.fresh_design s in
         let block = Ssta.analyze d s.Setup.model in
         let path = Sl_ssta.Path_ssta.analyze d s.Setup.model ~k in
-        let mc = Mc.run ~seed:19 ~samples d s.Setup.model in
+        let mc = Mc.run ?jobs ~seed:19 ~samples d s.Setup.model in
         let bm = block.Ssta.circuit_delay.Canonical.mean in
         let bs = Canonical.sigma block.Ssta.circuit_delay in
         let pm = path.Sl_ssta.Path_ssta.circuit_delay.Canonical.mean in
@@ -826,7 +826,7 @@ let a7 ?(names = [ "mult8"; "alu32" ]) ?(factor = 1.10) ?(samples = 2000) () =
 (* A8: correlation-structure ablation (extension)                       *)
 (* ------------------------------------------------------------------ *)
 
-let a8 ?(names = [ "mult8"; "alu32" ]) ?(samples = 4000) () =
+let a8 ?(names = [ "mult8"; "alu32" ]) ?(samples = 4000) ?jobs () =
   let rows =
     List.concat_map
       (fun name ->
@@ -840,7 +840,7 @@ let a8 ?(names = [ "mult8"; "alu32" ]) ?(samples = 4000) () =
             let s = Setup.make ~spec ~name circuit in
             let d = Setup.fresh_design s in
             let res = Ssta.analyze d s.Setup.model in
-            let mc = Mc.run ~seed:29 ~samples d s.Setup.model in
+            let mc = Mc.run ?jobs ~seed:29 ~samples d s.Setup.model in
             let tmax = Setup.tmax s ~factor:1.10 in
             let d_opt, _, _ = run_stat s in
             let leak = Leak_ssta.mean (Leak_ssta.create d_opt s.Setup.model) in
@@ -972,16 +972,16 @@ let a10 ?(names = [ "mult8"; "alu32" ]) ?(factor = 1.15) () =
 (* A11: power-constrained parametric yield (extension)                  *)
 (* ------------------------------------------------------------------ *)
 
-let a11 ?(name = "alu32") ?(factor = 1.25) ?(samples = 4000) () =
+let a11 ?(name = "alu32") ?(factor = 1.25) ?(samples = 4000) ?jobs () =
   let s = Setup.of_benchmark name in
   let tmax = Setup.tmax s ~factor in
   let d_det, st_det, _ = run_det ~factor s in
   let d_stat, _, _ = run_stat ~factor s in
   (* power bins quoted as multiples of the *statistical* design's mean
      leakage, so both designs face identical absolute caps *)
-  let mc_stat = Mc.run ~seed:31 ~samples d_stat s.Setup.model in
+  let mc_stat = Mc.run ?jobs ~seed:31 ~samples d_stat s.Setup.model in
   let base = Sl_util.Stats.mean mc_stat.Mc.leak in
-  let mc_det = Mc.run ~seed:31 ~samples d_det s.Setup.model in
+  let mc_det = Mc.run ?jobs ~seed:31 ~samples d_det s.Setup.model in
   let rows =
     List.map
       (fun mult ->
@@ -1050,7 +1050,7 @@ let a12 ?(names = [ "add32"; "mult8"; "alu32" ]) ?(factor = 1.25) () =
 (* ------------------------------------------------------------------ *)
 
 let a13 ?(names = [ "mult8"; "alu32" ]) ?(factor = 1.25) ?(eta = 0.95)
-    ?(mc_samples = 2000) () =
+    ?(mc_samples = 2000) ?jobs () =
   let rows =
     List.concat_map
       (fun name ->
@@ -1060,7 +1060,7 @@ let a13 ?(names = [ "mult8"; "alu32" ]) ?(factor = 1.25) ?(eta = 0.95)
           let d = Setup.fresh_design s in
           let cfg = { (Det_opt.default_config ~tmax) with Det_opt.corner_k = k } in
           let st = Det_opt.optimize cfg d s.Setup.spec in
-          let m = Evaluate.design ~mc_samples s ~tmax d in
+          let m = Evaluate.design ~mc_samples ?jobs s ~tmax d in
           [
             name;
             Printf.sprintf "det k=%.1f" k;
@@ -1072,7 +1072,7 @@ let a13 ?(names = [ "mult8"; "alu32" ]) ?(factor = 1.25) ?(eta = 0.95)
         in
         let stat_row =
           let d, _, _ = run_stat ~factor ~eta s in
-          let m = Evaluate.design ~mc_samples s ~tmax d in
+          let m = Evaluate.design ~mc_samples ?jobs s ~tmax d in
           [
             name;
             "statistical";
@@ -1106,14 +1106,14 @@ let a13 ?(names = [ "mult8"; "alu32" ]) ?(factor = 1.25) ?(eta = 0.95)
 (* ------------------------------------------------------------------ *)
 
 let a14 ?(names = [ "add32"; "mult8"; "alu32" ]) ?(factor = 1.25) ?(mc_samples = 1000)
-    () =
+    ?jobs () =
   let rows =
     List.concat_map
       (fun name ->
         let s = Setup.of_benchmark name in
         let tmax = Setup.tmax s ~factor in
         let eval tag d feasible =
-          let m = Evaluate.design ~mc_samples s ~tmax d in
+          let m = Evaluate.design ~mc_samples ?jobs s ~tmax d in
           [
             name;
             tag;
@@ -1153,47 +1153,47 @@ let a14 ?(names = [ "add32"; "mult8"; "alu32" ]) ?(factor = 1.25) ?(mc_samples =
 
 (* ------------------------------------------------------------------ *)
 
-let all ?(quick = false) () =
+let all ?(quick = false) ?jobs () =
   if quick then begin
     let names = [ "c17"; "add32" ] in
-    let t2, t3 = headline ~names ~mc_samples:300 () in
+    let t2, t3 = headline ~names ~mc_samples:300 ?jobs () in
     let f2, f4 = f2_f4 ~name:"add32" ~factors:[ 1.15; 1.30 ] () in
     [
       t1 ~names ();
       t2;
       t3;
-      t4 ~names:[ "add32" ] ~samples:1500 ();
+      t4 ~names:[ "add32" ] ~samples:1500 ?jobs ();
       t5 ~names ();
       t6 ~names:[ "add32" ] ();
-      f1 ~name:"add32" ~samples:800 ();
+      f1 ~name:"add32" ~samples:800 ?jobs ();
       f2;
       f3 ~name:"add32" ~etas:[ 0.8; 0.95 ] ();
       f4;
       f5 ~name:"add32" ~scales:[ 0.5; 1.5 ] ();
-      f6 ~name:"add32" ~samples:1500 ();
-      a1 ~names:[ "add32" ] ();
+      f6 ~name:"add32" ~samples:1500 ?jobs ();
+      a1 ~names:[ "add32" ] ?jobs ();
       a2 ~name:"add32" ();
       a3 ~names:[ "add32" ] ();
       a4 ~name:"add32" ~iterations:2000 ();
       a5 ~names:[ "add32" ] ~survey_samples:40 ();
-      a6 ~names:[ "add32" ] ~k:50 ~samples:1200 ();
+      a6 ~names:[ "add32" ] ~k:50 ~samples:1200 ?jobs ();
       a7 ~names:[ "add32" ] ~samples:400 ();
-      a8 ~names:[ "add32" ] ~samples:800 ();
+      a8 ~names:[ "add32" ] ~samples:800 ?jobs ();
       f7 ~name:"add32" ();
       a9 ~name:"add32" ~temps:[ 300.0; 400.0 ] ();
       a10 ~names:[ "add32" ] ();
-      a11 ~name:"add32" ~samples:600 ();
+      a11 ~name:"add32" ~samples:600 ?jobs ();
       a12 ~names:[ "add32" ] ();
-      a13 ~names:[ "add32" ] ~mc_samples:300 ();
-      a14 ~names:[ "add32" ] ~mc_samples:300 ();
+      a13 ~names:[ "add32" ] ~mc_samples:300 ?jobs ();
+      a14 ~names:[ "add32" ] ~mc_samples:300 ?jobs ();
     ]
   end
   else begin
-    let t2, t3 = headline () in
+    let t2, t3 = headline ?jobs () in
     let f2, f4 = f2_f4 () in
     [
-      t1 (); t2; t3; t4 (); t5 (); t6 (); f1 (); f2; f3 (); f4; f5 (); f6 (); f7 ();
-      a1 (); a2 (); a3 (); a4 (); a5 (); a6 (); a7 (); a8 (); a9 (); a10 ();
-      a11 (); a12 (); a13 (); a14 ();
+      t1 (); t2; t3; t4 ?jobs (); t5 (); t6 (); f1 ?jobs (); f2; f3 (); f4; f5 (); f6 ?jobs (); f7 ();
+      a1 ?jobs (); a2 (); a3 (); a4 (); a5 (); a6 ?jobs (); a7 (); a8 ?jobs (); a9 (); a10 ();
+      a11 ?jobs (); a12 (); a13 ?jobs (); a14 ?jobs ();
     ]
   end

@@ -22,11 +22,12 @@ val t1 : ?names:string list -> unit -> output
 
 val headline :
   ?names:string list -> ?factor:float -> ?eta:float -> ?mc_samples:int ->
+  ?jobs:int ->
   unit -> output * output
 (** T2 (mean leakage, det vs stat at equal yield) and T3 (99th-percentile
     leakage) from one optimization run per benchmark. *)
 
-val t4 : ?names:string list -> ?samples:int -> unit -> output
+val t4 : ?names:string list -> ?samples:int -> ?jobs:int -> unit -> output
 (** SSTA / Wilkinson vs Monte-Carlo validation. *)
 
 val t5 : ?names:string list -> unit -> output
@@ -35,7 +36,7 @@ val t5 : ?names:string list -> unit -> output
 val t6 : ?names:string list -> unit -> output
 (** Power breakdown: dynamic vs leakage, before/after optimization. *)
 
-val f1 : ?name:string -> ?samples:int -> unit -> output
+val f1 : ?name:string -> ?samples:int -> ?jobs:int -> unit -> output
 (** Total-leakage distribution under variation vs the nominal value. *)
 
 val f2_f4 :
@@ -49,10 +50,10 @@ val f3 : ?name:string -> ?factor:float -> ?etas:float list -> unit -> output
 val f5 : ?name:string -> ?scales:float list -> ?factor:float -> unit -> output
 (** Statistical-vs-deterministic improvement as variability scales. *)
 
-val f6 : ?name:string -> ?samples:int -> unit -> output
+val f6 : ?name:string -> ?samples:int -> ?jobs:int -> unit -> output
 (** Circuit-delay CDF: SSTA vs Monte Carlo. *)
 
-val a1 : ?names:string list -> unit -> output
+val a1 : ?names:string list -> ?jobs:int -> unit -> output
 (** Ablation: optimizing with spatial correlation modelled vs ignored. *)
 
 val a2 : ?name:string -> unit -> output
@@ -69,7 +70,7 @@ val a5 : ?names:string list -> ?survey_samples:int -> unit -> output
     vectors and the greedy IVC optimum, before and after the statistical
     optimization. *)
 
-val a6 : ?names:string list -> ?k:int -> ?samples:int -> unit -> output
+val a6 : ?names:string list -> ?k:int -> ?samples:int -> ?jobs:int -> unit -> output
 (** Extension: block-based vs path-based SSTA vs Monte Carlo. *)
 
 val a7 :
@@ -77,7 +78,7 @@ val a7 :
 (** Extension: post-silicon adaptive body bias on top of the design-time
     optimization. *)
 
-val a8 : ?names:string list -> ?samples:int -> unit -> output
+val a8 : ?names:string list -> ?samples:int -> ?jobs:int -> unit -> output
 (** Extension: grid-Cholesky vs quadtree spatial-correlation structure. *)
 
 val f7 : ?name:string -> ?factor:float -> unit -> output
@@ -90,7 +91,7 @@ val a9 : ?name:string -> ?temps:float list -> unit -> output
 val a10 : ?names:string list -> ?factor:float -> unit -> output
 (** Extension: dual vs triple threshold libraries. *)
 
-val a11 : ?name:string -> ?factor:float -> ?samples:int -> unit -> output
+val a11 : ?name:string -> ?factor:float -> ?samples:int -> ?jobs:int -> unit -> output
 (** Extension: power-constrained parametric yield (binning). *)
 
 val a12 : ?names:string list -> ?factor:float -> unit -> output
@@ -98,15 +99,18 @@ val a12 : ?names:string list -> ?factor:float -> unit -> output
 
 val a13 :
   ?names:string list -> ?factor:float -> ?eta:float -> ?mc_samples:int ->
+  ?jobs:int ->
   unit -> output
 (** Extension: deterministic guard-band (corner k) sweep vs the
     statistical flow. *)
 
 val a14 :
-  ?names:string list -> ?factor:float -> ?mc_samples:int -> unit -> output
+  ?names:string list -> ?factor:float -> ?mc_samples:int -> ?jobs:int -> unit -> output
 (** Extension: greedy vs Lagrangian-relaxation vs statistical optimizer
     comparison. *)
 
-val all : ?quick:bool -> unit -> output list
+val all : ?quick:bool -> ?jobs:int -> unit -> output list
 (** Every experiment in order.  [quick] shrinks suites and sample counts
-    (used by tests); the default is the full reproduction. *)
+    (used by tests); the default is the full reproduction.  [jobs] bounds
+    the Monte-Carlo worker domains of every MC-backed experiment
+    (default: all cores); it never changes any reported number. *)

@@ -62,26 +62,72 @@ let lhs_z_table rng ~samples ~dims =
   done;
   table
 
-let run ?(sampling = `Naive) ~seed ~samples (d : Design.t) model =
-  if samples < 1 then invalid_arg "Mc.run: samples < 1";
-  let rng = Rng.create seed in
-  let fast = Sl_sta.Sta.Fast.create d in
-  let leak_of = make_leak_evaluator d in
-  let delay = Array.make samples 0.0 and leak = Array.make samples 0.0 in
-  let draw =
+(* The sample space is split into fixed-size chunks; chunk [c] always
+   draws from [Rng.stream ~seed c] and lands in slots
+   [c*chunk_size .. c*chunk_size + chunk_size - 1].  Neither depends on
+   the worker count, so {delay; leak} is bit-identical for every [jobs]
+   (stream 0 equals the pre-parallel sequential generator, which keeps
+   short naive runs byte-compatible with historical results).  Each
+   domain builds its own STA scratch state and leak evaluator; the LHS
+   z-table is computed once up front (from dedicated stream -1) and read
+   shared. *)
+let chunk_size = 256
+
+let num_chunks samples = (samples + chunk_size - 1) / chunk_size
+
+let sweep ~sampling ~jobs ~seed ~samples (d : Design.t) model ~consume =
+  let jobs = match jobs with Some j -> j | None -> Sl_util.Parallel.default_jobs () in
+  let table =
     match sampling with
-    | `Naive -> fun _ -> Model.Sample.draw model rng
+    | `Naive -> None
     | `Lhs ->
-      let table = lhs_z_table rng ~samples ~dims:(Model.num_pcs model) in
-      fun i -> Model.Sample.draw_with_z model rng table.(i)
+      let trng = Rng.stream ~seed (-1) in
+      Some (lhs_z_table trng ~samples ~dims:(Model.num_pcs model))
   in
-  for i = 0 to samples - 1 do
-    let s = draw i in
-    delay.(i) <-
-      Sl_sta.Sta.Fast.dmax fast ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl;
-    leak.(i) <- leak_of ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl
-  done;
+  let init () = (Sl_sta.Sta.Fast.create d, make_leak_evaluator d) in
+  let work (fast, leak_of) c =
+    let rng = Rng.stream ~seed c in
+    let lo = c * chunk_size in
+    let hi = Stdlib.min samples (lo + chunk_size) - 1 in
+    for i = lo to hi do
+      let s =
+        match table with
+        | None -> Model.Sample.draw model rng
+        | Some t -> Model.Sample.draw_with_z model rng t.(i)
+      in
+      let dm =
+        Sl_sta.Sta.Fast.dmax fast ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl
+      in
+      let lk = leak_of ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl in
+      consume c i dm lk
+    done
+  in
+  ignore (Sl_util.Parallel.run ~jobs ~tasks:(num_chunks samples) ~init work)
+
+let run ?(sampling = `Naive) ?jobs ~seed ~samples (d : Design.t) model =
+  if samples < 1 then invalid_arg "Mc.run: samples < 1";
+  let delay = Array.make samples 0.0 and leak = Array.make samples 0.0 in
+  sweep ~sampling ~jobs ~seed ~samples d model ~consume:(fun _ i dm lk ->
+      delay.(i) <- dm;
+      leak.(i) <- lk);
   { delay; leak }
+
+let run_stats ?(sampling = `Naive) ?jobs ~seed ~samples (d : Design.t) model =
+  if samples < 1 then invalid_arg "Mc.run_stats: samples < 1";
+  (* one accumulator pair per chunk, merged in chunk order afterwards:
+     the reduction tree is fixed, so the result is as schedule-independent
+     as the arrays from [run] — without materializing them *)
+  let accs =
+    Array.init (num_chunks samples) (fun _ -> (Stats.Acc.create (), Stats.Acc.create ()))
+  in
+  sweep ~sampling ~jobs ~seed ~samples d model ~consume:(fun c _ dm lk ->
+      let da, la = accs.(c) in
+      Stats.Acc.add da dm;
+      Stats.Acc.add la lk);
+  Array.fold_left
+    (fun (da, la) (dc, lc) -> (Stats.Acc.merge da dc, Stats.Acc.merge la lc))
+    (Stats.Acc.create (), Stats.Acc.create ())
+    accs
 
 let timing_yield r ~tmax =
   let ok = Array.fold_left (fun acc d -> if d <= tmax then acc + 1 else acc) 0 r.delay in

@@ -12,15 +12,36 @@ type result = {
 }
 
 val run :
-  ?sampling:[ `Naive | `Lhs ] ->
+  ?sampling:[ `Naive | `Lhs ] -> ?jobs:int ->
   seed:int -> samples:int -> Sl_tech.Design.t -> Sl_variation.Model.t -> result
-(** Deterministic in [seed].  [`Lhs] (Latin-hypercube) stratifies the
-    shared principal components — one stratum per die and dimension, with
-    independently permuted strata across dimensions — which cuts the
-    variance of mean estimates markedly at equal sample count (the
-    per-gate independent components stay naive; they average out across
-    thousands of gates anyway).  Default [`Naive].
-    @raise Invalid_argument if [samples] < 1. *)
+(** Deterministic in [seed] — and in [seed] only: the sample space is cut
+    into fixed-size chunks, chunk [c] always draws from the independent
+    generator [Rng.stream ~seed c] and fills its own slice of the result,
+    so the [{delay; leak}] arrays are bit-identical for every [jobs]
+    value (including [jobs:1]), no matter how chunks land on domains.
+    [jobs] defaults to [Domain.recommended_domain_count ()]; each domain
+    gets private STA scratch state and a private leak evaluator.
+
+    [`Lhs] (Latin-hypercube) stratifies the shared principal components —
+    one stratum per die and dimension, with independently permuted strata
+    across dimensions — which cuts the variance of mean estimates markedly
+    at equal sample count (the per-gate independent components stay naive;
+    they average out across thousands of gates anyway).  The LHS z-table
+    is precomputed once from a dedicated stream and shared read-only
+    across domains.  Default [`Naive].
+    @raise Invalid_argument if [samples] < 1 or [jobs] < 1. *)
+
+val run_stats :
+  ?sampling:[ `Naive | `Lhs ] -> ?jobs:int ->
+  seed:int -> samples:int -> Sl_tech.Design.t -> Sl_variation.Model.t ->
+  Sl_util.Stats.Acc.t * Sl_util.Stats.Acc.t
+(** [(delay_acc, leak_acc)] over the same dies [run] would evaluate, but
+    streaming: per-chunk Welford accumulators are combined with
+    {!Sl_util.Stats.Acc.merge} in fixed chunk order, so memory stays O(1)
+    per worker regardless of [samples] and the reduction is
+    schedule-independent.  Use this for sample counts where materializing
+    the per-die arrays is the bottleneck.
+    @raise Invalid_argument if [samples] < 1 or [jobs] < 1. *)
 
 val timing_yield : result -> tmax:float -> float
 (** Fraction of dies meeting the constraint. *)

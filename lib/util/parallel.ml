@@ -1,0 +1,54 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+exception Worker of exn
+
+let run ~jobs ~tasks ~init f =
+  if jobs < 1 then invalid_arg "Parallel.run: jobs < 1";
+  if tasks < 0 then invalid_arg "Parallel.run: tasks < 0";
+  if tasks = 0 then [||]
+  else begin
+    let jobs = Stdlib.min jobs tasks in
+    if jobs = 1 then begin
+      (* Inline on the calling domain: no spawn, no atomics.  This is the
+         path every small run (and every run on a 1-core host) takes. *)
+      let st = init () in
+      for i = 0 to tasks - 1 do
+        f st i
+      done;
+      [| st |]
+    end
+    else begin
+      let next = Atomic.make 0 in
+      (* Work stealing off a shared counter: a worker that finishes its
+         task grabs the next unclaimed index, so an uneven task mix still
+         balances.  Task index -> output location must be a function of
+         the index alone for the result to be schedule-independent. *)
+      let worker () =
+        let st = init () in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < tasks then begin
+            f st i;
+            loop ()
+          end
+        in
+        loop ();
+        st
+      in
+      let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let mine = try Ok (worker ()) with e -> Error e in
+      let joined =
+        Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
+      in
+      let states = Array.make jobs None in
+      let record slot = function
+        | Ok st -> states.(slot) <- Some st
+        | Error e -> raise (Worker e)
+      in
+      record 0 mine;
+      Array.iteri (fun k r -> record (k + 1) r) joined;
+      Array.map (function Some st -> st | None -> assert false) states
+    end
+  end
+
+let for_ ~jobs ~tasks f = ignore (run ~jobs ~tasks ~init:(fun () -> ()) (fun () i -> f i))

@@ -1,0 +1,35 @@
+(** Multicore task execution on OCaml 5 domains.
+
+    A fixed pool of [jobs] domains (the calling domain plus [jobs - 1]
+    spawned workers) drains a shared counter of task indices.  Each worker
+    builds its own private state once with [init] — scratch buffers,
+    evaluators — so tasks mutate only worker-local data plus whatever
+    disjoint output slots the task index designates.
+
+    Determinism contract: which worker executes a task is scheduling
+    noise.  If task [i]'s effect depends only on [i] (never on the worker
+    state's history), results are bit-identical for every [jobs] value.
+    The Monte-Carlo engine gets this by giving every chunk its own
+    counter-derived RNG stream ({!Rng.stream}). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default worker count
+    everywhere a [?jobs] argument is omitted. *)
+
+exception Worker of exn
+(** Wraps the first exception raised inside a worker; all domains are
+    joined before it propagates. *)
+
+val run :
+  jobs:int -> tasks:int -> init:(unit -> 'state) -> ('state -> int -> unit) ->
+  'state array
+(** [run ~jobs ~tasks ~init f] executes [f state i] for every
+    [i] in [0, tasks), at most [min jobs tasks] tasks concurrently, and
+    returns the worker states (one per worker actually used) for
+    reduction.  [jobs = 1] runs inline on the calling domain with no
+    domain spawned.
+    @raise Invalid_argument if [jobs] < 1 or [tasks] < 0.
+    @raise Worker if any task raises. *)
+
+val for_ : jobs:int -> tasks:int -> (int -> unit) -> unit
+(** Stateless [run]. *)

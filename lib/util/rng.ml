@@ -19,13 +19,22 @@ let splitmix64_next state =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed =
-  let st = ref (Int64.of_int seed) in
+(* Stream k seeds xoshiro from splitmix64 outputs 4k+1 .. 4k+4 of the
+   seed's splitmix sequence (splitmix64_next advances by the golden gamma
+   before mixing, so offsetting the state by 4k gammas lands exactly
+   there).  Streams therefore consume disjoint, non-overlapping blocks of
+   one well-distributed sequence, and stream 0 coincides with [create]. *)
+let stream ~seed k =
+  let st =
+    ref (Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (4 * k)) 0x9E3779B97F4A7C15L))
+  in
   let s0 = splitmix64_next st in
   let s1 = splitmix64_next st in
   let s2 = splitmix64_next st in
   let s3 = splitmix64_next st in
   { s0; s1; s2; s3; spare = 0.0; has_spare = false }
+
+let create seed = stream ~seed 0
 
 let bits64 t =
   let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
@@ -49,7 +58,7 @@ let split t =
 let copy t = { t with s0 = t.s0 }
 
 let int t n =
-  assert (n > 0);
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the top 62 bits avoids modulo bias. *)
   let mask = Int64.shift_right_logical Int64.minus_one 2 in
   let bound = Int64.of_int n in

@@ -11,7 +11,17 @@ type t
 
 val create : int -> t
 (** [create seed] builds a generator from a 63-bit seed.  Equal seeds give
-    equal streams. *)
+    equal streams.  Equivalent to [stream ~seed 0]. *)
+
+val stream : seed:int -> int -> t
+(** [stream ~seed k] is the [k]-th independent generator of [seed]'s
+    stream family: each stream is seeded from its own disjoint block of
+    four splitmix64 outputs, so streams never share xoshiro seed words and
+    are decorrelated by construction.  [stream ~seed 0] equals
+    [create seed].  This is what gives the parallel Monte-Carlo engine
+    results that are independent of the worker count: chunk [k] of the
+    sample space always draws from [stream ~seed k], no matter which
+    domain evaluates it. *)
 
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
@@ -24,7 +34,8 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t n] is uniform on [0, n-1]; [n] must be positive. *)
+(** [int t n] is uniform on [0, n-1].
+    @raise Invalid_argument if [n] <= 0. *)
 
 val float : t -> float -> float
 (** [float t x] is uniform on [0, x). *)

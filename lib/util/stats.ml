@@ -9,12 +9,17 @@ type summary = {
   p99 : float;
 }
 
+let reject_nan ctx xs =
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg (ctx ^ ": NaN in sample")) xs
+
 let mean xs =
   let n = Array.length xs in
-  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
 
 let variance xs =
   let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.variance: empty sample";
   if n < 2 then 0.0
   else begin
     let m = mean xs in
@@ -28,8 +33,9 @@ let quantile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.quantile: empty sample";
   if not (p >= 0.0 && p <= 1.0) then invalid_arg "Stats.quantile: p outside [0,1]";
+  reject_nan "Stats.quantile" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let h = p *. float_of_int (n - 1) in
   let lo = int_of_float (floor h) in
   let hi = Stdlib.min (lo + 1) (n - 1) in
@@ -54,6 +60,7 @@ let correlation xs ys =
 let summarize xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  reject_nan "Stats.summarize" xs;
   let mn = Array.fold_left Float.min xs.(0) xs in
   let mx = Array.fold_left Float.max xs.(0) xs in
   {
@@ -87,4 +94,22 @@ module Acc = struct
   let mean t = t.m
   let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
   let std t = sqrt (variance t)
+
+  (* Chan et al.'s pairwise update: combines two Welford states exactly
+     (up to rounding), so per-domain accumulators reduce without ever
+     materializing the underlying samples. *)
+  let merge a b =
+    if a.n = 0 then { n = b.n; m = b.m; m2 = b.m2 }
+    else if b.n = 0 then { n = a.n; m = a.m; m2 = a.m2 }
+    else begin
+      let n = a.n + b.n in
+      let na = float_of_int a.n and nb = float_of_int b.n in
+      let nf = float_of_int n in
+      let delta = b.m -. a.m in
+      {
+        n;
+        m = a.m +. (delta *. nb /. nf);
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. nf);
+      }
+    end
 end

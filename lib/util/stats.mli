@@ -13,15 +13,23 @@ type summary = {
 (** One-pass summary of a sample. *)
 
 val mean : float array -> float
+(** @raise Invalid_argument on an empty sample (consistent with
+    {!quantile} and {!summarize}; it used to return a silent 0). *)
+
 val variance : float array -> float
-(** Sample variance (n-1 denominator); 0 for samples of size < 2. *)
+(** Sample variance (n-1 denominator); 0 for a single sample.
+    @raise Invalid_argument on an empty sample. *)
 
 val std : float array -> float
+(** @raise Invalid_argument on an empty sample. *)
 
 val quantile : float array -> float -> float
 (** [quantile xs p] for p ∈ [0,1] with linear interpolation between order
-    statistics (type-7, the numpy default).  Does not mutate [xs].
-    @raise Invalid_argument on empty input or p outside [0,1]. *)
+    statistics (type-7, the numpy default).  Sorts with [Float.compare]
+    (total order, no boxing through polymorphic compare).  Does not mutate
+    [xs].
+    @raise Invalid_argument on empty input, p outside [0,1], or NaN in the
+    sample. *)
 
 val covariance : float array -> float array -> float
 (** Sample covariance; arrays must have equal length ≥ 2. *)
@@ -30,6 +38,7 @@ val correlation : float array -> float array -> float
 (** Pearson correlation; 0 when either sample is constant. *)
 
 val summarize : float array -> summary
+(** @raise Invalid_argument on empty input or NaN in the sample. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 
@@ -43,4 +52,10 @@ module Acc : sig
   val mean : t -> float
   val variance : t -> float
   val std : t -> float
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh accumulator equivalent to having fed both
+      inputs' samples into one (Chan's parallel variance combination);
+      neither argument is mutated.  This is the reduction step for
+      per-domain accumulators in the parallel Monte-Carlo engine. *)
 end

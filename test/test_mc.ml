@@ -114,6 +114,50 @@ let test_rejects_zero_samples () =
   | _ -> Alcotest.fail "0 samples accepted"
   | exception Invalid_argument _ -> ()
 
+let test_rejects_zero_jobs () =
+  let d, m = setup (Benchmarks.c17 ()) in
+  match Mc.run ~jobs:0 ~seed:1 ~samples:10 d m with
+  | _ -> Alcotest.fail "0 jobs accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_jobs_invariant () =
+  (* the chunked RNG-stream scheme: any worker count produces the same
+     dies in the same slots, bit for bit — 700 samples spans three chunks
+     so the test crosses chunk boundaries *)
+  let d, m = setup (Generators.ripple_adder 16) in
+  List.iter
+    (fun (tag, sampling) ->
+      let base = Mc.run ~sampling ~jobs:1 ~seed:11 ~samples:700 d m in
+      List.iter
+        (fun jobs ->
+          let r = Mc.run ~sampling ~jobs ~seed:11 ~samples:700 d m in
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "%s delays jobs=%d" tag jobs)
+            base.Mc.delay r.Mc.delay;
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "%s leaks jobs=%d" tag jobs)
+            base.Mc.leak r.Mc.leak)
+        [ 2; 4 ])
+    [ ("naive", `Naive); ("lhs", `Lhs) ]
+
+let test_run_stats_matches_run () =
+  let d, m = setup (Generators.ripple_adder 8) in
+  let module Stats = Sl_util.Stats in
+  List.iter
+    (fun jobs ->
+      let r = Mc.run ~jobs ~seed:9 ~samples:600 d m in
+      let da, la = Mc.run_stats ~jobs ~seed:9 ~samples:600 d m in
+      Alcotest.(check int) "count" 600 (Stats.Acc.count da);
+      let close msg a b =
+        if Float.abs (a -. b) > 1e-9 *. Float.max 1.0 (Float.abs a) then
+          Alcotest.failf "%s: %.12g vs %.12g" msg a b
+      in
+      close "delay mean" (Stats.mean r.Mc.delay) (Stats.Acc.mean da);
+      close "delay var" (Stats.variance r.Mc.delay) (Stats.Acc.variance da);
+      close "leak mean" (Stats.mean r.Mc.leak) (Stats.Acc.mean la);
+      close "leak var" (Stats.variance r.Mc.leak) (Stats.Acc.variance la))
+    [ 1; 3 ]
+
 let suite =
   [
     ( "mc",
@@ -127,5 +171,8 @@ let suite =
         Alcotest.test_case "variation increases spread" `Slow test_variation_increases_spread;
         Alcotest.test_case "joint yield" `Quick test_joint_yield;
         Alcotest.test_case "rejects zero samples" `Quick test_rejects_zero_samples;
+        Alcotest.test_case "rejects zero jobs" `Quick test_rejects_zero_jobs;
+        Alcotest.test_case "bit-identical across jobs" `Quick test_jobs_invariant;
+        Alcotest.test_case "run_stats matches run" `Quick test_run_stats_matches_run;
       ] );
   ]

@@ -72,6 +72,30 @@ let test_rng_split_independent () =
   let rho = Stats.correlation xs ys in
   if Float.abs rho > 0.08 then Alcotest.failf "split streams correlate: %g" rho
 
+let test_rng_int_nonpositive () =
+  (* regression: this used to be a bare [assert], erased under -noassert,
+     after which the rejection loop never terminated *)
+  let r = Rng.create 3 in
+  List.iter
+    (fun n ->
+      match Rng.int r n with
+      | _ -> Alcotest.failf "Rng.int %d should raise" n
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; -17 ]
+
+let test_rng_stream_zero_is_create () =
+  let a = Rng.create 42 and b = Rng.stream ~seed:42 0 in
+  for _ = 1 to 64 do
+    Alcotest.(check int64) "stream 0 = create" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_streams_independent () =
+  let a = Rng.stream ~seed:42 1 and b = Rng.stream ~seed:42 2 in
+  let xs = Array.init 2000 (fun _ -> Rng.gaussian a) in
+  let ys = Array.init 2000 (fun _ -> Rng.gaussian b) in
+  let rho = Stats.correlation xs ys in
+  if Float.abs rho > 0.08 then Alcotest.failf "streams correlate: %g" rho
+
 let test_rng_shuffle_permutes () =
   let r = Rng.create 21 in
   let a = Array.init 50 Fun.id in
@@ -200,6 +224,48 @@ let test_stats_acc_matches_batch () =
   Array.iter (Stats.Acc.add acc) xs;
   check_float ~eps:1e-9 "mean" (Stats.mean xs) (Stats.Acc.mean acc);
   check_float ~eps:1e-9 "variance" (Stats.variance xs) (Stats.Acc.variance acc)
+
+let test_stats_empty_raises () =
+  List.iter
+    (fun (tag, f) ->
+      match f [||] with
+      | (_ : float) -> Alcotest.failf "%s on [||] should raise" tag
+      | exception Invalid_argument _ -> ())
+    [
+      ("mean", Stats.mean);
+      ("variance", Stats.variance);
+      ("std", Stats.std);
+      ("quantile", fun xs -> Stats.quantile xs 0.5);
+    ];
+  match Stats.summarize [||] with
+  | (_ : Stats.summary) -> Alcotest.fail "summarize on [||] should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_stats_nan_rejected () =
+  let xs = [| 1.0; Float.nan; 3.0 |] in
+  (match Stats.quantile xs 0.5 with
+  | (_ : float) -> Alcotest.fail "quantile should reject NaN"
+  | exception Invalid_argument _ -> ());
+  match Stats.summarize xs with
+  | (_ : Stats.summary) -> Alcotest.fail "summarize should reject NaN"
+  | exception Invalid_argument _ -> ()
+
+let test_stats_acc_merge_basic () =
+  let feed vals =
+    let acc = Stats.Acc.create () in
+    List.iter (Stats.Acc.add acc) vals;
+    acc
+  in
+  let a = feed [ 1.0; 2.0; 3.0 ] and b = feed [ 10.0; 20.0 ] in
+  let m = Stats.Acc.merge a b in
+  let whole = feed [ 1.0; 2.0; 3.0; 10.0; 20.0 ] in
+  Alcotest.(check int) "count" (Stats.Acc.count whole) (Stats.Acc.count m);
+  check_float "mean" (Stats.Acc.mean whole) (Stats.Acc.mean m);
+  check_float "variance" (Stats.Acc.variance whole) (Stats.Acc.variance m);
+  (* identity on both sides *)
+  let e = Stats.Acc.create () in
+  check_float "e+a mean" (Stats.Acc.mean a) (Stats.Acc.mean (Stats.Acc.merge e a));
+  check_float "a+e mean" (Stats.Acc.mean a) (Stats.Acc.mean (Stats.Acc.merge a e))
 
 let test_stats_correlation_perfect () =
   let xs = Array.init 100 float_of_int in
@@ -346,6 +412,33 @@ let prop_quantile_bounds =
       let mx = Array.fold_left Float.max xs.(0) xs in
       q >= mn && q <= mx)
 
+let prop_acc_merge_matches_single =
+  (* Chan's combination must agree with feeding everything into one
+     accumulator, wherever the split point falls *)
+  QCheck.Test.make ~name:"Acc.merge = single accumulator" ~count:300
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 0 60) (float_range (-1e6) 1e6))
+        (int_bound 60))
+    (fun (xs, cut) ->
+      let cut = Stdlib.min cut (Array.length xs) in
+      let feed lo hi =
+        let acc = Stats.Acc.create () in
+        for i = lo to hi - 1 do
+          Stats.Acc.add acc xs.(i)
+        done;
+        acc
+      in
+      let merged = Stats.Acc.merge (feed 0 cut) (feed cut (Array.length xs)) in
+      let whole = feed 0 (Array.length xs) in
+      let close a b =
+        Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+      in
+      Stats.Acc.count merged = Stats.Acc.count whole
+      && (Stats.Acc.count whole = 0
+          || (close (Stats.Acc.mean merged) (Stats.Acc.mean whole)
+             && close (Stats.Acc.variance merged) (Stats.Acc.variance whole))))
+
 let prop_clark_mean_dominates =
   (* E[max(X,Y)] >= max(E X, E Y) *)
   QCheck.Test.make ~name:"clark mean >= max of means" ~count:500
@@ -368,6 +461,9 @@ let suite =
         Alcotest.test_case "uniform open interval" `Quick test_rng_uniform_open;
         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
         Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "int rejects non-positive" `Quick test_rng_int_nonpositive;
+        Alcotest.test_case "stream 0 is create" `Quick test_rng_stream_zero_is_create;
+        Alcotest.test_case "streams independent" `Quick test_rng_streams_independent;
         Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
       ] );
     ( "util.special",
@@ -390,10 +486,13 @@ let suite =
         Alcotest.test_case "basic moments" `Quick test_stats_basic;
         Alcotest.test_case "quantile" `Quick test_stats_quantile;
         Alcotest.test_case "acc matches batch" `Quick test_stats_acc_matches_batch;
+        Alcotest.test_case "empty samples raise" `Quick test_stats_empty_raises;
+        Alcotest.test_case "NaN rejected" `Quick test_stats_nan_rejected;
+        Alcotest.test_case "acc merge basic" `Quick test_stats_acc_merge_basic;
         Alcotest.test_case "perfect correlation" `Quick test_stats_correlation_perfect;
         Alcotest.test_case "summary" `Quick test_stats_summary;
       ]
-      @ qc [ prop_quantile_bounds ] );
+      @ qc [ prop_quantile_bounds; prop_acc_merge_matches_single ] );
     ( "util.histogram",
       [
         Alcotest.test_case "counts" `Quick test_histogram_counts;

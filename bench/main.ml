@@ -10,8 +10,15 @@
    add32), so regressions in any experiment's cost are visible without
    re-running the full reproduction.
 
+   Part 3 checks the sl_yield sequential estimator on every run: the
+   estimate must be bit-identical for jobs in {1,2,4}, and (full mode)
+   IS+CV must reach the target CI width on mult8 at eta=0.99 with at
+   least 10x fewer dies than naive MC.
+
    "--quick" shrinks part 1 to a smoke run and skips nothing else;
-   "--no-bechamel" skips part 2. *)
+   "--no-bechamel" skips part 2; "--json PATH" additionally writes a
+   machine-readable BENCH_results.json with per-experiment wall-clock
+   and the key metrics of parts 2-3. *)
 
 module Experiments = Statleak.Experiments
 module Setup = Statleak.Setup
@@ -26,17 +33,23 @@ module Mc = Sl_mc.Mc
 module Det_opt = Sl_opt.Det_opt
 module Stat_opt = Sl_opt.Stat_opt
 module Anneal = Sl_opt.Anneal
+module Seq = Sl_yield.Seq
+module Estimate = Sl_yield.Estimate
 
 let print_experiments ~quick ~jobs =
   let t0 = Unix.gettimeofday () in
+  let outputs, times = Experiments.all_timed ~quick ~jobs () in
   List.iter
     (fun (o : Experiments.output) ->
       Printf.printf "=== %s: %s ===\n%s\n%!" o.Experiments.id o.Experiments.title
         o.Experiments.body)
-    (Experiments.all ~quick ~jobs ());
-  Printf.printf "(experiment reproduction took %.1f s)\n\n%!" (Unix.gettimeofday () -. t0)
+    outputs;
+  Printf.printf "(experiment reproduction took %.1f s)\n\n%!" (Unix.gettimeofday () -. t0);
+  times
 
 (* ---------- Monte-Carlo seq-vs-parallel speedup ---------- *)
+
+type speedup = { circuit : string; t_seq : float; t_par : float; par_jobs : int }
 
 let run_speedup ~quick ~jobs =
   (* largest benchmark circuit: where parallel MC matters most *)
@@ -64,7 +77,67 @@ let run_speedup ~quick ~jobs =
   Printf.printf
     "jobs=1: %6.2f s    jobs=%d: %6.2f s    speedup: %.2fx    bit-identical: %b\n\n%!"
     t_seq jobs t_par (t_seq /. t_par) identical;
-  if not identical then failwith "speedup bench: parallel MC diverged from sequential"
+  if not identical then failwith "speedup bench: parallel MC diverged from sequential";
+  { circuit = name; t_seq; t_par; par_jobs = jobs }
+
+(* ---------- sl_yield: determinism + variance-reduction checks ---------- *)
+
+type yield_check = {
+  yc_circuit : string;
+  eta : float;
+  halfwidth : float;
+  naive_dies : int;
+  iscv_dies : int;
+  iscv_yield : float;
+  iscv_stderr : float;
+}
+
+let run_yield_checks ~quick ~jobs =
+  let name, eta = if quick then ("add32", 0.95) else ("mult8", 0.99) in
+  let halfwidth = Float.max (0.25 *. (1.0 -. eta)) 5e-4 in
+  let s = Setup.of_benchmark name in
+  let d = Setup.fresh_design s in
+  let res = Ssta.analyze d s.Setup.model in
+  let tmax = Ssta.tmax_for_yield res ~p:eta in
+  Printf.printf "=== sl_yield checks: %s, eta=%.3f, hw=%.4f ===\n%!" name eta halfwidth;
+  let run ?(jobs = jobs) method_ =
+    Seq.estimate ~jobs ~method_ ~batch_chunks:1 ~max_samples:200_000
+      ~target_halfwidth:halfwidth ~seed:97 ~tmax d s.Setup.model
+  in
+  (* the determinism contract, asserted on every bench run: the whole
+     estimate record (value, CI, dies, ESS) is a pure function of the
+     seed, never of the worker count *)
+  List.iter
+    (fun m ->
+      let base = run ~jobs:1 m in
+      List.iter
+        (fun j ->
+          if run ~jobs:j m <> base then
+            failwith
+              (Printf.sprintf "yield check: %s diverged at jobs=%d"
+                 (Seq.method_to_string m) j))
+        [ 2; 4 ])
+    [ Seq.Naive; Seq.Lhs; Seq.Is; Seq.Cv; Seq.Is_cv ];
+  Printf.printf "bit-identical across jobs {1,2,4}: all methods\n%!";
+  let e_naive = run Seq.Naive and e_iscv = run Seq.Is_cv in
+  let ratio = float_of_int e_naive.Estimate.samples_used
+              /. float_of_int e_iscv.Estimate.samples_used in
+  Printf.printf
+    "naive: %d dies    is+cv: %d dies (yield %.4f, stderr %.5f)    savings %.1fx\n\n%!"
+    e_naive.Estimate.samples_used e_iscv.Estimate.samples_used
+    e_iscv.Estimate.value e_iscv.Estimate.stderr ratio;
+  if (not quick) && ratio < 10.0 then
+    failwith
+      (Printf.sprintf "yield check: is+cv savings %.1fx < 10x on %s" ratio name);
+  {
+    yc_circuit = name;
+    eta;
+    halfwidth;
+    naive_dies = e_naive.Estimate.samples_used;
+    iscv_dies = e_iscv.Estimate.samples_used;
+    iscv_yield = e_iscv.Estimate.value;
+    iscv_stderr = e_iscv.Estimate.stderr;
+  }
 
 (* ---------- bechamel kernels, one per experiment ---------- *)
 
@@ -176,6 +249,13 @@ let kernels () =
            ignore
              (Sl_opt.Lr_opt.optimize (Sl_opt.Lr_opt.default_config ~tmax:tmax_add32) d
                 s_add32.Setup.spec)));
+    Test.make ~name:"A15-seq-yield-c17"
+      (Staged.stage (fun () ->
+           let d = Setup.fresh_design s_c17 in
+           ignore
+             (Seq.estimate ~jobs:1 ~method_:Seq.Is_cv ~batch_chunks:1
+                ~max_samples:512 ~target_halfwidth:0.0 ~seed:97 ~tmax:tmax_c17 d
+                s_c17.Setup.model)));
   ]
 
 let run_bechamel () =
@@ -190,17 +270,80 @@ let run_bechamel () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  List.iter
-    (fun (name, r) ->
-      let time_ns =
-        match Analyze.OLS.estimates r with Some (t :: _) -> t | _ -> Float.nan
-      in
-      Printf.printf "%-32s %12.0f ns/run  (r2=%s)\n" name time_ns
-        (match Analyze.OLS.r_square r with
-        | Some r2 -> Printf.sprintf "%.3f" r2
-        | None -> "-"))
-    rows;
-  print_newline ()
+  let timings =
+    List.map
+      (fun (name, r) ->
+        let time_ns =
+          match Analyze.OLS.estimates r with Some (t :: _) -> t | _ -> Float.nan
+        in
+        Printf.printf "%-32s %12.0f ns/run  (r2=%s)\n" name time_ns
+          (match Analyze.OLS.r_square r with
+          | Some r2 -> Printf.sprintf "%.3f" r2
+          | None -> "-");
+        (name, time_ns))
+      rows
+  in
+  print_newline ();
+  timings
+
+(* ---------- machine-readable results ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check) ~kernels =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"statleak-bench/1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"experiments\": [\n";
+  List.iteri
+    (fun i (group, secs) ->
+      add "    {\"group\": \"%s\", \"seconds\": %s}%s\n" (json_escape group)
+        (json_float secs)
+        (if i = List.length times - 1 then "" else ","))
+    times;
+  add "  ],\n";
+  add "  \"mc_speedup\": {\"circuit\": \"%s\", \"seconds_jobs1\": %s, \
+       \"seconds_parallel\": %s, \"parallel_jobs\": %d, \"speedup\": %s},\n"
+    (json_escape sp.circuit) (json_float sp.t_seq) (json_float sp.t_par) sp.par_jobs
+    (json_float (sp.t_seq /. sp.t_par));
+  add "  \"yield_checks\": {\"circuit\": \"%s\", \"eta\": %s, \"halfwidth\": %s, \
+       \"naive_dies\": %d, \"iscv_dies\": %d, \"dies_savings\": %s, \
+       \"iscv_yield\": %s, \"iscv_stderr\": %s, \"jobs_bit_identical\": true},\n"
+    (json_escape yc.yc_circuit) (json_float yc.eta) (json_float yc.halfwidth)
+    yc.naive_dies yc.iscv_dies
+    (json_float (float_of_int yc.naive_dies /. float_of_int yc.iscv_dies))
+    (json_float yc.iscv_yield) (json_float yc.iscv_stderr);
+  add "  \"bechamel_ns_per_run\": {\n";
+  (match kernels with
+  | None -> ()
+  | Some ks ->
+    List.iteri
+      (fun i (name, ns) ->
+        add "    \"%s\": %s%s\n" (json_escape name) (json_float ns)
+          (if i = List.length ks - 1 then "" else ","))
+      ks);
+  add "  }\n";
+  add "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "results written to %s\n%!" path
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -214,6 +357,18 @@ let () =
     in
     find args
   in
-  print_experiments ~quick ~jobs;
-  run_speedup ~quick ~jobs;
-  if not no_bechamel then run_bechamel ()
+  let json_path =
+    let rec find = function
+      | "--json" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let times = print_experiments ~quick ~jobs in
+  let sp = run_speedup ~quick ~jobs in
+  let yc = run_yield_checks ~quick ~jobs in
+  let kernels = if no_bechamel then None else Some (run_bechamel ()) in
+  match json_path with
+  | None -> ()
+  | Some path -> write_json path ~quick ~jobs ~times ~sp ~yc ~kernels

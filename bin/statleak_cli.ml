@@ -15,6 +15,8 @@ module Ssta = Sl_ssta.Ssta
 module Canonical = Sl_ssta.Canonical
 module Leak_ssta = Sl_leakage.Leak_ssta
 module Mc = Sl_mc.Mc
+module Yield_seq = Sl_yield.Seq
+module Yield_est = Sl_yield.Estimate
 module Setup = Statleak.Setup
 module Evaluate = Statleak.Evaluate
 module Experiments = Statleak.Experiments
@@ -180,6 +182,41 @@ let mc circuit_spec lib_file sigma_scale size_idx factor seed samples jobs =
     (Mc.leak_mean r /. 1000.0) (Mc.leak_std r /. 1000.0)
     (Mc.leak_quantile r 0.99 /. 1000.0)
 
+let yield circuit_spec lib_file sigma_scale size_idx factor method_s ci halfwidth
+    max_samples seed jobs =
+  let method_ =
+    match Yield_seq.method_of_string method_s with
+    | Some m -> m
+    | None ->
+      Printf.eprintf
+        "error: unknown method %S (use naive, lhs, is, cv or is+cv)\n" method_s;
+      exit 2
+  in
+  let s = make_setup circuit_spec lib_file sigma_scale size_idx in
+  let d = Setup.fresh_design s in
+  let tmax = Setup.tmax s ~factor in
+  let res = Ssta.analyze d s.Setup.model in
+  Printf.printf "%s: Tmax = %.1f ps (%.2f * D0), method = %s, target halfwidth %s\n"
+    s.Setup.name tmax factor
+    (Yield_seq.method_to_string method_)
+    (if halfwidth > 0.0 then Printf.sprintf "%g" halfwidth else "none (run to cap)");
+  let e =
+    Yield_seq.estimate ~ci ?jobs ~method_ ~max_samples ~target_halfwidth:halfwidth
+      ~seed ~tmax d s.Setup.model
+  in
+  Printf.printf "yield estimate: %.5f  [%.5f, %.5f] at %.0f%% CI  (stderr %.5f)\n"
+    e.Yield_est.value e.Yield_est.ci_lo e.Yield_est.ci_hi (100.0 *. ci)
+    e.Yield_est.stderr;
+  Printf.printf "dies used:      %d  (effective sample size %.0f)\n"
+    e.Yield_est.samples_used e.Yield_est.ess;
+  Printf.printf "ssta surrogate: %.5f\n" (Ssta.timing_yield res ~tmax);
+  let hw = Yield_est.halfwidth e in
+  if hw > 0.0 && e.Yield_est.value > 0.0 && e.Yield_est.value < 1.0 then begin
+    let need = Yield_est.naive_samples ~ci ~p:e.Yield_est.value ~halfwidth:hw in
+    Printf.printf "naive MC would need ~%d dies for the same CI width (%.1fx)\n" need
+      (float_of_int need /. float_of_int e.Yield_est.samples_used)
+  end
+
 let print_metrics tag tmax (m : Evaluate.metrics) =
   Printf.printf
     "%-6s leak: mean %8.2f uA  p99 %8.2f uA  nominal %8.2f uA | yield(ssta) %.4f%s | \
@@ -342,6 +379,36 @@ let mc_cmd =
       const mc $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg $ factor_arg
       $ seed_arg $ samples_arg $ jobs_arg)
 
+let yield_cmd =
+  let method_arg =
+    let doc =
+      "Estimator: $(b,naive), $(b,lhs), $(b,is) (mean-shifted importance \
+       sampling), $(b,cv) (SSTA control variate) or $(b,is+cv)."
+    in
+    Arg.(value & opt string "is+cv" & info [ "method" ] ~docv:"M" ~doc)
+  in
+  let ci_arg =
+    let doc = "Confidence level of the reported interval." in
+    Arg.(value & opt float 0.95 & info [ "ci" ] ~docv:"P" ~doc)
+  in
+  let halfwidth_arg =
+    let doc = "Target CI half-width; sampling stops once reached (0 = run to the cap)." in
+    Arg.(value & opt float 0.005 & info [ "halfwidth" ] ~docv:"W" ~doc)
+  in
+  let max_samples_arg =
+    let doc = "Die cap for the sequential estimator." in
+    Arg.(value & opt int 200_000 & info [ "max-samples" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:
+         "Error-controlled timing-yield estimation (variance-reduced Monte \
+          Carlo with sequential stopping).")
+    Term.(
+      const yield $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
+      $ factor_arg $ method_arg $ ci_arg $ halfwidth_arg $ max_samples_arg
+      $ seed_arg $ jobs_arg)
+
 let optimize_cmd =
   let mode_arg =
     let doc = "Optimizer: $(b,stat) (yield-constrained statistical), $(b,det) (3-sigma corner greedy) or $(b,lr) (3-sigma corner Lagrangian relaxation)." in
@@ -412,5 +479,6 @@ let () =
           (Cmd.info "statleak" ~version:"1.0.0" ~doc)
           [
             bench_list_cmd; info_cmd; sta_cmd; ssta_cmd; leakage_cmd; mc_cmd;
-            optimize_cmd; paths_cmd; ivc_cmd; export_cmd; experiments_cmd;
+            yield_cmd; optimize_cmd; paths_cmd; ivc_cmd; export_cmd;
+            experiments_cmd;
           ]))

@@ -1153,47 +1153,148 @@ let a14 ?(names = [ "add32"; "mult8"; "alu32" ]) ?(factor = 1.25) ?(mc_samples =
 
 (* ------------------------------------------------------------------ *)
 
-let all ?(quick = false) ?jobs () =
-  if quick then begin
-    let names = [ "c17"; "add32" ] in
-    let t2, t3 = headline ~names ~mc_samples:300 ?jobs () in
-    let f2, f4 = f2_f4 ~name:"add32" ~factors:[ 1.15; 1.30 ] () in
-    [
-      t1 ~names ();
-      t2;
-      t3;
-      t4 ~names:[ "add32" ] ~samples:1500 ?jobs ();
-      t5 ~names ();
-      t6 ~names:[ "add32" ] ();
-      f1 ~name:"add32" ~samples:800 ?jobs ();
-      f2;
-      f3 ~name:"add32" ~etas:[ 0.8; 0.95 ] ();
-      f4;
-      f5 ~name:"add32" ~scales:[ 0.5; 1.5 ] ();
-      f6 ~name:"add32" ~samples:1500 ?jobs ();
-      a1 ~names:[ "add32" ] ?jobs ();
-      a2 ~name:"add32" ();
-      a3 ~names:[ "add32" ] ();
-      a4 ~name:"add32" ~iterations:2000 ();
-      a5 ~names:[ "add32" ] ~survey_samples:40 ();
-      a6 ~names:[ "add32" ] ~k:50 ~samples:1200 ?jobs ();
-      a7 ~names:[ "add32" ] ~samples:400 ();
-      a8 ~names:[ "add32" ] ~samples:800 ?jobs ();
-      f7 ~name:"add32" ();
-      a9 ~name:"add32" ~temps:[ 300.0; 400.0 ] ();
-      a10 ~names:[ "add32" ] ();
-      a11 ~name:"add32" ~samples:600 ?jobs ();
-      a12 ~names:[ "add32" ] ();
-      a13 ~names:[ "add32" ] ~mc_samples:300 ?jobs ();
-      a14 ~names:[ "add32" ] ~mc_samples:300 ?jobs ();
-    ]
-  end
-  else begin
-    let t2, t3 = headline ?jobs () in
-    let f2, f4 = f2_f4 () in
-    [
-      t1 (); t2; t3; t4 ?jobs (); t5 (); t6 (); f1 ?jobs (); f2; f3 (); f4; f5 (); f6 ?jobs (); f7 ();
-      a1 ?jobs (); a2 (); a3 (); a4 (); a5 (); a6 ?jobs (); a7 (); a8 ?jobs (); a9 (); a10 ();
-      a11 ?jobs (); a12 (); a13 ?jobs (); a14 ?jobs ();
-    ]
-  end
+(* ------------------------------------------------------------------ *)
+(* A15: variance-reduced yield estimation (sl_yield)                   *)
+(* ------------------------------------------------------------------ *)
+
+let a15 ?(names = [ "mult8"; "alu32" ]) ?(etas = [ 0.95; 0.99; 0.999 ]) ?jobs () =
+  let module Seq = Sl_yield.Seq in
+  let module Estimate = Sl_yield.Estimate in
+  let methods = [ Seq.Naive; Seq.Lhs; Seq.Is; Seq.Is_cv ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let s = Setup.of_benchmark name in
+        let d = Setup.fresh_design s in
+        let res = Ssta.analyze d s.Setup.model in
+        List.concat_map
+          (fun eta ->
+            (* constraint at the surrogate eta-quantile, so the tail being
+               resolved is the one the yield constraint lives in; the CI
+               target shrinks with the failure probability *)
+            let tmax = Ssta.tmax_for_yield res ~p:eta in
+            let halfwidth = Float.max (0.25 *. (1.0 -. eta)) 5e-4 in
+            let ests =
+              List.map
+                (fun m ->
+                  ( m,
+                    Seq.estimate ?jobs ~method_:m ~batch_chunks:1
+                      ~max_samples:200_000 ~target_halfwidth:halfwidth ~seed:97
+                      ~tmax d s.Setup.model ))
+                methods
+            in
+            (* per-die variance sigma_1^2 = n * stderr^2: the budget-free
+               measure of estimator quality *)
+            let per_die (e : Estimate.t) =
+              float_of_int e.Estimate.samples_used *. e.Estimate.stderr
+              *. e.Estimate.stderr
+            in
+            let _, naive_e = List.hd ests in
+            List.map
+              (fun (m, (e : Estimate.t)) ->
+                [
+                  name;
+                  Report.f3 eta;
+                  Printf.sprintf "%.4f" halfwidth;
+                  Seq.method_to_string m;
+                  Printf.sprintf "%.4f" e.Estimate.value;
+                  Printf.sprintf "%.5f" e.Estimate.stderr;
+                  string_of_int e.Estimate.samples_used;
+                  Printf.sprintf "%.1f"
+                    (float_of_int naive_e.Estimate.samples_used
+                    /. float_of_int e.Estimate.samples_used);
+                  (let pd = per_die e in
+                   if pd > 0.0 then Printf.sprintf "%.1f" (per_die naive_e /. pd)
+                   else "-");
+                ])
+              ests)
+          etas)
+      names
+  in
+  {
+    id = "A15";
+    title =
+      "Variance-reduced yield estimation: dies needed for equal CI width \
+       (naive vs LHS vs IS vs IS+CV, seq. stopping, batch = 256 dies)";
+    body =
+      Report.table
+        ~header:
+          [ "circuit"; "eta"; "hw"; "method"; "yield"; "stderr"; "dies";
+            "dies_save"; "var_red" ]
+        rows;
+  }
+
+let all_timed ?(quick = false) ?jobs () =
+  let outputs = ref [] and times = ref [] in
+  let record group thunk =
+    let t0 = now () in
+    let os = thunk () in
+    times := (group, now () -. t0) :: !times;
+    outputs := List.rev_append os !outputs
+  in
+  let one group thunk = record group (fun () -> [ thunk () ]) in
+  let pair group thunk =
+    record group (fun () ->
+        let a, b = thunk () in
+        [ a; b ])
+  in
+  (if quick then begin
+     let names = [ "c17"; "add32" ] in
+     one "T1" (fun () -> t1 ~names ());
+     pair "T2/T3" (fun () -> headline ~names ~mc_samples:300 ?jobs ());
+     one "T4" (fun () -> t4 ~names:[ "add32" ] ~samples:1500 ?jobs ());
+     one "T5" (fun () -> t5 ~names ());
+     one "T6" (fun () -> t6 ~names:[ "add32" ] ());
+     one "F1" (fun () -> f1 ~name:"add32" ~samples:800 ?jobs ());
+     pair "F2/F4" (fun () -> f2_f4 ~name:"add32" ~factors:[ 1.15; 1.30 ] ());
+     one "F3" (fun () -> f3 ~name:"add32" ~etas:[ 0.8; 0.95 ] ());
+     one "F5" (fun () -> f5 ~name:"add32" ~scales:[ 0.5; 1.5 ] ());
+     one "F6" (fun () -> f6 ~name:"add32" ~samples:1500 ?jobs ());
+     one "F7" (fun () -> f7 ~name:"add32" ());
+     one "A1" (fun () -> a1 ~names:[ "add32" ] ?jobs ());
+     one "A2" (fun () -> a2 ~name:"add32" ());
+     one "A3" (fun () -> a3 ~names:[ "add32" ] ());
+     one "A4" (fun () -> a4 ~name:"add32" ~iterations:2000 ());
+     one "A5" (fun () -> a5 ~names:[ "add32" ] ~survey_samples:40 ());
+     one "A6" (fun () -> a6 ~names:[ "add32" ] ~k:50 ~samples:1200 ?jobs ());
+     one "A7" (fun () -> a7 ~names:[ "add32" ] ~samples:400 ());
+     one "A8" (fun () -> a8 ~names:[ "add32" ] ~samples:800 ?jobs ());
+     one "A9" (fun () -> a9 ~name:"add32" ~temps:[ 300.0; 400.0 ] ());
+     one "A10" (fun () -> a10 ~names:[ "add32" ] ());
+     one "A11" (fun () -> a11 ~name:"add32" ~samples:600 ?jobs ());
+     one "A12" (fun () -> a12 ~names:[ "add32" ] ());
+     one "A13" (fun () -> a13 ~names:[ "add32" ] ~mc_samples:300 ?jobs ());
+     one "A14" (fun () -> a14 ~names:[ "add32" ] ~mc_samples:300 ?jobs ());
+     one "A15" (fun () -> a15 ~names:[ "add32" ] ~etas:[ 0.95 ] ?jobs ())
+   end
+   else begin
+     one "T1" (fun () -> t1 ());
+     pair "T2/T3" (fun () -> headline ?jobs ());
+     one "T4" (fun () -> t4 ?jobs ());
+     one "T5" (fun () -> t5 ());
+     one "T6" (fun () -> t6 ());
+     one "F1" (fun () -> f1 ?jobs ());
+     pair "F2/F4" (fun () -> f2_f4 ());
+     one "F3" (fun () -> f3 ());
+     one "F5" (fun () -> f5 ());
+     one "F6" (fun () -> f6 ?jobs ());
+     one "F7" (fun () -> f7 ());
+     one "A1" (fun () -> a1 ?jobs ());
+     one "A2" (fun () -> a2 ());
+     one "A3" (fun () -> a3 ());
+     one "A4" (fun () -> a4 ());
+     one "A5" (fun () -> a5 ());
+     one "A6" (fun () -> a6 ?jobs ());
+     one "A7" (fun () -> a7 ());
+     one "A8" (fun () -> a8 ?jobs ());
+     one "A9" (fun () -> a9 ());
+     one "A10" (fun () -> a10 ());
+     one "A11" (fun () -> a11 ?jobs ());
+     one "A12" (fun () -> a12 ());
+     one "A13" (fun () -> a13 ?jobs ());
+     one "A14" (fun () -> a14 ?jobs ());
+     one "A15" (fun () -> a15 ?jobs ())
+   end);
+  (List.rev !outputs, List.rev !times)
+
+let all ?quick ?jobs () = fst (all_timed ?quick ?jobs ())

@@ -109,6 +109,19 @@ val a14 :
 (** Extension: greedy vs Lagrangian-relaxation vs statistical optimizer
     comparison. *)
 
+val a15 : ?names:string list -> ?etas:float list -> ?jobs:int -> unit -> output
+(** Extension: variance-reduced yield estimation.  For each benchmark and
+    yield target η, runs {!Sl_yield.Seq.estimate} with naive MC, LHS,
+    importance sampling and IS+control-variates to the same CI half-width
+    and reports dies used, the savings factor vs naive and the measured
+    per-die variance reduction. *)
+
+val all_timed :
+  ?quick:bool -> ?jobs:int -> unit -> output list * (string * float) list
+(** Like {!all}, additionally returning per-experiment wall-clock seconds
+    as [(group id, seconds)] in run order.  Experiments produced by a
+    shared optimization run (T2/T3, F2/F4) share one timing entry. *)
+
 val all : ?quick:bool -> ?jobs:int -> unit -> output list
 (** Every experiment in order.  [quick] shrinks suites and sample counts
     (used by tests); the default is the full reproduction.  [jobs] bounds

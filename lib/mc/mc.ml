@@ -130,11 +130,13 @@ let run_stats ?(sampling = `Naive) ?jobs ~seed ~samples (d : Design.t) model =
     accs
 
 let timing_yield r ~tmax =
+  if Array.length r.delay = 0 then invalid_arg "Mc.timing_yield: empty result";
   let ok = Array.fold_left (fun acc d -> if d <= tmax then acc + 1 else acc) 0 r.delay in
   float_of_int ok /. float_of_int (Array.length r.delay)
 
 let joint_yield r ~tmax ~lmax =
   let n = Array.length r.delay in
+  if n = 0 then invalid_arg "Mc.joint_yield: empty result";
   let ok = ref 0 in
   for i = 0 to n - 1 do
     if r.delay.(i) <= tmax && r.leak.(i) <= lmax then incr ok
@@ -147,3 +149,52 @@ let leak_mean r = Stats.mean r.leak
 let leak_std r = Stats.std r.leak
 let delay_mean r = Stats.mean r.delay
 let delay_std r = Stats.std r.delay
+
+type die = { z : float array; delay : float; leak : float }
+
+let run_dies ?jobs ?z_of ?shift ~seed ~first ~count (d : Design.t) model =
+  if count < 1 then invalid_arg "Mc.run_dies: count < 1";
+  if first < 0 || first mod chunk_size <> 0 then
+    invalid_arg "Mc.run_dies: first must be a non-negative multiple of chunk_size";
+  let num_pcs = Model.num_pcs model in
+  (match shift with
+  | Some mu when Array.length mu <> num_pcs ->
+    invalid_arg "Mc.run_dies: shift length mismatch"
+  | _ -> ());
+  let jobs = match jobs with Some j -> j | None -> Sl_util.Parallel.default_jobs () in
+  let out = Array.make count { z = [||]; delay = 0.0; leak = 0.0 } in
+  let last = first + count - 1 in
+  let c0 = first / chunk_size in
+  let chunks = (last / chunk_size) - c0 + 1 in
+  let init () = (Sl_sta.Sta.Fast.create d, make_leak_evaluator d) in
+  let work (fast, leak_of) t =
+    let c = c0 + t in
+    let rng = Rng.stream ~seed c in
+    let lo = c * chunk_size in
+    let hi = Stdlib.min (last + 1) (lo + chunk_size) - 1 in
+    for i = lo to hi do
+      let raw =
+        match z_of with
+        | None -> Rng.gaussian_vector rng num_pcs
+        | Some f ->
+          let z = f i in
+          if Array.length z <> num_pcs then
+            invalid_arg "Mc.run_dies: z_of length mismatch";
+          Array.copy z
+      in
+      (match shift with
+      | None -> ()
+      | Some mu ->
+        for k = 0 to num_pcs - 1 do
+          raw.(k) <- raw.(k) +. mu.(k)
+        done);
+      let s = Model.Sample.draw_with_z model rng raw in
+      let dm =
+        Sl_sta.Sta.Fast.dmax fast ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl
+      in
+      let lk = leak_of ~dvth:s.Model.Sample.dvth ~dl:s.Model.Sample.dl in
+      out.(i - first) <- { z = raw; delay = dm; leak = lk }
+    done
+  in
+  ignore (Sl_util.Parallel.run ~jobs ~tasks:chunks ~init work);
+  out

@@ -43,14 +43,52 @@ val run_stats :
     the per-die arrays is the bottleneck.
     @raise Invalid_argument if [samples] < 1 or [jobs] < 1. *)
 
+type die = {
+  z : float array;  (** the shared-PC vector the die was evaluated at *)
+  delay : float;    (** non-linear STA circuit delay, ps *)
+  leak : float;     (** exact total leakage, nA *)
+}
+(** One evaluated die with its PC coordinates retained — what a
+    variance-reduced estimator ({!Sl_yield}) needs to compute likelihood
+    ratios and control variates. *)
+
+val chunk_size : int
+(** Dies per RNG chunk (256, DESIGN.md §7).  Sequential estimators grow
+    their sample in whole chunks so every die's randomness stays a pure
+    function of [(seed, die index)]. *)
+
+val run_dies :
+  ?jobs:int ->
+  ?z_of:(int -> float array) ->
+  ?shift:float array ->
+  seed:int -> first:int -> count:int ->
+  Sl_tech.Design.t -> Sl_variation.Model.t -> die array
+(** Per-die evaluation hook for caller-controlled PC vectors: evaluates
+    dies [first, first+count) through the same chunked-parallel machinery
+    as {!run} and returns them in index order.  Die [i] draws from
+    [Rng.stream ~seed (i / chunk_size)]; with neither [z_of] nor [shift]
+    the dies coincide bit-for-bit with {!run} [`Naive] on the same seed.
+
+    [z_of i] supplies die [i]'s raw PC vector (e.g. a stratified row) in
+    place of the stream's Gaussian draw; it must be deterministic in [i]
+    for the jobs-invariance to hold.  [shift] is added to the raw PC
+    vector before materialization — the mean-shift of importance
+    sampling; per-gate independent components always stay unshifted and
+    come from the chunk stream.  The returned [z] is the vector actually
+    evaluated (shift included).
+    @raise Invalid_argument if [count] < 1, [first] is negative or not
+    chunk-aligned, or a PC-vector length mismatches the model. *)
+
 val timing_yield : result -> tmax:float -> float
-(** Fraction of dies meeting the constraint. *)
+(** Fraction of dies meeting the constraint.
+    @raise Invalid_argument on an empty result. *)
 
 val joint_yield : result -> tmax:float -> lmax:float -> float
 (** Parametric yield with a power bin: fraction of dies meeting the
     timing constraint AND leaking at most [lmax] nA.  Delay and leakage
     are strongly anti-correlated (fast dies leak), which is exactly why
-    this is lower than the product of the marginal yields. *)
+    this is lower than the product of the marginal yields.
+    @raise Invalid_argument on an empty result. *)
 
 val delay_quantile : result -> float -> float
 val leak_quantile : result -> float -> float

@@ -51,6 +51,8 @@ let analyze (d : Design.t) model =
   in
   { gate_delay; arrival; circuit_delay }
 
+let pc_sensitivity res = Array.copy res.circuit_delay.Canonical.coeffs
+
 let timing_yield res ~tmax = Canonical.cdf res.circuit_delay tmax
 let tmax_for_yield res ~p = Canonical.quantile res.circuit_delay p
 

@@ -112,4 +112,47 @@ module Acc = struct
         m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. nf);
       }
     end
+
+  let stderr t = if t.n < 2 then 0.0 else std t /. sqrt (float_of_int t.n)
+
+  let ci ?(level = 0.95) t =
+    if not (level > 0.0 && level < 1.0) then
+      invalid_arg "Stats.Acc.ci: level outside (0,1)";
+    let z = Special.normal_icdf (0.5 *. (1.0 +. level)) in
+    let half = z *. stderr t in
+    (mean t -. half, mean t +. half)
+end
+
+(* West's incremental algorithm: the weighted analogue of Welford, with
+   the running Σw and Σw² needed for the IS degeneracy diagnostics. *)
+module Wacc = struct
+  type t = {
+    mutable n : int;
+    mutable sw : float;   (* Σw *)
+    mutable sw2 : float;  (* Σw² *)
+    mutable m : float;    (* weighted mean *)
+    mutable m2 : float;   (* Σw(x−m)² *)
+  }
+
+  let create () = { n = 0; sw = 0.0; sw2 = 0.0; m = 0.0; m2 = 0.0 }
+
+  let add t ~w x =
+    if w < 0.0 then invalid_arg "Stats.Wacc.add: negative weight";
+    t.n <- t.n + 1;
+    if w > 0.0 then begin
+      let sw' = t.sw +. w in
+      let delta = x -. t.m in
+      let r = delta *. w /. sw' in
+      t.m <- t.m +. r;
+      t.m2 <- t.m2 +. (t.sw *. delta *. r);
+      t.sw <- sw';
+      t.sw2 <- t.sw2 +. (w *. w)
+    end
+
+  let count t = t.n
+  let sum_w t = t.sw
+  let mean t = t.m
+  let variance t = if t.sw > 0.0 then t.m2 /. t.sw else 0.0
+  let mean_weight t = if t.n = 0 then 0.0 else t.sw /. float_of_int t.n
+  let ess t = if t.sw2 > 0.0 then t.sw *. t.sw /. t.sw2 else 0.0
 end

@@ -58,4 +58,44 @@ module Acc : sig
       inputs' samples into one (Chan's parallel variance combination);
       neither argument is mutated.  This is the reduction step for
       per-domain accumulators in the parallel Monte-Carlo engine. *)
+
+  val stderr : t -> float
+  (** Standard error of the mean, [std / sqrt n]; 0 for n < 2. *)
+
+  val ci : ?level:float -> t -> float * float
+  (** Normal-approximation confidence interval on the mean,
+      [mean ± Φ⁻¹((1+level)/2) · stderr].  [level] defaults to 0.95.
+      @raise Invalid_argument if [level] ∉ (0,1). *)
+end
+
+(** Weighted streaming accumulator (West's algorithm) for
+    importance-sampling estimators: weighted mean/variance plus the
+    weight diagnostics (mean weight, effective sample size) that reveal
+    weight degeneracy. *)
+module Wacc : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> w:float -> float -> unit
+  (** Feed one observation with weight [w] ≥ 0.
+      @raise Invalid_argument on a negative weight. *)
+
+  val count : t -> int
+  val sum_w : t -> float
+
+  val mean : t -> float
+  (** Self-normalized weighted mean Σwx / Σw; 0 when Σw = 0. *)
+
+  val variance : t -> float
+  (** Weighted sample variance with frequency-style normalization
+      Σw(x−m)² / Σw; 0 when Σw = 0. *)
+
+  val mean_weight : t -> float
+  (** Σw / n — under a correctly computed likelihood ratio this converges
+      to 1, so a drift from 1 flags a broken weight formula. *)
+
+  val ess : t -> float
+  (** Kish effective sample size (Σw)² / Σw² — collapses toward 1 when a
+      few weights dominate (the degenerate-IS diagnostic). *)
 end

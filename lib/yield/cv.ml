@@ -1,0 +1,59 @@
+module Canonical = Sl_ssta.Canonical
+
+let control (form : Canonical.t) ~tmax z =
+  let a = form.Canonical.coeffs in
+  if Array.length a <> Array.length z then invalid_arg "Cv.control: length mismatch";
+  let lin = ref form.Canonical.mean in
+  for k = 0 to Array.length a - 1 do
+    lin := !lin +. (a.(k) *. z.(k))
+  done;
+  if form.Canonical.rnd > 0.0 then
+    Sl_util.Special.normal_cdf ((!lin -. tmax) /. form.Canonical.rnd)
+  else if !lin > tmax then 1.0
+  else 0.0
+
+let control_mean form ~tmax = 1.0 -. Canonical.cdf form tmax
+
+module Biacc = struct
+  type t = {
+    mutable n : int;
+    mutable my : float;
+    mutable mc : float;
+    mutable m2y : float;
+    mutable m2c : float;
+    mutable myc : float;  (* Σ (y−my)(c−mc), co-moment *)
+  }
+
+  let create () = { n = 0; my = 0.0; mc = 0.0; m2y = 0.0; m2c = 0.0; myc = 0.0 }
+
+  let add t ~y ~c =
+    t.n <- t.n + 1;
+    let nf = float_of_int t.n in
+    let dy = y -. t.my and dc = c -. t.mc in
+    t.my <- t.my +. (dy /. nf);
+    t.mc <- t.mc +. (dc /. nf);
+    t.m2y <- t.m2y +. (dy *. (y -. t.my));
+    t.m2c <- t.m2c +. (dc *. (c -. t.mc));
+    t.myc <- t.myc +. (dy *. (c -. t.mc))
+
+  let count t = t.n
+  let mean_y t = t.my
+  let mean_c t = t.mc
+  let var_y t = if t.n < 2 then 0.0 else t.m2y /. float_of_int (t.n - 1)
+  let var_c t = if t.n < 2 then 0.0 else t.m2c /. float_of_int (t.n - 1)
+  let cov t = if t.n < 2 then 0.0 else t.myc /. float_of_int (t.n - 1)
+
+  let beta t =
+    let vc = var_c t in
+    if vc > 0.0 then cov t /. vc else 0.0
+
+  let value t ~control_mean = t.my -. (beta t *. (t.mc -. control_mean))
+
+  let stderr t =
+    if t.n < 2 then 0.0
+    else begin
+      let vy = var_y t and vc = var_c t and cyc = cov t in
+      let resid = if vc > 0.0 then vy -. (cyc *. cyc /. vc) else vy in
+      sqrt (Float.max 0.0 resid /. float_of_int t.n)
+    end
+end

@@ -1,0 +1,60 @@
+(** Control variates from the linearized SSTA delay.
+
+    For a die with PC vector [z], the canonical circuit-delay form gives
+    a cheap surrogate: conditional on [z] the linearized delay is
+    Gaussian [N(mean + a·z, a_r²)], so the surrogate failure probability
+
+    {v c(z) = Φ((mean + a·z − tmax) / a_r) v}
+
+    is one dot product per die and its expectation over [z] is the
+    analytic SSTA failure probability [1 − Φ((tmax − mean)/σ_total)] —
+    known exactly.  [c(z)] is strongly correlated with the exact
+    non-linear STA failure indicator (T4/F6 show the surrogate tracks MC
+    closely), so subtracting [β·(c̄ − E[c])] with the
+    covariance-optimal β removes most of the indicator's variance.
+
+    Under importance sampling the same machinery applies to the weighted
+    terms: [E_q[w·c(z)] = E_p[c(z)]] is the same analytic constant, so
+    IS and CV compose ([`Is_cv]). *)
+
+val control : Sl_ssta.Canonical.t -> tmax:float -> float array -> float
+(** [control form ~tmax z] — surrogate failure probability of the die at
+    [z]; degenerates to the hard indicator [1{mean + a·z > tmax}] when
+    the form has no independent remainder. *)
+
+val control_mean : Sl_ssta.Canonical.t -> tmax:float -> float
+(** Analytic expectation of {!control} under the nominal PC measure:
+    [1 − Canonical.cdf form tmax]. *)
+
+(** Streaming bivariate accumulator over (estimand term y, control term
+    c): exactly the moments the control-variate estimator
+    [ȳ − β̂ (c̄ − E[c])] needs, with β̂ = Cov(y,c)/Var(c) estimated from
+    the same sample (the usual O(1/n)-bias plug-in). *)
+module Biacc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> y:float -> c:float -> unit
+  val count : t -> int
+  val mean_y : t -> float
+  val mean_c : t -> float
+
+  val var_y : t -> float
+  (** Sample variance (n−1 denominator); [var_c] likewise. *)
+
+  val var_c : t -> float
+
+  val cov : t -> float
+  (** Sample covariance (n−1 denominator). *)
+
+  val beta : t -> float
+  (** Cov(y,c)/Var(c); 0 while the control is degenerate. *)
+
+  val value : t -> control_mean:float -> float
+  (** The control-variate-adjusted mean. *)
+
+  val stderr : t -> float
+  (** Standard error of {!value}:
+      sqrt((Var y − Cov²/Var c) / n) — the residual variance after the
+      optimal linear control. *)
+end

@@ -1,0 +1,35 @@
+type t = {
+  value : float;
+  stderr : float;
+  ci_lo : float;
+  ci_hi : float;
+  samples_used : int;
+  ess : float;
+}
+
+let z_of_level level =
+  if not (level > 0.0 && level < 1.0) then
+    invalid_arg "Estimate.z_of_level: level outside (0,1)";
+  Sl_util.Special.normal_icdf (0.5 *. (1.0 +. level))
+
+let make ?(ci = 0.95) ?clamp ~value ~stderr ~samples_used ~ess () =
+  let half = z_of_level ci *. stderr in
+  let lo = value -. half and hi = value +. half in
+  let lo, hi =
+    match clamp with
+    | None -> (lo, hi)
+    | Some (a, b) -> (Float.max a lo, Float.min b hi)
+  in
+  { value; stderr; ci_lo = lo; ci_hi = hi; samples_used; ess }
+
+let halfwidth t = 0.5 *. (t.ci_hi -. t.ci_lo)
+
+let naive_samples ~ci ~p ~halfwidth =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Estimate.naive_samples: p outside [0,1]";
+  if not (halfwidth > 0.0) then invalid_arg "Estimate.naive_samples: halfwidth <= 0";
+  let z = z_of_level ci in
+  int_of_float (Float.ceil (z *. z *. p *. (1.0 -. p) /. (halfwidth *. halfwidth)))
+
+let pp ppf t =
+  Format.fprintf ppf "%.6f +/- %.6f [%.6f, %.6f] (n=%d, ess=%.0f)" t.value
+    t.stderr t.ci_lo t.ci_hi t.samples_used t.ess

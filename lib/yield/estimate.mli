@@ -1,0 +1,35 @@
+(** Error-controlled estimate: the common result type of every
+    variance-reduced estimator in [sl_yield]. *)
+
+type t = {
+  value : float;        (** point estimate *)
+  stderr : float;       (** standard error of [value] *)
+  ci_lo : float;        (** lower CI endpoint (clamped to the domain) *)
+  ci_hi : float;        (** upper CI endpoint *)
+  samples_used : int;   (** dies actually evaluated *)
+  ess : float;          (** effective sample size; = [samples_used] for
+                            unweighted estimators, Kish ESS under IS *)
+}
+
+val make :
+  ?ci:float -> ?clamp:float * float ->
+  value:float -> stderr:float -> samples_used:int -> ess:float -> unit -> t
+(** Build an estimate with a normal-approximation CI at level [ci]
+    (default 0.95).  [clamp] bounds the CI endpoints (e.g. [(0., 1.)] for
+    a probability).
+    @raise Invalid_argument if [ci] ∉ (0,1). *)
+
+val halfwidth : t -> float
+(** [(ci_hi − ci_lo) / 2]. *)
+
+val z_of_level : float -> float
+(** Two-sided normal critical value Φ⁻¹((1+level)/2).
+    @raise Invalid_argument if [level] ∉ (0,1). *)
+
+val naive_samples : ci:float -> p:float -> halfwidth:float -> int
+(** CLT sample count plain Monte Carlo needs to pin a probability near
+    [p] to ± [halfwidth]: ⌈z² p(1−p) / halfwidth²⌉.  The yardstick every
+    variance-reduction factor in A15 is quoted against.
+    @raise Invalid_argument if [p] ∉ [0,1] or [halfwidth] ≤ 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+module Canonical = Sl_ssta.Canonical
+
+let norm2 a = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a
+
+(* Shift magnitude m along the unit failure direction u = a/|a|: the
+   Gaussian surrogate seen from a PC mean of m·u is
+   N(mean + m·|a|, sigma²) with sigma² unchanged, so we place the
+   boundary at the shifted median by solving
+   Phi((tmax − mean − m·|a|)/sigma) = 1/2.  The root is bracketed around
+   the affine solution and polished with Brent — robust even if the
+   surrogate ever grows a non-linear mean term. *)
+let shift (form : Canonical.t) ~tmax =
+  let a = form.Canonical.coeffs in
+  let a2 = norm2 a in
+  let an = sqrt a2 in
+  if an <= 0.0 then Array.make (Array.length a) 0.0
+  else begin
+    let sigma = Float.max (Canonical.sigma form) 1e-12 in
+    let f m =
+      Sl_util.Special.normal_cdf ((tmax -. form.Canonical.mean -. (m *. an)) /. sigma)
+      -. 0.5
+    in
+    let m0 = (tmax -. form.Canonical.mean) /. an in
+    let pad = (6.0 *. sigma /. an) +. 1.0 in
+    let m = Sl_util.Rootfind.brent f (m0 -. pad) (m0 +. pad) in
+    Array.map (fun ak -> m *. ak /. an) a
+  end
+
+let log_weight ~shift z =
+  if Array.length shift <> Array.length z then
+    invalid_arg "Is.log_weight: length mismatch";
+  let dot = ref 0.0 and mu2 = ref 0.0 in
+  for k = 0 to Array.length z - 1 do
+    dot := !dot +. (shift.(k) *. z.(k));
+    mu2 := !mu2 +. (shift.(k) *. shift.(k))
+  done;
+  (0.5 *. !mu2) -. !dot
+
+let weight ~shift z = exp (log_weight ~shift z)

@@ -1,0 +1,30 @@
+(** Mean-shifted importance sampling in the shared-PC space.
+
+    The circuit-delay canonical form [D(z) = mean + a·z + a_r·ξ]
+    ({!Sl_ssta.Canonical.t}) gives the failure direction for free: [a] is
+    the gradient of delay with respect to the shared principal
+    components, so the most probable point of the failure region
+    {D > tmax} under the standard-normal PC measure lies along [a].  The
+    proposal shifts the PC mean to that boundary point and leaves the
+    per-gate independent components untouched; the likelihood ratio
+    between the nominal density φ(z) and the shifted density φ(z − μ) is
+    exact, [w(z) = exp(−μ·z + |μ|²/2)].
+
+    Failing dies have large [μ·z], hence exponentially {e small} weights
+    — the estimator concentrates its samples where failures happen and
+    down-weights them by exactly the factor they were over-sampled. *)
+
+val shift : Sl_ssta.Canonical.t -> tmax:float -> float array
+(** Mean-shift vector μ for the failure region {delay > tmax}: direction
+    [a/|a|], magnitude [m] solved with {!Sl_util.Rootfind.brent} on the
+    Gaussian surrogate so that the shifted mean sits on the constraint
+    boundary — P(D ≤ tmax | PC mean = μ) = ½.  The zero vector when the
+    form has no PC sensitivity (nothing to shift along). *)
+
+val log_weight : shift:float array -> float array -> float
+(** ln [φ(z)/φ(z − μ)] = −μ·z + |μ|²/2 for a die evaluated at [z] (the
+    shifted draw, as returned in {!Sl_mc.Mc.die}).
+    @raise Invalid_argument on a length mismatch. *)
+
+val weight : shift:float array -> float array -> float
+(** [exp (log_weight ~shift z)]. *)

@@ -10,6 +10,7 @@ let () =
          Test_ssta.suite;
          Test_leakage.suite;
          Test_mc.suite;
+         Test_yield.suite;
          Test_opt.suite;
          Test_core.suite;
          Test_extensions.suite;

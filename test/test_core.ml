@@ -103,13 +103,20 @@ let test_formatters () =
 (* ---------- Experiments (quick smoke) ---------- *)
 
 let test_experiments_quick_all () =
-  let outputs = Experiments.all ~quick:true () in
-  Alcotest.(check int) "27 experiments" 27 (List.length outputs);
+  let outputs, times = Experiments.all_timed ~quick:true () in
+  Alcotest.(check int) "28 experiments" 28 (List.length outputs);
   let ids = List.map (fun (o : Experiments.output) -> o.Experiments.id) outputs in
   List.iter
     (fun id ->
       Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
-    [ "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "F1"; "F2"; "F3"; "F4"; "F5"; "F6"; "A1"; "A2"; "A3"; "A4"; "A5"; "A6"; "A7"; "A8"; "A9"; "A10"; "A11"; "A12"; "A13"; "A14"; "F7" ];
+    [ "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "F1"; "F2"; "F3"; "F4"; "F5"; "F6"; "A1"; "A2"; "A3"; "A4"; "A5"; "A6"; "A7"; "A8"; "A9"; "A10"; "A11"; "A12"; "A13"; "A14"; "F7"; "A15" ];
+  (* T2/T3 and F2/F4 share one optimization run, hence one timing entry *)
+  Alcotest.(check int) "26 timing groups" 26 (List.length times);
+  List.iter
+    (fun (group, secs) ->
+      Alcotest.(check bool) (group ^ " time finite") true
+        (Float.is_finite secs && secs >= 0.0))
+    times;
   List.iter
     (fun (o : Experiments.output) ->
       Alcotest.(check bool)

@@ -108,6 +108,17 @@ let test_joint_yield () =
     true
     (y_med < (Mc.timing_yield r ~tmax *. p_leak) +. 0.02)
 
+let test_empty_result_rejected () =
+  (* regression: yields on an empty result used to divide by zero and
+     return NaN; they must raise like Stats.mean does *)
+  let empty = { Mc.delay = [||]; Mc.leak = [||] } in
+  (match Mc.timing_yield empty ~tmax:100.0 with
+  | _ -> Alcotest.fail "timing_yield on empty result accepted"
+  | exception Invalid_argument _ -> ());
+  match Mc.joint_yield empty ~tmax:100.0 ~lmax:1.0 with
+  | _ -> Alcotest.fail "joint_yield on empty result accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_rejects_zero_samples () =
   let d, m = setup (Benchmarks.c17 ()) in
   match Mc.run ~seed:1 ~samples:0 d m with
@@ -170,6 +181,7 @@ let suite =
         Alcotest.test_case "delay sample consistency" `Quick test_delay_sample_consistency;
         Alcotest.test_case "variation increases spread" `Slow test_variation_increases_spread;
         Alcotest.test_case "joint yield" `Quick test_joint_yield;
+        Alcotest.test_case "empty result rejected" `Quick test_empty_result_rejected;
         Alcotest.test_case "rejects zero samples" `Quick test_rejects_zero_samples;
         Alcotest.test_case "rejects zero jobs" `Quick test_rejects_zero_jobs;
         Alcotest.test_case "bit-identical across jobs" `Quick test_jobs_invariant;

@@ -225,6 +225,54 @@ let test_stats_acc_matches_batch () =
   check_float ~eps:1e-9 "mean" (Stats.mean xs) (Stats.Acc.mean acc);
   check_float ~eps:1e-9 "variance" (Stats.variance xs) (Stats.Acc.variance acc)
 
+let test_stats_acc_stderr_ci () =
+  let acc = Stats.Acc.create () in
+  Alcotest.(check (float 0.0)) "stderr of empty acc" 0.0 (Stats.Acc.stderr acc);
+  Array.iter (Stats.Acc.add acc) (Array.init 400 (fun i -> float_of_int (i mod 2)));
+  (* 200 zeros + 200 ones: mean 1/2, sample std ~0.5006, stderr std/20 *)
+  check_float ~eps:1e-9 "stderr" (Stats.Acc.std acc /. 20.0) (Stats.Acc.stderr acc);
+  let lo, hi = Stats.Acc.ci acc in
+  check_float ~eps:1e-6 "ci centered" (Stats.Acc.mean acc) (0.5 *. (lo +. hi));
+  check_float ~eps:1e-6 "ci 95% width"
+    (2.0 *. 1.959964 *. Stats.Acc.stderr acc)
+    (hi -. lo);
+  let lo99, hi99 = Stats.Acc.ci ~level:0.99 acc in
+  Alcotest.(check bool) "wider at 99%" true (hi99 -. lo99 > hi -. lo);
+  match Stats.Acc.ci ~level:1.5 acc with
+  | _ -> Alcotest.fail "level 1.5 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_stats_wacc_unit_weights () =
+  (* with all weights 1 the weighted accumulator degenerates to Welford
+     (population-normalized variance) *)
+  let r = Rng.create 23 in
+  let xs = Array.init 500 (fun _ -> Rng.gaussian r) in
+  let acc = Stats.Acc.create () and w = Stats.Wacc.create () in
+  Array.iter
+    (fun x ->
+      Stats.Acc.add acc x;
+      Stats.Wacc.add w ~w:1.0 x)
+    xs;
+  check_float ~eps:1e-9 "mean" (Stats.Acc.mean acc) (Stats.Wacc.mean w);
+  check_float ~eps:1e-9 "variance"
+    (Stats.Acc.variance acc *. 499.0 /. 500.0)
+    (Stats.Wacc.variance w);
+  check_float ~eps:1e-12 "mean weight" 1.0 (Stats.Wacc.mean_weight w);
+  check_float ~eps:1e-9 "ess = n" 500.0 (Stats.Wacc.ess w)
+
+let test_stats_wacc_degenerate_weights () =
+  let w = Stats.Wacc.create () in
+  Stats.Wacc.add w ~w:1000.0 5.0;
+  for _ = 1 to 99 do
+    Stats.Wacc.add w ~w:0.001 0.0
+  done;
+  (* one dominating weight: ESS collapses toward 1 *)
+  Alcotest.(check bool) "ess collapses" true (Stats.Wacc.ess w < 1.01);
+  check_float ~eps:1e-3 "mean pulled to heavy point" 5.0 (Stats.Wacc.mean w);
+  match Stats.Wacc.add w ~w:(-1.0) 0.0 with
+  | () -> Alcotest.fail "negative weight accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_stats_empty_raises () =
   List.iter
     (fun (tag, f) ->
@@ -486,6 +534,9 @@ let suite =
         Alcotest.test_case "basic moments" `Quick test_stats_basic;
         Alcotest.test_case "quantile" `Quick test_stats_quantile;
         Alcotest.test_case "acc matches batch" `Quick test_stats_acc_matches_batch;
+        Alcotest.test_case "acc stderr and ci" `Quick test_stats_acc_stderr_ci;
+        Alcotest.test_case "wacc unit weights" `Quick test_stats_wacc_unit_weights;
+        Alcotest.test_case "wacc degenerate weights" `Quick test_stats_wacc_degenerate_weights;
         Alcotest.test_case "empty samples raise" `Quick test_stats_empty_raises;
         Alcotest.test_case "NaN rejected" `Quick test_stats_nan_rejected;
         Alcotest.test_case "acc merge basic" `Quick test_stats_acc_merge_basic;

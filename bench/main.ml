@@ -15,10 +15,15 @@
    IS+CV must reach the target CI width on mult8 at eta=0.99 with at
    least 10x fewer dies than naive MC.
 
-   "--quick" shrinks part 1 to a smoke run and skips nothing else;
-   "--no-bechamel" skips part 2; "--json PATH" additionally writes a
-   machine-readable BENCH_results.json with per-experiment wall-clock
-   and the key metrics of parts 2-3. *)
+   Part 4 races the optimizer's two timing engines — from-scratch SSTA
+   refreshes vs. the cone-limited incremental engine — over the benchmark
+   ladder, asserts they walk bit-identical trajectories, and (full mode)
+   requires >= 3x optimizer wall-clock improvement on rand1700 and mult16.
+
+   "--quick" shrinks part 1 to a smoke run and parts 3-4 to the small
+   circuits; "--no-bechamel" skips part 2; "--json PATH" additionally
+   writes a machine-readable BENCH_results.json with per-experiment
+   wall-clock and the key metrics of parts 2-4. *)
 
 module Experiments = Statleak.Experiments
 module Setup = Statleak.Setup
@@ -138,6 +143,83 @@ let run_yield_checks ~quick ~jobs =
     iscv_yield = e_iscv.Estimate.value;
     iscv_stderr = e_iscv.Estimate.stderr;
   }
+
+(* ---------- optimizer: full vs incremental SSTA (part 4) ---------- *)
+
+type opt_speedup = {
+  os_circuit : string;
+  os_cells : int;
+  os_t_full : float;
+  os_t_inc : float;
+  os_updates : int;
+  os_propagated : int;
+  os_mean_cone : float;
+  os_max_cone : int;
+}
+
+let run_opt_speedup ~quick =
+  let names =
+    if quick then [ "add32"; "mult8" ]
+    else [ "add32"; "mult8"; "rand1200"; "rand1700"; "mult16" ]
+  in
+  Printf.printf
+    "=== Optimizer timing engine: full refresh vs incremental (Tmax=1.25*D0, \
+     eta=0.95) ===\n%!";
+  let rows =
+    List.map
+      (fun name ->
+        let s = Setup.of_benchmark name in
+        let cells = Circuit.num_cells s.Setup.circuit in
+        let tmax = Setup.tmax s ~factor:1.25 in
+        let run ~incremental =
+          let d = Setup.fresh_design s in
+          let cfg =
+            { (Stat_opt.default_config ~tmax ~eta:0.95) with Stat_opt.incremental }
+          in
+          let t0 = Unix.gettimeofday () in
+          let st = Stat_opt.optimize cfg d s.Setup.model in
+          (st, d, Unix.gettimeofday () -. t0)
+        in
+        let st_full, d_full, t_full = run ~incremental:false in
+        let st_inc, d_inc, t_inc = run ~incremental:true in
+        (* the bit-identity contract, asserted on every bench run: both
+           engines walk the same trajectory to the same design *)
+        if
+          Design.assignment_digest d_full <> Design.assignment_digest d_inc
+          || st_full.Stat_opt.vth_moves <> st_inc.Stat_opt.vth_moves
+          || st_full.Stat_opt.size_moves <> st_inc.Stat_opt.size_moves
+          || st_full.Stat_opt.refreshes <> st_inc.Stat_opt.refreshes
+          || st_full.Stat_opt.final_yield <> st_inc.Stat_opt.final_yield
+        then failwith (Printf.sprintf "opt speedup: engines diverged on %s" name);
+        Printf.printf
+          "%-10s %5d cells   full %7.2f s   incr %7.2f s   speedup %5.2fx   mean \
+           cone %6.1f gates/move (max %d) over %d updates\n%!"
+          name cells t_full t_inc
+          (t_full /. t_inc)
+          st_inc.Stat_opt.mean_cone st_inc.Stat_opt.max_cone
+          st_inc.Stat_opt.incr_updates;
+        {
+          os_circuit = name;
+          os_cells = cells;
+          os_t_full = t_full;
+          os_t_inc = t_inc;
+          os_updates = st_inc.Stat_opt.incr_updates;
+          os_propagated = st_inc.Stat_opt.propagated_gates;
+          os_mean_cone = st_inc.Stat_opt.mean_cone;
+          os_max_cone = st_inc.Stat_opt.max_cone;
+        })
+      names
+  in
+  print_newline ();
+  if not quick then
+    List.iter
+      (fun r ->
+        let sp = r.os_t_full /. r.os_t_inc in
+        if (r.os_circuit = "rand1700" || r.os_circuit = "mult16") && sp < 3.0 then
+          failwith
+            (Printf.sprintf "opt speedup: %s only %.2fx < 3x" r.os_circuit sp))
+      rows;
+  rows
 
 (* ---------- bechamel kernels, one per experiment ---------- *)
 
@@ -303,7 +385,8 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check) ~kernels =
+let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
+    ~(osp : opt_speedup list) ~kernels =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -329,6 +412,20 @@ let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check) ~ker
     yc.naive_dies yc.iscv_dies
     (json_float (float_of_int yc.naive_dies /. float_of_int yc.iscv_dies))
     (json_float yc.iscv_yield) (json_float yc.iscv_stderr);
+  add "  \"opt_speedup\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"circuit\": \"%s\", \"cells\": %d, \"seconds_full\": %s, \
+         \"seconds_incremental\": %s, \"speedup\": %s, \"updates\": %d, \
+         \"propagated_gates\": %d, \"mean_cone\": %s, \"max_cone\": %d}%s\n"
+        (json_escape r.os_circuit) r.os_cells (json_float r.os_t_full)
+        (json_float r.os_t_inc)
+        (json_float (r.os_t_full /. r.os_t_inc))
+        r.os_updates r.os_propagated (json_float r.os_mean_cone) r.os_max_cone
+        (if i = List.length osp - 1 then "" else ","))
+    osp;
+  add "  ],\n";
   add "  \"bechamel_ns_per_run\": {\n";
   (match kernels with
   | None -> ()
@@ -368,7 +465,8 @@ let () =
   let times = print_experiments ~quick ~jobs in
   let sp = run_speedup ~quick ~jobs in
   let yc = run_yield_checks ~quick ~jobs in
+  let osp = run_opt_speedup ~quick in
   let kernels = if no_bechamel then None else Some (run_bechamel ()) in
   match json_path with
   | None -> ()
-  | Some path -> write_json path ~quick ~jobs ~times ~sp ~yc ~kernels
+  | Some path -> write_json path ~quick ~jobs ~times ~sp ~yc ~osp ~kernels

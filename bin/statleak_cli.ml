@@ -233,7 +233,8 @@ let print_metrics tag tmax (m : Evaluate.metrics) =
     m.Evaluate.total_width;
   ignore tmax
 
-let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples jobs dump =
+let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples jobs profile
+    dump =
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let tmax = Setup.tmax s ~factor in
   Printf.printf "%s: D0 = %.1f ps, Tmax = %.1f ps (%.2fx), eta = %.2f, mode = %s\n"
@@ -262,7 +263,22 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
       st.Sl_opt.Stat_opt.feasible st.Sl_opt.Stat_opt.vth_moves
       st.Sl_opt.Stat_opt.size_moves st.Sl_opt.Stat_opt.trials
       st.Sl_opt.Stat_opt.refreshes st.Sl_opt.Stat_opt.rollbacks
-      st.Sl_opt.Stat_opt.final_yield
+      st.Sl_opt.Stat_opt.final_yield;
+    if profile then begin
+      Printf.printf "profile: timing engine\n";
+      Printf.printf "  refresh points:       %d (%d full analyses, rest incremental)\n"
+        st.Sl_opt.Stat_opt.refreshes st.Sl_opt.Stat_opt.full_refreshes;
+      Printf.printf "  incremental updates:  %d single-gate delay updates\n"
+        st.Sl_opt.Stat_opt.incr_updates;
+      Printf.printf
+        "  dirty cone:           %.1f gates/update mean, %d max, %d recomputed total\n"
+        st.Sl_opt.Stat_opt.mean_cone st.Sl_opt.Stat_opt.max_cone
+        st.Sl_opt.Stat_opt.propagated_gates;
+      Printf.printf "  exact-equality cutoffs: %d\n" st.Sl_opt.Stat_opt.cutoffs;
+      Printf.printf "  time in refresh/sync: %.3f s\n" st.Sl_opt.Stat_opt.time_refresh;
+      Printf.printf "  time collecting candidates: %.3f s\n"
+        st.Sl_opt.Stat_opt.time_candidates
+    end
   | other ->
     Printf.eprintf "error: unknown mode %S (use det, lr or stat)\n" other;
     exit 2);
@@ -422,11 +438,20 @@ let optimize_cmd =
     let doc = "Monte-Carlo dies for before/after verification (0 = skip)." in
     Arg.(value & opt int 1000 & info [ "samples" ] ~docv:"N" ~doc)
   in
+  let profile_arg =
+    let doc =
+      "Print a timing-engine breakdown after a $(b,stat) run: full refreshes \
+       vs. incremental updates, mean/max dirty-cone size, exact-equality \
+       cutoffs, and time spent in refreshes and candidate collection."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run a leakage optimizer and report before/after metrics.")
     Term.(
       const optimize $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
-      $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ jobs_arg $ dump_arg)
+      $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ jobs_arg $ profile_arg
+      $ dump_arg)
 
 let paths_cmd =
   let k_arg =

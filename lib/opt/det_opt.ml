@@ -9,10 +9,18 @@ type config = {
   allow_vth : bool;
   allow_size : bool;
   max_passes : int;
+  incremental : bool;
 }
 
 let default_config ~tmax =
-  { tmax; corner_k = 3.0; allow_vth = true; allow_size = true; max_passes = 25 }
+  {
+    tmax;
+    corner_k = 3.0;
+    allow_vth = true;
+    allow_size = true;
+    max_passes = 25;
+    incremental = true;
+  }
 
 type stats = {
   feasible : bool;
@@ -155,7 +163,7 @@ let reduce_pass cfg (d : Design.t) inc trials vth_moves size_moves =
         end
       end)
     ids;
-  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare b a) !candidates in
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) !candidates in
   let accepted = ref 0 in
   List.iter
     (fun (_, kind, id) ->
@@ -204,7 +212,7 @@ let repair_timing d inc ~tmax ~allow_size =
 let optimize cfg (d : Design.t) (spec : Sl_variation.Spec.t) =
   let dvth = cfg.corner_k *. spec.Sl_variation.Spec.sigma_vth in
   let dl = cfg.corner_k *. spec.Sl_variation.Spec.sigma_l in
-  let inc = Inc_sta.create ~dvth ~dl d in
+  let inc = Inc_sta.create ~dvth ~dl ~incremental:cfg.incremental d in
   let trials = ref 0 and vth_moves = ref 0 and size_moves = ref 0 in
   if cfg.allow_size then fix_timing cfg d inc trials size_moves;
   let feasible = Inc_sta.dmax inc <= cfg.tmax in

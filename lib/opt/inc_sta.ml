@@ -2,6 +2,9 @@ module Circuit = Sl_netlist.Circuit
 module Cell_kind = Sl_netlist.Cell_kind
 module Design = Sl_tech.Design
 
+let feq (a : float) (b : float) =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
 type t = {
   design : Design.t;
   dvth : float;
@@ -9,9 +12,20 @@ type t = {
   delay : float array;
   arrival : float array;
   mutable dmax : float;
+  incremental : bool;
+  (* cone-limited propagation state (incremental mode only) *)
+  fcones : int array option array;
+  arr_dirty : bool array;
+  seed_flag : bool array;
+  region_flag : bool array;
 }
 
 let gate_delay t id = Design.gate_delay t.design id ~dvth:t.dvth ~dl:t.dl
+
+let recompute_dmax t =
+  let c = t.design.Design.circuit in
+  t.dmax <-
+    Array.fold_left (fun acc id -> Float.max acc t.arrival.(id)) 0.0 c.Circuit.outputs
 
 let sweep_arrivals t =
   let c = t.design.Design.circuit in
@@ -25,8 +39,7 @@ let sweep_arrivals t =
         t.arrival.(g.Circuit.id) <- !worst +. t.delay.(g.Circuit.id)
       end)
     c.Circuit.gates;
-  t.dmax <-
-    Array.fold_left (fun acc id -> Float.max acc t.arrival.(id)) 0.0 c.Circuit.outputs
+  recompute_dmax t
 
 let refresh t =
   let c = t.design.Design.circuit in
@@ -35,7 +48,7 @@ let refresh t =
     c.Circuit.gates;
   sweep_arrivals t
 
-let create ?(dvth = 0.0) ?(dl = 0.0) design =
+let create ?(dvth = 0.0) ?(dl = 0.0) ?(incremental = true) design =
   let n = Circuit.num_gates design.Design.circuit in
   let t =
     {
@@ -45,6 +58,11 @@ let create ?(dvth = 0.0) ?(dl = 0.0) design =
       delay = Array.make n 0.0;
       arrival = Array.make n 0.0;
       dmax = 0.0;
+      incremental;
+      fcones = Array.make n None;
+      arr_dirty = Array.make n false;
+      seed_flag = Array.make n false;
+      region_flag = Array.make n false;
     }
   in
   refresh t;
@@ -54,17 +72,98 @@ let dmax t = t.dmax
 let arrival t id = t.arrival.(id)
 let delay t id = t.delay.(id)
 
+let fcone t id =
+  match t.fcones.(id) with
+  | Some c -> c
+  | None ->
+    let c = Circuit.fanout_cone t.design.Design.circuit id in
+    t.fcones.(id) <- Some c;
+    c
+
+(* Sorted unique union of the seeds and their transitive fanout cones. *)
+let merge_region t seeds =
+  let acc = ref [] in
+  let add gid =
+    if not t.region_flag.(gid) then begin
+      t.region_flag.(gid) <- true;
+      acc := gid :: !acc
+    end
+  in
+  List.iter
+    (fun s ->
+      add s;
+      Array.iter add (fcone t s))
+    seeds;
+  let region = Array.of_list !acc in
+  Array.sort (fun (a : int) b -> compare a b) region;
+  Array.iter (fun gid -> t.region_flag.(gid) <- false) region;
+  region
+
 let update_gate t id =
   (* a size change alters this gate's drive and its drivers' loads; a
      threshold change only its own delay.  Refreshing the fanin delays too
      covers both cases. *)
   let c = t.design.Design.circuit in
   let g = Circuit.gate c id in
-  t.delay.(id) <- gate_delay t id;
-  Array.iter (fun f -> t.delay.(f) <- gate_delay t f) g.Circuit.fanin;
-  (* arrival sweep is O(n) of cheap max/add operations — simpler and, for
-     these circuit sizes, as fast as maintaining a dirty-set worklist *)
-  sweep_arrivals t
+  if not t.incremental then begin
+    t.delay.(id) <- gate_delay t id;
+    Array.iter (fun f -> t.delay.(f) <- gate_delay t f) g.Circuit.fanin;
+    sweep_arrivals t
+  end
+  else begin
+    (* cone-limited: only gates whose delay word actually changed seed a
+       re-propagation through their fanout cones, in topological order,
+       stopping below any gate whose recomputed arrival is bit-identical.
+       The recomputed values equal a full sweep's exactly (same fold). *)
+    let seeds = ref [] in
+    let refresh_delay gid =
+      let gg = Circuit.gate c gid in
+      if gg.Circuit.kind <> Cell_kind.Pi then begin
+        let nd = gate_delay t gid in
+        if not (feq nd t.delay.(gid)) then begin
+          t.delay.(gid) <- nd;
+          if not t.seed_flag.(gid) then begin
+            t.seed_flag.(gid) <- true;
+            seeds := gid :: !seeds
+          end
+        end
+      end
+    in
+    refresh_delay id;
+    Array.iter refresh_delay g.Circuit.fanin;
+    match !seeds with
+    | [] -> ()
+    | seed_list ->
+      let region = merge_region t seed_list in
+      let touched = ref [] in
+      let out_dirty = ref false in
+      Array.iter
+        (fun gid ->
+          let gg = Circuit.gate c gid in
+          if gg.Circuit.kind <> Cell_kind.Pi then begin
+            let must =
+              t.seed_flag.(gid)
+              || Array.exists (fun f -> t.arr_dirty.(f)) gg.Circuit.fanin
+            in
+            if must then begin
+              let worst = ref 0.0 in
+              Array.iter
+                (fun f -> if t.arrival.(f) > !worst then worst := t.arrival.(f))
+                gg.Circuit.fanin;
+              let na = !worst +. t.delay.(gid) in
+              if not (feq na t.arrival.(gid)) then begin
+                t.arrival.(gid) <- na;
+                t.arr_dirty.(gid) <- true;
+                touched := gid :: !touched;
+                if Circuit.is_po c gid then out_dirty := true
+              end
+            end
+          end)
+        region;
+      List.iter (fun gid -> t.arr_dirty.(gid) <- false) !touched;
+      List.iter (fun gid -> t.seed_flag.(gid) <- false) seed_list;
+      if !out_dirty then recompute_dmax t
+  end
 
 let slacks t ~tmax =
   let c = t.design.Design.circuit in

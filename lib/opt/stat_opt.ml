@@ -2,9 +2,11 @@ module Circuit = Sl_netlist.Circuit
 module Cell_kind = Sl_netlist.Cell_kind
 module Design = Sl_tech.Design
 module Cell_lib = Sl_tech.Cell_lib
+module Memo = Sl_tech.Memo
 module Model = Sl_variation.Model
 module Ssta = Sl_ssta.Ssta
 module Canonical = Sl_ssta.Canonical
+module Incremental = Sl_ssta.Incremental
 module Leak_ssta = Sl_leakage.Leak_ssta
 module Special = Sl_util.Special
 
@@ -23,6 +25,8 @@ type config = {
   max_passes : int;
   refresh_every : int;
   yield_margin : float;
+  incremental : bool;
+  audit : bool;
 }
 
 let default_config ~tmax ~eta =
@@ -35,6 +39,8 @@ let default_config ~tmax ~eta =
     max_passes = 25;
     refresh_every = 25;
     yield_margin = 0.5;
+    incremental = true;
+    audit = false;
   }
 
 type stats = {
@@ -45,55 +51,115 @@ type stats = {
   refreshes : int;
   rollbacks : int;
   final_yield : float;
+  full_refreshes : int;
+  incr_updates : int;
+  propagated_gates : int;
+  mean_cone : float;
+  max_cone : int;
+  cutoffs : int;
+  time_refresh : float;
+  time_candidates : float;
 }
 
 type move = { id : int; prev : [ `Vth of int | `Size of int ] }
 
-(* Mutable optimizer state refreshed by each exact SSTA. *)
+type engine = Full | Inc of Incremental.t
+
+(* Mutable optimizer state refreshed by each exact SSTA (full mode) or
+   kept consistent by the incremental engine (Inc mode: path_mu/path_sigma
+   alias the engine's live arrays). *)
 type state = {
   design : Design.t;
   model : Model.t;
   leak : Leak_ssta.t;
+  memo : Memo.t;
+  engine : engine;
   mutable path_mu : float array;     (* mean of T_g = A_g + S_g *)
   mutable path_sigma : float array;
   mutable yield_ : float;
   mutable refreshes : int;
+  mutable full_refreshes : int;
+  mutable settles : int;
+  mutable time_refresh : float;
+  mutable time_candidates : float;
 }
 
-let full_refresh st ~tmax =
-  let res = Ssta.analyze st.design st.model in
-  let bwd = Ssta.backward st.design.Design.circuit res in
-  let n = Circuit.num_gates st.design.Design.circuit in
-  let mu = Array.make n 0.0 and sg = Array.make n 0.0 in
-  for id = 0 to n - 1 do
-    let t = Ssta.path_through res ~backward:bwd id in
-    mu.(id) <- t.Canonical.mean;
-    sg.(id) <- Canonical.sigma t
-  done;
-  st.path_mu <- mu;
-  st.path_sigma <- sg;
-  st.yield_ <- Ssta.timing_yield res ~tmax;
-  st.refreshes <- st.refreshes + 1
+let now () = Unix.gettimeofday ()
+
+(* One exact re-measure point.  Full mode: from-scratch SSTA.  Inc mode:
+   lazy dirty-cone repair (bit-identical state; see Sl_ssta.Incremental).
+   [rebuild] forces the engine to start over — used after bulk design
+   restores, where the dirty cone would be the whole circuit. *)
+let refresh ?(rebuild = false) ?(paths = true) st ~tmax =
+  let t0 = now () in
+  (match st.engine with
+  | Full ->
+    let res = Ssta.analyze ~memo:st.memo st.design st.model in
+    let bwd = Ssta.backward st.design.Design.circuit res in
+    let n = Circuit.num_gates st.design.Design.circuit in
+    let mu = Array.make n 0.0 and sg = Array.make n 0.0 in
+    for id = 0 to n - 1 do
+      let t = Ssta.path_through res ~backward:bwd id in
+      mu.(id) <- t.Canonical.mean;
+      sg.(id) <- Canonical.sigma t
+    done;
+    st.path_mu <- mu;
+    st.path_sigma <- sg;
+    st.yield_ <- Ssta.timing_yield res ~tmax;
+    st.full_refreshes <- st.full_refreshes + 1
+  | Inc inc ->
+    if rebuild then begin
+      Incremental.rebuild inc;
+      st.full_refreshes <- st.full_refreshes + 1
+    end
+    else Incremental.sync ~paths inc;
+    st.yield_ <- Incremental.yield inc);
+  st.refreshes <- st.refreshes + 1;
+  st.time_refresh <- st.time_refresh +. (now () -. t0)
+
+(* Make path_mu/path_sigma current before they are read.  Full mode keeps
+   them current at every refresh; the incremental engine defers the
+   backward/path repair out of yield-only refreshes, so path readers must
+   settle it first.  The repaired values equal what full mode computed at
+   its last refresh — same design, same folds — so rankings agree. *)
+let ensure_paths st =
+  match st.engine with
+  | Full -> ()
+  | Inc inc ->
+    let t0 = now () in
+    Incremental.sync inc;
+    st.time_refresh <- st.time_refresh +. (now () -. t0)
+
+(* Notify the timing engine that gate [id]'s assignment changed. *)
+let touch st id =
+  match st.engine with Full -> () | Inc inc -> Incremental.update_gate inc id
 
 (* P(T_g + delta > tmax) with T_g Gaussian(mu, sigma). *)
-let violation st ~tmax id ~delta =
-  let mu = st.path_mu.(id) +. delta and sigma = st.path_sigma.(id) in
+let violation_ ~path_mu ~path_sigma ~tmax id ~delta =
+  let mu = path_mu.(id) +. delta and sigma = path_sigma.(id) in
   if sigma <= 0.0 then if mu > tmax then 1.0 else 0.0
   else 1.0 -. Special.normal_cdf ((tmax -. mu) /. sigma)
 
+let violation st ~tmax id ~delta =
+  violation_ ~path_mu:st.path_mu ~path_sigma:st.path_sigma ~tmax id ~delta
+
+(* Estimated yield cost of shifting gate [id]'s worst path by [delta].
+   Zero-sigma gates (deterministic paths) are handled explicitly: the move
+   either pushes the path over the constraint (cost 1) or it does not
+   (cost 0) — in particular a path already over the constraint is not
+   charged again, so such gates cannot double-count through the 1e-12
+   epsilon in the score denominators. *)
+let est_yield_cost_ ~path_mu ~path_sigma ~tmax id ~delta =
+  let sigma = path_sigma.(id) in
+  if sigma <= 0.0 then
+    if path_mu.(id) +. delta > tmax && path_mu.(id) <= tmax then 1.0 else 0.0
+  else
+    Float.max 0.0
+      (violation_ ~path_mu ~path_sigma ~tmax id ~delta
+      -. violation_ ~path_mu ~path_sigma ~tmax id ~delta:0.0)
+
 let est_yield_cost st ~tmax id ~delta =
-  Float.max 0.0 (violation st ~tmax id ~delta -. violation st ~tmax id ~delta:0.0)
-
-let nominal_delay (d : Design.t) id = Design.gate_delay d id ~dvth:0.0 ~dl:0.0
-
-(* Nominal delay delta of a tentative reassignment, computed by briefly
-   applying it (threshold moves never change loads; size moves do, but the
-   mean shift of the gate's own delay is what the estimate needs). *)
-let delay_delta (d : Design.t) id ~f =
-  let before = nominal_delay d id in
-  f ();
-  let after = nominal_delay d id in
-  after -. before
+  est_yield_cost_ ~path_mu:st.path_mu ~path_sigma:st.path_sigma ~tmax id ~delta
 
 let nominal_leak (d : Design.t) id ~vth_idx ~size_idx =
   let g = Circuit.gate d.Design.circuit id in
@@ -108,6 +174,8 @@ type candidate = {
 }
 
 let collect_candidates cfg st =
+  ensure_paths st;
+  let t0 = now () in
   let d = st.design in
   let num_vth = Cell_lib.num_vth d.Design.lib in
   let leak_mean_now = Leak_ssta.mean st.leak in
@@ -118,34 +186,36 @@ let collect_candidates cfg st =
   in
   let candidates = ref [] in
   let consider gate kind ~vth_idx ~size_idx ~delta =
-    if delta > 0.0 then begin
-      let est_cost = est_yield_cost st ~tmax:cfg.tmax gate ~delta in
+    if delta <> 0.0 then begin
       let dleak_stat = leak_mean_now -. Leak_ssta.mean_if st.leak gate ~vth_idx ~size_idx in
-      let dleak_nom =
-        nominal_leak d gate ~vth_idx:d.Design.vth_idx.(gate)
-          ~size_idx:d.Design.size_idx.(gate)
-        -. nominal_leak d gate ~vth_idx ~size_idx
-      in
-      if dleak_stat > 0.0 then begin
-        let score =
-          match cfg.sensitivity with
-          | Stat_leak_per_yield -> dleak_stat /. (est_cost +. 1e-12)
-          | Stat_leak_per_delay -> dleak_stat /. Float.max 1e-9 delta
-          | Nominal_leak_per_yield -> dleak_nom /. (est_cost +. 1e-12)
-          | P99_leak_per_yield ->
-            let dp99 =
-              leak_p99_now -. Leak_ssta.quantile_if st.leak gate ~vth_idx ~size_idx ~p:0.99
-            in
-            dp99 /. (est_cost +. 1e-12)
-        in
-        candidates := { score; kind; gate; est_cost } :: !candidates
+      if delta > 0.0 then begin
+        if dleak_stat > 0.0 then begin
+          let est_cost = est_yield_cost st ~tmax:cfg.tmax gate ~delta in
+          let score =
+            match cfg.sensitivity with
+            | Stat_leak_per_yield -> dleak_stat /. (est_cost +. 1e-12)
+            | Stat_leak_per_delay -> dleak_stat /. Float.max 1e-9 delta
+            | Nominal_leak_per_yield ->
+              let dleak_nom =
+                nominal_leak d gate ~vth_idx:d.Design.vth_idx.(gate)
+                  ~size_idx:d.Design.size_idx.(gate)
+                -. nominal_leak d gate ~vth_idx ~size_idx
+              in
+              dleak_nom /. (est_cost +. 1e-12)
+            | P99_leak_per_yield ->
+              let dp99 =
+                leak_p99_now -. Leak_ssta.quantile_if st.leak gate ~vth_idx ~size_idx ~p:0.99
+              in
+              dp99 /. (est_cost +. 1e-12)
+          in
+          candidates := { score; kind; gate; est_cost } :: !candidates
+        end
       end
+      else if
+        (* a move that saves leakage AND delay is a free win; top rank *)
+        dleak_stat > 0.0
+      then candidates := { score = infinity; kind; gate; est_cost = 0.0 } :: !candidates
     end
-    else if delta < 0.0 then
-      (* a move that saves leakage AND delay is a free win; give it top rank *)
-      let dleak_stat = leak_mean_now -. Leak_ssta.mean_if st.leak gate ~vth_idx ~size_idx in
-      if dleak_stat > 0.0 then
-        candidates := { score = infinity; kind; gate; est_cost = 0.0 } :: !candidates
   in
   Array.iter
     (fun (g : Circuit.gate) ->
@@ -154,43 +224,53 @@ let collect_candidates cfg st =
         if cfg.allow_vth && d.Design.vth_idx.(id) + 1 < num_vth then begin
           let v = d.Design.vth_idx.(id) in
           let delta =
-            delay_delta d id ~f:(fun () -> Design.set_vth d id (v + 1))
+            Memo.delay_delta st.memo d id ~vth_idx:(v + 1)
+              ~size_idx:d.Design.size_idx.(id)
           in
-          Design.set_vth d id v;
           consider id `Vth ~vth_idx:(v + 1) ~size_idx:d.Design.size_idx.(id) ~delta
         end;
         if cfg.allow_size && d.Design.size_idx.(id) > 0 then begin
           let s = d.Design.size_idx.(id) in
           let delta =
-            delay_delta d id ~f:(fun () -> Design.set_size d id (s - 1))
+            Memo.delay_delta st.memo d id ~vth_idx:d.Design.vth_idx.(id)
+              ~size_idx:(s - 1)
           in
-          Design.set_size d id s;
           consider id `Size ~vth_idx:d.Design.vth_idx.(id) ~size_idx:(s - 1) ~delta
         end
       end)
     d.Design.circuit.Circuit.gates;
-  List.sort (fun a b -> compare b.score a.score) !candidates
+  let sorted = List.sort (fun a b -> Float.compare b.score a.score) !candidates in
+  st.time_candidates <- st.time_candidates +. (now () -. t0);
+  sorted
 
-let apply_move (d : Design.t) kind id =
-  match kind with
-  | `Vth ->
-    let prev = d.Design.vth_idx.(id) in
-    Design.set_vth d id (prev + 1);
-    { id; prev = `Vth prev }
-  | `Size ->
-    let prev = d.Design.size_idx.(id) in
-    Design.set_size d id (prev - 1);
-    { id; prev = `Size prev }
+let apply_move st kind id =
+  let d = st.design in
+  let m =
+    match kind with
+    | `Vth ->
+      let prev = d.Design.vth_idx.(id) in
+      Design.set_vth d id (prev + 1);
+      { id; prev = `Vth prev }
+    | `Size ->
+      let prev = d.Design.size_idx.(id) in
+      Design.set_size d id (prev - 1);
+      { id; prev = `Size prev }
+  in
+  touch st id;
+  m
 
-let undo_move (d : Design.t) m =
-  match m.prev with
-  | `Vth v -> Design.set_vth d m.id v
-  | `Size s -> Design.set_size d m.id s
+let undo_move st m =
+  (match m.prev with
+  | `Vth v -> Design.set_vth st.design m.id v
+  | `Size s -> Design.set_size st.design m.id s);
+  touch st m.id
 
 (* Initial yield repair: upsize statistically critical gates.  Each step
    ranks upsizable gates by violation probability and trial-applies the
    top few with an exact SSTA, keeping the first that improves yield; the
-   phase ends when no candidate in the shortlist helps. *)
+   phase ends when no candidate in the shortlist helps.  In incremental
+   mode a rejected trial rolls the dirty-cone snapshot back instead of
+   paying a second full refresh. *)
 let fix_yield cfg st trials size_moves =
   let d = st.design in
   let num_sizes = Cell_lib.num_sizes d.Design.lib in
@@ -200,6 +280,7 @@ let fix_yield cfg st trials size_moves =
   let steps = ref 0 in
   while st.yield_ < cfg.eta && (not !stuck) && !steps < 4 * n do
     incr steps;
+    ensure_paths st;
     let ranked =
       let all = ref [] in
       for id = 0 to n - 1 do
@@ -211,26 +292,41 @@ let fix_yield cfg st trials size_moves =
           if v > 0.0 then all := (v, id) :: !all
         end
       done;
-      List.sort (fun (a, _) (b, _) -> compare b a) !all
+      List.sort (fun (a, _) (b, _) -> Float.compare b a) !all
     in
     let rec try_candidates k = function
       | [] -> false
       | _ when k >= shortlist -> false
       | (_, id) :: rest ->
         let s = d.Design.size_idx.(id) in
+        let cp =
+          match st.engine with
+          | Inc inc -> Some (inc, Incremental.checkpoint inc)
+          | Full -> None
+        in
         Design.set_size d id (s + 1);
+        touch st id;
         Leak_ssta.update_gate st.leak id;
         incr trials;
         let y_before = st.yield_ in
-        full_refresh st ~tmax:cfg.tmax;
+        (* only the yield is read before the next path sync *)
+        refresh st ~tmax:cfg.tmax ~paths:false;
         if st.yield_ > y_before then begin
+          (match cp with Some (inc, c) -> Incremental.commit inc c | None -> ());
           incr size_moves;
           true
         end
         else begin
           Design.set_size d id s;
           Leak_ssta.update_gate st.leak id;
-          full_refresh st ~tmax:cfg.tmax;
+          (match cp with
+          | Some (inc, c) ->
+            (* snapshot rollback replaces the second full refresh of the
+               reject path; count it as a refresh so stats line up *)
+            Incremental.rollback inc c;
+            st.yield_ <- Incremental.yield inc;
+            st.refreshes <- st.refreshes + 1
+          | None -> refresh st ~tmax:cfg.tmax);
           try_candidates (k + 1) rest
         end
     in
@@ -239,18 +335,36 @@ let fix_yield cfg st trials size_moves =
 
 let optimize cfg (d : Design.t) model =
   let leak = Leak_ssta.create d model in
+  let memo = Memo.create d.Design.lib in
+  let engine =
+    if cfg.incremental then Inc (Incremental.create ~memo d model ~tmax:cfg.tmax)
+    else Full
+  in
   let st =
     {
       design = d;
       model;
       leak;
+      memo;
+      engine;
       path_mu = [||];
       path_sigma = [||];
       yield_ = 0.0;
       refreshes = 0;
+      full_refreshes = 0;
+      settles = 0;
+      time_refresh = 0.0;
+      time_candidates = 0.0;
     }
   in
-  full_refresh st ~tmax:cfg.tmax;
+  (match engine with
+  | Inc inc ->
+    (* the build above was the one full analysis; alias its live arrays *)
+    st.path_mu <- Incremental.path_mu inc;
+    st.path_sigma <- Incremental.path_sigma inc;
+    st.full_refreshes <- 1
+  | Full -> ());
+  refresh st ~tmax:cfg.tmax;
   let trials = ref 0 and vth_moves = ref 0 and size_moves = ref 0 in
   let rollbacks = ref 0 in
   fix_yield cfg st trials size_moves;
@@ -269,13 +383,16 @@ let optimize cfg (d : Design.t) model =
       let batch : move list ref = ref [] in
       let batch_count = ref 0 in
       let settle_batch () =
-        (* exact re-measure; roll back newest moves if the constraint broke *)
-        full_refresh st ~tmax:cfg.tmax;
+        (* exact re-measure; roll back newest moves if the constraint
+           broke.  Only the yield is consulted here, so the incremental
+           engine defers backward/path repair to the next candidate
+           collection. *)
+        refresh st ~tmax:cfg.tmax ~paths:false;
         while st.yield_ < cfg.eta && !batch <> [] do
           match !batch with
           | [] -> ()
           | m :: rest ->
-            undo_move d m;
+            undo_move st m;
             Leak_ssta.update_gate st.leak m.id;
             (match m.prev with
             | `Vth _ -> decr vth_moves
@@ -283,11 +400,19 @@ let optimize cfg (d : Design.t) model =
             incr rollbacks;
             decr accepted_this_pass;
             batch := rest;
-            full_refresh st ~tmax:cfg.tmax
+            refresh st ~tmax:cfg.tmax ~paths:false
         done;
         batch := [];
         batch_count := 0;
-        budget := cfg.yield_margin *. Float.max 0.0 (st.yield_ -. cfg.eta)
+        budget := cfg.yield_margin *. Float.max 0.0 (st.yield_ -. cfg.eta);
+        st.settles <- st.settles + 1;
+        match st.engine with
+        | Inc inc when cfg.audit && st.settles mod cfg.refresh_every = 0 ->
+          (* debug-build agreement check against a from-scratch analysis;
+             compiled out under -noassert *)
+          ensure_paths st;
+          assert (Incremental.audit inc)
+        | _ -> ()
       in
       List.iter
         (fun c ->
@@ -298,7 +423,7 @@ let optimize cfg (d : Design.t) model =
             | `Size -> d.Design.size_idx.(c.gate) > 0
           in
           if still_valid && c.est_cost <= !budget then begin
-            let m = apply_move d c.kind c.gate in
+            let m = apply_move st c.kind c.gate in
             Leak_ssta.update_gate st.leak c.gate;
             (match c.kind with
             | `Vth -> incr vth_moves
@@ -327,6 +452,7 @@ let optimize cfg (d : Design.t) model =
       let rounds = ref 0 in
       while !continue_ && !rounds < 4 do
         incr rounds;
+        ensure_paths st;
         let best_leak = Leak_ssta.mean st.leak in
         let saved_vth = Array.copy d.Design.vth_idx in
         let saved_size = Array.copy d.Design.size_idx in
@@ -338,7 +464,7 @@ let optimize cfg (d : Design.t) model =
             && d.Design.size_idx.(id) + 1 < num_sizes
           then begin
             let v = violation st ~tmax:cfg.tmax id ~delta:0.0 in
-            if v > !worst then begin
+            if Float.compare v !worst > 0 then begin
               worst := v;
               target := id
             end
@@ -347,23 +473,31 @@ let optimize cfg (d : Design.t) model =
         if !target < 0 then continue_ := false
         else begin
           Design.set_size d !target (d.Design.size_idx.(!target) + 1);
+          touch st !target;
           Leak_ssta.update_gate st.leak !target;
           incr size_moves;
           incr trials;
-          full_refresh st ~tmax:cfg.tmax;
+          refresh st ~tmax:cfg.tmax;
           reduce ();
           if st.yield_ < cfg.eta || Leak_ssta.mean st.leak >= best_leak then begin
-            (* round did not pay off: restore the previous solution *)
+            (* round did not pay off: restore the previous solution; the
+               dirty cone of a bulk restore is the whole circuit, so the
+               incremental engine rebuilds from scratch *)
             Array.blit saved_vth 0 d.Design.vth_idx 0 n;
             Array.blit saved_size 0 d.Design.size_idx 0 n;
             Leak_ssta.refresh st.leak;
-            full_refresh st ~tmax:cfg.tmax;
+            refresh ~rebuild:true st ~tmax:cfg.tmax;
             continue_ := false
           end
         end
       done
     end
   end;
+  let istats =
+    match st.engine with
+    | Inc inc -> Some (Incremental.stats inc)
+    | Full -> None
+  in
   {
     feasible = st.yield_ >= cfg.eta;
     vth_moves = !vth_moves;
@@ -372,4 +506,26 @@ let optimize cfg (d : Design.t) model =
     refreshes = st.refreshes;
     rollbacks = !rollbacks;
     final_yield = st.yield_;
+    full_refreshes = st.full_refreshes;
+    incr_updates = (match istats with Some s -> s.Incremental.updates | None -> 0);
+    propagated_gates =
+      (match istats with
+      | Some s -> s.Incremental.propagated + s.Incremental.bwd_propagated
+      | None -> 0);
+    mean_cone =
+      (match istats with
+      | Some s when s.Incremental.updates > 0 ->
+        float_of_int s.Incremental.propagated /. float_of_int s.Incremental.updates
+      | _ -> 0.0);
+    max_cone = (match istats with Some s -> s.Incremental.max_cone | None -> 0);
+    cutoffs = (match istats with Some s -> s.Incremental.cutoffs | None -> 0);
+    time_refresh = st.time_refresh;
+    time_candidates = st.time_candidates;
   }
+
+(**/**)
+
+module Private = struct
+  let violation = violation_
+  let est_yield_cost = est_yield_cost_
+end

@@ -47,21 +47,55 @@ type config = {
   refresh_every : int;    (** accepted moves between exact SSTA refreshes *)
   yield_margin : float;   (** fraction of (yield − η) spendable between
                               refreshes, in (0, 1] *)
+  incremental : bool;     (** drive refreshes through the cone-limited
+                              {!Sl_ssta.Incremental} engine instead of a
+                              from-scratch SSTA each time.  The engine is
+                              bit-identical to full analysis at every
+                              refresh point, so results (moves, yield,
+                              leakage) do not change — only wall-clock *)
+  audit : bool;           (** debug: every [refresh_every] batch settles,
+                              [assert] that the incremental state agrees
+                              bit-for-bit with a from-scratch analysis
+                              (compiled out under [-noassert]) *)
 }
 
 val default_config : tmax:float -> eta:float -> config
 (** Paper metric, both knobs, 25 passes, refresh every 25 moves,
-    margin 0.5. *)
+    margin 0.5, incremental engine on, audit off. *)
 
 type stats = {
   feasible : bool;        (** η met at exit (SSTA-verified) *)
   vth_moves : int;
   size_moves : int;
   trials : int;           (** candidate evaluations *)
-  refreshes : int;        (** exact SSTA recomputations *)
+  refreshes : int;        (** exact SSTA re-measure points (full analyses,
+                              incremental syncs and snapshot rollbacks) *)
   rollbacks : int;        (** moves undone after a failed refresh *)
   final_yield : float;    (** SSTA yield at exit *)
+  full_refreshes : int;   (** O(n) from-scratch analyses among the above *)
+  incr_updates : int;     (** single-gate incremental timing updates *)
+  propagated_gates : int; (** arrival + required-time recomputations over
+                              all incremental updates *)
+  mean_cone : float;      (** mean arrival recomputations per update — the
+                              effective dirty-cone size *)
+  max_cone : int;
+  cutoffs : int;          (** recomputations cut off by exact equality *)
+  time_refresh : float;   (** seconds inside refresh/sync/rollback *)
+  time_candidates : float;(** seconds inside candidate collection *)
 }
 
 val optimize : config -> Sl_tech.Design.t -> Sl_variation.Model.t -> stats
 (** Mutates the design in place. *)
+
+(**/**)
+
+(** Estimation internals exposed for unit tests. *)
+module Private : sig
+  val violation :
+    path_mu:float array -> path_sigma:float array -> tmax:float -> int ->
+    delta:float -> float
+
+  val est_yield_cost :
+    path_mu:float array -> path_sigma:float array -> tmax:float -> int ->
+    delta:float -> float
+end

@@ -9,25 +9,30 @@ type result = {
   circuit_delay : Canonical.t;
 }
 
-let gate_delay_canonical (d : Design.t) model id =
+let gate_delay_canonical ?memo (d : Design.t) model id =
   let g = Circuit.gate d.Design.circuit id in
   let num_pcs = Model.num_pcs model in
   if g.Circuit.kind = Cell_kind.Pi then Canonical.constant ~num_pcs 0.0
   else begin
-    let d0 = Design.gate_delay d id ~dvth:0.0 ~dl:0.0 in
-    let sv, sl = Design.gate_delay_sens d id in
+    (* the memoized path returns bit-identical values (see Sl_tech.Memo) *)
+    let d0, (sv, sl) =
+      match memo with
+      | None ->
+        (Design.gate_delay d id ~dvth:0.0 ~dl:0.0, Design.gate_delay_sens d id)
+      | Some m -> (Sl_tech.Memo.gate_delay m d id, Sl_tech.Memo.gate_delay_sens m d id)
+    in
     let cv = Model.vth_coeffs model id and cl = Model.l_coeffs model id in
     let coeffs = Array.init num_pcs (fun k -> (sv *. cv.(k)) +. (sl *. cl.(k))) in
     let rv = sv *. Model.vth_rnd_sigma model and rl = sl *. Model.l_rnd_sigma model in
     Canonical.make ~mean:d0 ~coeffs ~rnd:(sqrt ((rv *. rv) +. (rl *. rl)))
   end
 
-let analyze (d : Design.t) model =
+let analyze ?memo (d : Design.t) model =
   let circuit = d.Design.circuit in
   let n = Circuit.num_gates circuit in
   let num_pcs = Model.num_pcs model in
   let zero = Canonical.constant ~num_pcs 0.0 in
-  let gate_delay = Array.init n (fun id -> gate_delay_canonical d model id) in
+  let gate_delay = Array.init n (fun id -> gate_delay_canonical ?memo d model id) in
   let arrival = Array.make n zero in
   Array.iter
     (fun (g : Circuit.gate) ->

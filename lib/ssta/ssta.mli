@@ -13,12 +13,14 @@ type result = {
 }
 
 val gate_delay_canonical :
-  Sl_tech.Design.t -> Sl_variation.Model.t -> int -> Canonical.t
+  ?memo:Sl_tech.Memo.t -> Sl_tech.Design.t -> Sl_variation.Model.t -> int -> Canonical.t
 (** Linearized delay of one gate: mean = nominal delay, PC coefficients =
     ∂d/∂Vth · vth-pattern + ∂d/∂L · L-pattern, independent remainder from
-    the gate's random variation components. *)
+    the gate's random variation components.  With [?memo], nominal delay
+    and sensitivities come from the (bit-identical) memo table — the hot
+    path of incremental re-timing. *)
 
-val analyze : Sl_tech.Design.t -> Sl_variation.Model.t -> result
+val analyze : ?memo:Sl_tech.Memo.t -> Sl_tech.Design.t -> Sl_variation.Model.t -> result
 
 val pc_sensitivity : result -> float array
 (** Fresh copy of the circuit-delay canonical form's PC sensitivity

@@ -37,7 +37,7 @@ let set_size d id s =
 
 let arity d id = Array.length (Circuit.gate d.circuit id).Circuit.fanin
 
-let load d id =
+let external_load d id =
   let g = Circuit.gate d.circuit id in
   let wire = d.lib.Cell_lib.tech.Tech.c_wire in
   let fanout_cap =
@@ -52,13 +52,17 @@ let load d id =
       0.0 g.Circuit.fanout
   in
   let po_cap = if Circuit.is_po d.circuit id then d.lib.Cell_lib.tech.Tech.c_out else 0.0 in
+  fanout_cap +. po_cap
+
+let load d id =
+  let g = Circuit.gate d.circuit id in
   let self =
     if g.Circuit.kind = Cell_kind.Pi then 0.0
     else
       Cell_lib.self_load d.lib g.Circuit.kind ~arity:(Array.length g.Circuit.fanin)
         ~size_idx:d.size_idx.(id)
   in
-  fanout_cap +. po_cap +. self
+  external_load d id +. self
 
 let gate_delay d id ~dvth ~dl =
   let g = Circuit.gate d.circuit id in

@@ -31,6 +31,12 @@ val load : t -> int -> float
     capacitance + primary-output load when applicable + its own parasitic
     self-load. *)
 
+val external_load : t -> int -> float
+(** The part of {!load} that does not depend on gate [id]'s own assignment:
+    fanout input pins + wire + primary-output load.  [load d id] is exactly
+    [external_load d id +. self_load], which is what lets {!Memo} evaluate
+    what-if delays without mutating the design. *)
+
 val gate_delay : t -> int -> dvth:float -> dl:float -> float
 (** Delay of gate [id] under the given local variations, ps.  PIs have
     zero delay. *)

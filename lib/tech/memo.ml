@@ -1,0 +1,97 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+
+(* One entry per (kind, arity): every electrical quantity the timing path
+   needs, pre-evaluated for the full size × vth grid.  The tables are
+   filled by calling the Cell_lib functions themselves, so every memoized
+   value is bit-identical to an uncached evaluation. *)
+type entry = {
+  res : float array;   (* drive_res at nominal, [size_idx * num_vth + vth_idx] *)
+  self : float array;  (* self_load, [size_idx] *)
+  cap : float array;   (* input_cap, [size_idx] *)
+}
+
+type t = {
+  lib : Cell_lib.t;
+  table : (Cell_kind.t * int, entry) Hashtbl.t;
+}
+
+let create lib = { lib; table = Hashtbl.create 64 }
+
+let entry t kind ~arity =
+  let key = (kind, arity) in
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+    let ns = Cell_lib.num_sizes t.lib and nv = Cell_lib.num_vth t.lib in
+    let e =
+      {
+        res =
+          Array.init (ns * nv) (fun i ->
+              Cell_lib.drive_res t.lib kind ~arity ~size_idx:(i / nv)
+                ~vth_idx:(i mod nv) ~dvth:0.0 ~dl:0.0);
+        self = Array.init ns (fun s -> Cell_lib.self_load t.lib kind ~arity ~size_idx:s);
+        cap = Array.init ns (fun s -> Cell_lib.input_cap t.lib kind ~arity ~size_idx:s);
+      }
+    in
+    Hashtbl.add t.table key e;
+    e
+
+let drive_res t kind ~arity ~size_idx ~vth_idx =
+  (entry t kind ~arity).res.((size_idx * Cell_lib.num_vth t.lib) + vth_idx)
+
+let self_load t kind ~arity ~size_idx = (entry t kind ~arity).self.(size_idx)
+let input_cap t kind ~arity ~size_idx = (entry t kind ~arity).cap.(size_idx)
+
+(* Mirrors Design.load exactly: (fanout pins + wire + PO cap) + self, with
+   the same fold and summation order, reading caps from the tables. *)
+let load_at t (d : Design.t) id ~size_idx =
+  let c = d.Design.circuit in
+  let g = Circuit.gate c id in
+  let wire = d.Design.lib.Cell_lib.tech.Tech.c_wire in
+  let fanout_cap =
+    Array.fold_left
+      (fun acc fo ->
+        let go = Circuit.gate c fo in
+        acc +. wire
+        +. input_cap t go.Circuit.kind ~arity:(Array.length go.Circuit.fanin)
+             ~size_idx:d.Design.size_idx.(fo))
+      0.0 g.Circuit.fanout
+  in
+  let po_cap =
+    if Circuit.is_po c id then d.Design.lib.Cell_lib.tech.Tech.c_out else 0.0
+  in
+  let self =
+    if g.Circuit.kind = Cell_kind.Pi then 0.0
+    else self_load t g.Circuit.kind ~arity:(Array.length g.Circuit.fanin) ~size_idx
+  in
+  fanout_cap +. po_cap +. self
+
+let gate_delay_at t (d : Design.t) id ~vth_idx ~size_idx =
+  let g = Circuit.gate d.Design.circuit id in
+  if g.Circuit.kind = Cell_kind.Pi then 0.0
+  else begin
+    let r =
+      drive_res t g.Circuit.kind ~arity:(Array.length g.Circuit.fanin) ~size_idx
+        ~vth_idx
+    in
+    r *. load_at t d id ~size_idx
+  end
+
+let gate_delay t d id =
+  gate_delay_at t d id ~vth_idx:d.Design.vth_idx.(id) ~size_idx:d.Design.size_idx.(id)
+
+let delay_delta t d id ~vth_idx ~size_idx =
+  gate_delay_at t d id ~vth_idx ~size_idx -. gate_delay t d id
+
+let gate_delay_sens t (d : Design.t) id =
+  let g = Circuit.gate d.Design.circuit id in
+  if g.Circuit.kind = Cell_kind.Pi then (0.0, 0.0)
+  else begin
+    let tech = d.Design.lib.Cell_lib.tech in
+    let d0 = gate_delay t d id in
+    let overdrive = tech.Tech.vdd -. tech.Tech.vth.(d.Design.vth_idx.(id)) in
+    let dd_dvth = d0 *. tech.Tech.alpha /. overdrive in
+    let dd_dl = d0 *. (1.0 +. (tech.Tech.alpha *. tech.Tech.k_rolloff /. overdrive)) in
+    (dd_dvth, dd_dl)
+  end

@@ -8,6 +8,7 @@ let () =
          Test_variation.suite;
          Test_sta.suite;
          Test_ssta.suite;
+         Test_incremental.suite;
          Test_leakage.suite;
          Test_mc.suite;
          Test_yield.suite;

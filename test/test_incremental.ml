@@ -1,0 +1,308 @@
+(* Incremental SSTA engine: bit-identity against from-scratch analysis.
+
+   The contract under test (Sl_ssta.Incremental's invariant) is exact: at
+   every synced point, every stored canonical form and derived scalar must
+   equal — to the IEEE bit — what a fresh Ssta.analyze + backward +
+   path_through of the current design would produce. *)
+
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Benchmarks = Sl_netlist.Benchmarks
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Memo = Sl_tech.Memo
+module Spec = Sl_variation.Spec
+module Model = Sl_variation.Model
+module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
+module Incremental = Sl_ssta.Incremental
+module Rng = Sl_util.Rng
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Stat_opt = Sl_opt.Stat_opt
+module Setup = Statleak.Setup
+
+let design circuit = Design.create ~size_idx:2 (Cell_lib.default ()) circuit
+
+let cells (d : Design.t) =
+  Array.to_list d.Design.circuit.Circuit.gates
+  |> List.filter_map (fun (g : Circuit.gate) ->
+         if g.Circuit.kind = Cell_kind.Pi then None else Some g.Circuit.id)
+  |> Array.of_list
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let ceq (a : Canonical.t) (b : Canonical.t) =
+  feq a.Canonical.mean b.Canonical.mean
+  && feq a.Canonical.rnd b.Canonical.rnd
+  && Array.length a.Canonical.coeffs = Array.length b.Canonical.coeffs
+  && Array.for_all2 feq a.Canonical.coeffs b.Canonical.coeffs
+
+(* The reference: what Stat_opt.full_refresh computes. *)
+let reference d model ~tmax =
+  let res = Ssta.analyze d model in
+  let bwd = Ssta.backward d.Design.circuit res in
+  let n = Circuit.num_gates d.Design.circuit in
+  let mu = Array.make n 0.0 and sg = Array.make n 0.0 in
+  for id = 0 to n - 1 do
+    let t = Ssta.path_through res ~backward:bwd id in
+    mu.(id) <- t.Canonical.mean;
+    sg.(id) <- Canonical.sigma t
+  done;
+  (res, bwd, mu, sg, Ssta.timing_yield res ~tmax)
+
+let assert_matches ~what d model ~tmax inc =
+  let res, bwd, mu, sg, y = reference d model ~tmax in
+  let n = Circuit.num_gates d.Design.circuit in
+  for id = 0 to n - 1 do
+    if not (ceq res.Ssta.arrival.(id) (Incremental.arrival inc id)) then
+      Alcotest.failf "%s: arrival(%d) diverged" what id;
+    if not (ceq bwd.(id) (Incremental.required inc id)) then
+      Alcotest.failf "%s: required(%d) diverged" what id;
+    if not (feq mu.(id) (Incremental.path_mu inc).(id)) then
+      Alcotest.failf "%s: path_mu(%d) diverged" what id;
+    if not (feq sg.(id) (Incremental.path_sigma inc).(id)) then
+      Alcotest.failf "%s: path_sigma(%d) diverged" what id
+  done;
+  if not (ceq res.Ssta.circuit_delay (Incremental.circuit_delay inc)) then
+    Alcotest.failf "%s: circuit_delay diverged" what;
+  if not (feq y (Incremental.yield inc)) then
+    Alcotest.failf "%s: yield diverged (%.17g vs %.17g)" what y (Incremental.yield inc)
+
+(* 200 random Vth/size moves with an apply/abort mix; bit-compare against
+   a fresh full analysis after every sync. *)
+let random_moves_test name () =
+  let c = Option.get (Benchmarks.by_name name) in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  let res0 = Ssta.analyze d model in
+  let tmax = 1.25 *. res0.Ssta.circuit_delay.Canonical.mean in
+  let inc = Incremental.create d model ~tmax in
+  let ids = cells d in
+  let num_vth = Cell_lib.num_vth d.Design.lib in
+  let num_sizes = Cell_lib.num_sizes d.Design.lib in
+  let rng = Rng.create 91 in
+  let random_move () =
+    let id = ids.(Rng.int rng (Array.length ids)) in
+    if Rng.int rng 2 = 0 then begin
+      Design.set_vth d id (Rng.int rng num_vth);
+      id
+    end
+    else begin
+      Design.set_size d id (Rng.int rng num_sizes);
+      id
+    end
+  in
+  assert_matches ~what:(name ^ " initial") d model ~tmax inc;
+  for step = 1 to 200 do
+    if Rng.int rng 10 < 3 then begin
+      (* abort path: trial-apply a small batch under a checkpoint, sync,
+         then roll everything back — state must return to the pre-trial
+         analysis bit-for-bit *)
+      let saved_vth = Array.copy d.Design.vth_idx in
+      let saved_size = Array.copy d.Design.size_idx in
+      let cp = Incremental.checkpoint inc in
+      for _ = 1 to 1 + Rng.int rng 3 do
+        let id = random_move () in
+        Incremental.update_gate inc id
+      done;
+      Incremental.sync inc;
+      Array.blit saved_vth 0 d.Design.vth_idx 0 (Array.length saved_vth);
+      Array.blit saved_size 0 d.Design.size_idx 0 (Array.length saved_size);
+      Incremental.rollback inc cp
+    end
+    else begin
+      let id = random_move () in
+      Incremental.update_gate inc id;
+      Incremental.sync inc
+    end;
+    if step mod 10 = 0 || step = 200 then
+      assert_matches ~what:(Printf.sprintf "%s step %d" name step) d model ~tmax inc
+  done;
+  if not (Incremental.audit inc) then Alcotest.failf "%s: final audit failed" name;
+  let st = Incremental.stats inc in
+  if st.Incremental.updates = 0 || st.Incremental.propagated = 0 then
+    Alcotest.fail "no incremental work recorded"
+
+(* Unsynced checkpoints and double checkpoints must be rejected. *)
+let test_checkpoint_discipline () =
+  let c = Benchmarks.c17 () in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  let inc = Incremental.create d model ~tmax:100.0 in
+  let cp = Incremental.checkpoint inc in
+  Alcotest.check_raises "second checkpoint"
+    (Invalid_argument "Incremental.checkpoint: one is already active") (fun () ->
+      ignore (Incremental.checkpoint inc));
+  Incremental.commit inc cp;
+  let ids = cells d in
+  Design.set_vth d ids.(0) 1;
+  Incremental.update_gate inc ids.(0);
+  Alcotest.check_raises "unsynced checkpoint"
+    (Invalid_argument "Incremental.checkpoint: state not synced") (fun () ->
+      ignore (Incremental.checkpoint inc));
+  Incremental.sync inc;
+  if not (Incremental.audit inc) then Alcotest.fail "audit after sync"
+
+(* The memo table must reproduce Design.gate_delay / gate_delay_sens
+   bitwise, including under what-if assignments. *)
+let test_memo_bit_identity () =
+  let c = Option.get (Benchmarks.by_name "add32") in
+  let d = design c in
+  let memo = Memo.create d.Design.lib in
+  let ids = cells d in
+  let num_vth = Cell_lib.num_vth d.Design.lib in
+  let num_sizes = Cell_lib.num_sizes d.Design.lib in
+  let rng = Rng.create 17 in
+  for _ = 1 to 50 do
+    let id = ids.(Rng.int rng (Array.length ids)) in
+    Design.set_vth d id (Rng.int rng num_vth);
+    Design.set_size d id (Rng.int rng num_sizes)
+  done;
+  Array.iter
+    (fun id ->
+      if not (feq (Design.gate_delay d id ~dvth:0.0 ~dl:0.0) (Memo.gate_delay memo d id))
+      then Alcotest.failf "memo gate_delay diverged at %d" id;
+      let sv, sl = Design.gate_delay_sens d id in
+      let mv, ml = Memo.gate_delay_sens memo d id in
+      if not (feq sv mv && feq sl ml) then
+        Alcotest.failf "memo gate_delay_sens diverged at %d" id;
+      (* what-if = mutate-measure-restore, bit for bit *)
+      let vth_idx = Rng.int rng num_vth and size_idx = Rng.int rng num_sizes in
+      let v0 = d.Design.vth_idx.(id) and s0 = d.Design.size_idx.(id) in
+      Design.set_vth d id vth_idx;
+      Design.set_size d id size_idx;
+      let expect = Design.gate_delay d id ~dvth:0.0 ~dl:0.0 in
+      Design.set_vth d id v0;
+      Design.set_size d id s0;
+      if not (feq expect (Memo.gate_delay_at memo d id ~vth_idx ~size_idx)) then
+        Alcotest.failf "memo gate_delay_at diverged at %d" id)
+    ids
+
+(* ---------- optimizer regression: outputs unchanged vs. the seed ----------
+
+   The numbers below were captured by running the seed revision's
+   Stat_opt.optimize (default config, tmax = 1.25·D0, eta = 0.95) before
+   the incremental engine existed.  Both engine modes must keep
+   reproducing them exactly: the incremental rewiring is a pure
+   performance change. *)
+
+type pinned = {
+  p_name : string;
+  p_vth : int;
+  p_size : int;
+  p_trials : int;
+  p_refreshes : int;
+  p_rollbacks : int;
+  p_yield : float;
+  p_eleak : float;
+  p_digest : string;
+}
+
+let seed_pins =
+  [
+    {
+      p_name = "c17";
+      p_vth = 6;
+      p_size = 9;
+      p_trials = 41;
+      p_refreshes = 15;
+      p_rollbacks = 5;
+      p_yield = 0.98157016622745974;
+      p_eleak = 26.978547820197967;
+      p_digest = "v[0,6]/s[2,3,0,1,0,0,0]";
+    };
+    {
+      p_name = "add32";
+      p_vth = 160;
+      p_size = 282;
+      p_trials = 625;
+      p_refreshes = 64;
+      p_rollbacks = 39;
+      p_yield = 0.9509502817062272;
+      p_eleak = 694.34262547772698;
+      p_digest = "v[0,160]/s[121,39,0,0,0,0,0]";
+    };
+  ]
+
+let check_rel ~eps msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > eps *. Float.max 1.0 (Float.max (Float.abs expected) (Float.abs actual))
+  then Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let optimizer_regression ~incremental () =
+  List.iter
+    (fun p ->
+      let s = Setup.of_benchmark p.p_name in
+      let tmax = Setup.tmax s ~factor:1.25 in
+      let d = Setup.fresh_design s in
+      let cfg =
+        { (Stat_opt.default_config ~tmax ~eta:0.95) with Stat_opt.incremental }
+      in
+      let st = Stat_opt.optimize cfg d s.Setup.model in
+      let tag what = Printf.sprintf "%s (incremental=%b): %s" p.p_name incremental what in
+      Alcotest.(check int) (tag "vth_moves") p.p_vth st.Stat_opt.vth_moves;
+      Alcotest.(check int) (tag "size_moves") p.p_size st.Stat_opt.size_moves;
+      Alcotest.(check int) (tag "trials") p.p_trials st.Stat_opt.trials;
+      Alcotest.(check int) (tag "refreshes") p.p_refreshes st.Stat_opt.refreshes;
+      Alcotest.(check int) (tag "rollbacks") p.p_rollbacks st.Stat_opt.rollbacks;
+      check_rel ~eps:1e-12 (tag "yield") p.p_yield st.Stat_opt.final_yield;
+      let eleak = Leak_ssta.mean (Leak_ssta.create d s.Setup.model) in
+      check_rel ~eps:1e-12 (tag "E[leak]") p.p_eleak eleak;
+      Alcotest.(check string) (tag "digest") p.p_digest (Design.assignment_digest d))
+    seed_pins
+
+(* With audit on, every refresh_every-th settle asserts bit-agreement with
+   a from-scratch analysis inside the optimizer itself. *)
+let test_optimize_with_audit () =
+  let s = Setup.of_benchmark "add32" in
+  let tmax = Setup.tmax s ~factor:1.25 in
+  let d = Setup.fresh_design s in
+  let cfg =
+    {
+      (Stat_opt.default_config ~tmax ~eta:0.95) with
+      Stat_opt.audit = true;
+      refresh_every = 5;
+    }
+  in
+  let st = Stat_opt.optimize cfg d s.Setup.model in
+  if not st.Stat_opt.feasible then Alcotest.fail "audited run infeasible"
+
+(* ---------- zero-sigma yield-cost guard ---------- *)
+
+let test_zero_sigma_cost () =
+  let path_mu = [| 50.0; 120.0 |] and path_sigma = [| 0.0; 0.0 |] in
+  let cost = Stat_opt.Private.est_yield_cost ~path_mu ~path_sigma ~tmax:100.0 in
+  (* below the constraint, pushed over: full cost *)
+  Alcotest.(check (float 0.0)) "crossing move" 1.0 (cost 0 ~delta:60.0);
+  (* below the constraint, stays below: free *)
+  Alcotest.(check (float 0.0)) "safe move" 0.0 (cost 0 ~delta:10.0);
+  (* already over the constraint: must NOT be charged again *)
+  Alcotest.(check (float 0.0)) "already violating" 0.0 (cost 1 ~delta:60.0);
+  (* the pinned score of a zero-sigma free-to-slow gate: cost 0 means the
+     1e-12 epsilon alone sets the score — finite, not nan/inf surprise *)
+  let score = 5.0 /. (cost 0 ~delta:10.0 +. 1e-12) in
+  Alcotest.(check (float 1e-3)) "zero-sigma score" 5.0e12 score;
+  if not (Float.is_finite score) then Alcotest.fail "score not finite"
+
+let suite =
+  [
+    ( "incremental",
+      [
+        Alcotest.test_case "memo bit-identity (add32)" `Quick test_memo_bit_identity;
+        Alcotest.test_case "200 random moves = full SSTA (c17)" `Quick
+          (random_moves_test "c17");
+        Alcotest.test_case "200 random moves = full SSTA (add32)" `Slow
+          (random_moves_test "add32");
+        Alcotest.test_case "200 random moves = full SSTA (mult8)" `Slow
+          (random_moves_test "mult8");
+        Alcotest.test_case "checkpoint discipline" `Quick test_checkpoint_discipline;
+        Alcotest.test_case "optimizer outputs = seed (incremental)" `Slow
+          (optimizer_regression ~incremental:true);
+        Alcotest.test_case "optimizer outputs = seed (full refresh)" `Slow
+          (optimizer_regression ~incremental:false);
+        Alcotest.test_case "optimize with audit asserts agreement" `Slow
+          test_optimize_with_audit;
+        Alcotest.test_case "zero-sigma yield cost" `Quick test_zero_sigma_cost;
+      ] );
+  ]

@@ -144,7 +144,9 @@ let ssta circuit_spec lib_file sigma_scale size_idx factor critical =
              else
                Some
                  (Ssta.node_criticality res ~backward:bwd ~tmax g.Circuit.id, g.Circuit.id))
-      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> List.sort (fun (a, ia) (b, ib) ->
+             let c = Float.compare b a in
+             if c <> 0 then c else Int.compare ib ia)
     in
     Printf.printf "most statistically critical gates (P(path through gate > Tmax)):\n";
     List.iteri
@@ -275,12 +277,42 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
         st.Sl_opt.Stat_opt.mean_cone st.Sl_opt.Stat_opt.max_cone
         st.Sl_opt.Stat_opt.propagated_gates;
       Printf.printf "  exact-equality cutoffs: %d\n" st.Sl_opt.Stat_opt.cutoffs;
+      let moves = st.Sl_opt.Stat_opt.vth_moves + st.Sl_opt.Stat_opt.size_moves in
+      if moves > 0 then
+        Printf.printf "  propagations/move:    %.1f per committed move\n"
+          (float_of_int st.Sl_opt.Stat_opt.propagated_gates /. float_of_int moves);
       Printf.printf "  time in refresh/sync: %.3f s\n" st.Sl_opt.Stat_opt.time_refresh;
       Printf.printf "  time collecting candidates: %.3f s\n"
         st.Sl_opt.Stat_opt.time_candidates
     end
+  | "batch" ->
+    let st =
+      Sl_opt.Batch_opt.optimize (Sl_opt.Batch_opt.default_config ~tmax ~eta) d s.Setup.model
+    in
+    Printf.printf
+      "batch optimizer: feasible=%b vth_moves=%d size_moves=%d trials=%d passes=%d \
+       bands=%d/%d bisections=%d rollbacks=%d yield=%.4f\n"
+      st.Sl_opt.Batch_opt.feasible st.Sl_opt.Batch_opt.vth_moves
+      st.Sl_opt.Batch_opt.size_moves st.Sl_opt.Batch_opt.trials
+      st.Sl_opt.Batch_opt.passes st.Sl_opt.Batch_opt.bands_committed
+      st.Sl_opt.Batch_opt.bands_tried st.Sl_opt.Batch_opt.bisections
+      st.Sl_opt.Batch_opt.rollbacks st.Sl_opt.Batch_opt.final_yield;
+    if profile then begin
+      Printf.printf "profile: timing engine\n";
+      Printf.printf "  syncs:                %d (%d full analyses, rest incremental)\n"
+        st.Sl_opt.Batch_opt.syncs st.Sl_opt.Batch_opt.full_refreshes;
+      Printf.printf "  incremental updates:  %d single-gate delay updates\n"
+        st.Sl_opt.Batch_opt.incr_updates;
+      Printf.printf "  propagations:         %d arrival+required recomputations\n"
+        st.Sl_opt.Batch_opt.propagated_gates;
+      Printf.printf "  propagations/move:    %.1f per committed move\n"
+        st.Sl_opt.Batch_opt.props_per_move;
+      Printf.printf "  bands rolled back:    %d (%d moves undone)\n"
+        st.Sl_opt.Batch_opt.bands_rolled_back st.Sl_opt.Batch_opt.rollbacks;
+      Printf.printf "  time total:           %.3f s\n" st.Sl_opt.Batch_opt.time_total
+    end
   | other ->
-    Printf.eprintf "error: unknown mode %S (use det, lr or stat)\n" other;
+    Printf.eprintf "error: unknown mode %S (use det, lr, stat or batch)\n" other;
     exit 2);
   print_metrics "final" tmax (Evaluate.design ~mc_samples:samples ?jobs s ~tmax d);
   match dump with
@@ -427,7 +459,7 @@ let yield_cmd =
 
 let optimize_cmd =
   let mode_arg =
-    let doc = "Optimizer: $(b,stat) (yield-constrained statistical), $(b,det) (3-sigma corner greedy) or $(b,lr) (3-sigma corner Lagrangian relaxation)." in
+    let doc = "Optimizer: $(b,stat) (yield-constrained statistical), $(b,batch) (slack-band batched statistical), $(b,det) (3-sigma corner greedy) or $(b,lr) (3-sigma corner Lagrangian relaxation)." in
     Arg.(value & opt string "stat" & info [ "mode" ] ~docv:"MODE" ~doc)
   in
   let dump_arg =
@@ -440,9 +472,9 @@ let optimize_cmd =
   in
   let profile_arg =
     let doc =
-      "Print a timing-engine breakdown after a $(b,stat) run: full refreshes \
-       vs. incremental updates, mean/max dirty-cone size, exact-equality \
-       cutoffs, and time spent in refreshes and candidate collection."
+      "Print a timing-engine breakdown after a $(b,stat) or $(b,batch) run: \
+       full refreshes vs. incremental updates, dirty-cone statistics, timing \
+       propagations per committed move, and time spent in the engine."
     in
     Arg.(value & flag & info [ "profile" ] ~doc)
   in

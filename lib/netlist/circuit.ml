@@ -77,7 +77,7 @@ let cone next c id =
       (next c.gates.(g))
   done;
   let arr = Array.of_list !acc in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let fanout_cone c id = cone (fun g -> g.fanout) c id
@@ -179,7 +179,7 @@ module Builder = struct
           let fo =
             Array.of_list (List.rev_map (fun j -> order.(j)) fanout_lists.(old_id))
           in
-          Array.sort compare fo;
+          Array.sort Int.compare fo;
           { id = new_id; name = p.pname; kind = p.pkind; fanin = fi; fanout = fo; level = lvl })
     in
     Array.iter

@@ -51,6 +51,10 @@ let optimize cfg (d : Design.t) model =
   let best_size = Array.copy d.Design.size_idx in
   let best_feasible = ref (!yield_ >= cfg.eta) in
   let accepted = ref 0 in
+  (* boundary picks (e.g. upsizing a gate already at the largest drive)
+     produce no proposal; counting them as proposed would understate the
+     acceptance rate, so only real proposals are tallied *)
+  let proposed = ref 0 in
   let cooling =
     (* geometric schedule touching t_end at the last iteration *)
     (cfg.t_end /. cfg.t_start) ** (1.0 /. float_of_int (Stdlib.max 1 cfg.iterations))
@@ -74,6 +78,7 @@ let optimize cfg (d : Design.t) model =
     (match proposal with
     | None -> ()
     | Some p ->
+      incr proposed;
       (match p with
       | `Vth (_, v') -> Design.set_vth d id v'
       | `Size (_, s') -> Design.set_size d id s');
@@ -111,7 +116,7 @@ let optimize cfg (d : Design.t) model =
   let y = yield_of () in
   {
     accepted = !accepted;
-    proposed = cfg.iterations;
+    proposed = !proposed;
     final_cost = cost_of y;
     final_yield = y;
     feasible = y >= cfg.eta;

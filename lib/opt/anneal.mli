@@ -21,8 +21,12 @@ val default_config : tmax:float -> eta:float -> config
 (** 20 000 iterations, geometric cooling 0.05 → 0.0005, seed 1, λ = 10. *)
 
 type stats = {
-  accepted : int;
-  proposed : int;
+  accepted : int;       (** proposals accepted by the Metropolis test *)
+  proposed : int;       (** real proposals evaluated — iterations whose
+                            random pick was a boundary move (no legal
+                            neighbour) are not counted, so
+                            [accepted / proposed] is a true acceptance
+                            rate *)
   final_cost : float;
   final_yield : float;
   feasible : bool;

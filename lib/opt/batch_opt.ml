@@ -1,0 +1,471 @@
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Memo = Sl_tech.Memo
+module Incremental = Sl_ssta.Incremental
+module Leak_ssta = Sl_leakage.Leak_ssta
+
+type config = {
+  tmax : float;
+  eta : float;
+  sensitivity : Stat_opt.sensitivity;
+  allow_vth : bool;
+  allow_size : bool;
+  max_passes : int;
+  band_size : int;
+  yield_margin : float;
+  min_pass_moves : int;
+  audit : bool;
+}
+
+let default_config ~tmax ~eta =
+  {
+    tmax;
+    eta;
+    sensitivity = Stat_opt.Stat_leak_per_yield;
+    allow_vth = true;
+    allow_size = true;
+    max_passes = 25;
+    band_size = 512;
+    yield_margin = 1.0;
+    min_pass_moves = 4;
+    audit = false;
+  }
+
+type stats = {
+  feasible : bool;
+  vth_moves : int;
+  size_moves : int;
+  trials : int;
+  passes : int;
+  bands_tried : int;
+  bands_committed : int;
+  bands_rolled_back : int;
+  bisections : int;
+  rollbacks : int;
+  syncs : int;
+  final_yield : float;
+  full_refreshes : int;
+  incr_updates : int;
+  propagated_gates : int;
+  props_per_move : float;
+  time_total : float;
+}
+
+type move = { gate : int; kind : [ `Vth | `Size ]; prev : int }
+
+(* The optimizer always drives the incremental engine: the whole point of
+   banding is that a band pays one merged-cone sync, and the engine's
+   checkpoints are the undo dictionary for rolled-back bands. *)
+type st = {
+  cfg : config;
+  design : Design.t;
+  leak : Leak_ssta.t;
+  memo : Memo.t;
+  inc : Incremental.t;
+  mutable vth_moves : int;
+  mutable size_moves : int;
+  mutable trials : int;
+  mutable passes : int;
+  mutable bands_tried : int;
+  mutable bands_committed : int;
+  mutable bands_rolled_back : int;
+  mutable bisections : int;
+  mutable rollbacks : int;
+  mutable syncs : int;
+  (* adaptive band cap, TCP-style: the estimated yield costs the safe
+     zone is budgeted with are optimistic for off-critical moves (their
+     cost rounds to zero), so the sustainable band size is circuit- and
+     phase-dependent.  The cap doubles on every cleanly committed band
+     until the first rollback (slow start), then grows additively and
+     halves on failure (AIMD), converging near the largest band the
+     estimate can sustain instead of oscillating between a committing
+     size and twice it — every oscillation wastes a whole-band apply,
+     sync and rollback. *)
+  mutable band_cap : int;
+  mutable slow_start : bool;
+  (* moves that failed at single-move granularity, indexed 2·gate + kind.
+     Every reduction move slows a gate down, so yield is monotone
+     non-increasing along a reduction run: a move that broke the
+     constraint once can only break it harder later in the same run.
+     Blocking it caps the retry cost at one failed trial per run.  The
+     alternation phase upsizes (speeds up) gates, which breaks the
+     monotonicity argument, so the block list is cleared there. *)
+  blocked : Bytes.t;
+}
+
+let slot gate = function `Vth -> 2 * gate | `Size -> (2 * gate) + 1
+let is_blocked st gate kind = Bytes.get st.blocked (slot gate kind) <> '\000'
+let block st gate kind = Bytes.set st.blocked (slot gate kind) '\001'
+let unblock_all st = Bytes.fill st.blocked 0 (Bytes.length st.blocked) '\000'
+
+let yield_now st = Incremental.yield st.inc
+
+let full_sync st =
+  Incremental.sync st.inc;
+  st.syncs <- st.syncs + 1
+
+(* Yield-only re-measure: arrivals and the circuit delay; backward/path
+   repair stays deferred until the next ranking needs it. *)
+let yield_sync st =
+  Incremental.sync ~paths:false st.inc;
+  st.syncs <- st.syncs + 1
+
+let apply st kind gate =
+  let d = st.design in
+  let prev =
+    match kind with
+    | `Vth ->
+      let v = d.Design.vth_idx.(gate) in
+      Design.set_vth d gate (v + 1);
+      v
+    | `Size ->
+      let s = d.Design.size_idx.(gate) in
+      Design.set_size d gate (s - 1);
+      s
+  in
+  Incremental.update_gate st.inc gate;
+  Leak_ssta.update_gate st.leak gate;
+  { gate; kind; prev }
+
+(* Undo restores the assignment and the leakage accumulators only; the
+   timing view is restored wholesale by the checkpoint rollback, so no
+   second [update_gate] is paid. *)
+let undo st m =
+  (match m.kind with
+  | `Vth -> Design.set_vth st.design m.gate m.prev
+  | `Size -> Design.set_size st.design m.gate m.prev);
+  Leak_ssta.update_gate st.leak m.gate
+
+(* Apply a whole band under a checkpoint, re-measure the yield with one
+   sync, and either commit or roll back and bisect.  A failing single
+   move is simply dropped — the greedy degenerate case — so from a
+   feasible state this can only ever keep or improve the greedy result. *)
+let rec try_band st (moves : Stat_opt.candidate list) =
+  st.bands_tried <- st.bands_tried + 1;
+  let cp = Incremental.checkpoint st.inc in
+  let applied = List.map (fun (c : Stat_opt.candidate) -> apply st c.Stat_opt.kind c.Stat_opt.gate) moves in
+  yield_sync st;
+  if yield_now st >= st.cfg.eta then begin
+    Incremental.commit st.inc cp;
+    st.bands_committed <- st.bands_committed + 1;
+    List.iter
+      (fun m ->
+        match m.kind with
+        | `Vth -> st.vth_moves <- st.vth_moves + 1
+        | `Size -> st.size_moves <- st.size_moves + 1)
+      applied;
+    List.length applied
+  end
+  else begin
+    (* newest first, so shared-gate (vth, size) pairs unwind correctly *)
+    List.iter (undo st) (List.rev applied);
+    Incremental.rollback st.inc cp;
+    st.bands_rolled_back <- st.bands_rolled_back + 1;
+    st.rollbacks <- st.rollbacks + List.length applied;
+    match moves with
+    | [] -> 0
+    | [ c ] ->
+      block st c.Stat_opt.gate c.Stat_opt.kind;
+      0
+    | _ ->
+      (* Retry only the higher-ranked half: this is a binary search for
+         the largest feasible prefix of the band, ≤ log |band| syncs.
+         Recursing into the suffix as well would cost O(|band|) syncs
+         whenever a whole subtree is infeasible — and the suffix is
+         exactly the part whose estimates the committed prefix has made
+         stale, so it is better re-ranked on the next pass. *)
+      st.bisections <- st.bisections + 1;
+      let rec take i l =
+        if i = 0 then []
+        else match l with [] -> [] | x :: tl -> x :: take (i - 1) tl
+      in
+      try_band st (take (List.length moves / 2) moves)
+  end
+
+(* Slice the next band off the ranking.  The safe zone is the current
+   yield headroom scaled by the margin: a candidate joins the band only
+   if its estimated yield cost fits the remaining budget — exactly the
+   greedy optimizer's acceptance rule, so a candidate skipped here would
+   have been skipped by {!Stat_opt} at the same headroom too (it is
+   re-ranked next pass).  The band is additionally capped at [band_size]
+   moves; the candidates beyond the cap start the next band, whose
+   budget is re-measured from the live engine after this band settles. *)
+let form_band st ~num_vth rest =
+  let d = st.design in
+  let budget =
+    ref (st.cfg.yield_margin *. Float.max 0.0 (yield_now st -. st.cfg.eta))
+  in
+  let valid (c : Stat_opt.candidate) =
+    (not (is_blocked st c.Stat_opt.gate c.Stat_opt.kind))
+    &&
+    match c.Stat_opt.kind with
+    | `Vth -> d.Design.vth_idx.(c.Stat_opt.gate) + 1 < num_vth
+    | `Size -> d.Design.size_idx.(c.Stat_opt.gate) > 0
+  in
+  let rec take acc nacc = function
+    | [] -> (List.rev acc, [])
+    | c :: tl ->
+      if nacc >= Stdlib.min st.band_cap st.cfg.band_size then
+        (List.rev acc, c :: tl)
+      else if not (valid c) then take acc nacc tl
+      else if c.Stat_opt.est_cost <= !budget then begin
+        budget := !budget -. c.Stat_opt.est_cost;
+        take (c :: acc) (nacc + 1) tl
+      end
+      else take acc nacc tl
+  in
+  take [] 0 rest
+
+(* One pass: a single full sync refreshes the worst-path view, every
+   eligible move is ranked once, and the ranking is consumed band by
+   band.  Returns the number of committed moves. *)
+let run_pass st =
+  let cfg = st.cfg in
+  let num_vth = Cell_lib.num_vth st.design.Design.lib in
+  full_sync st;
+  if cfg.audit then assert (Incremental.audit st.inc);
+  let cands =
+    Stat_opt.rank_candidates ~sensitivity:cfg.sensitivity
+      ~allow_vth:cfg.allow_vth ~allow_size:cfg.allow_size ~tmax:cfg.tmax
+      ~memo:st.memo ~leak:st.leak ~path_mu:(Incremental.path_mu st.inc)
+      ~path_sigma:(Incremental.path_sigma st.inc)
+      ~eligible:(fun gate kind -> not (is_blocked st gate kind))
+      st.design
+  in
+  st.trials <- st.trials + List.length cands;
+  let committed = ref 0 in
+  let rest = ref cands in
+  let go = ref true in
+  while !go && !rest <> [] do
+    let band, tl = form_band st ~num_vth !rest in
+    rest := tl;
+    match band with
+    | [] -> go := false (* only invalidated candidates remained *)
+    | band ->
+      let rolled_before = st.bands_rolled_back in
+      let band_len = List.length band in
+      committed := !committed + try_band st band;
+      if st.bands_rolled_back = rolled_before then begin
+        (* grow only when the band actually filled the cap: growing on
+           every success lets a trickle of tiny committed bands creep the
+           cap back into the failing zone, buying one wide failed trial —
+           a whole union-cone propagation — per pass *)
+        if band_len >= st.band_cap then
+          st.band_cap <-
+            Stdlib.min st.cfg.band_size
+              (if st.slow_start then st.band_cap * 2 else st.band_cap + 8)
+      end
+      else begin
+        st.slow_start <- false;
+        st.band_cap <- Stdlib.max 4 (st.band_cap / 2);
+        (* a rollback means the estimates have gone stale against the
+           committed moves: stop consuming this ranking — the bisection
+           above already salvaged the band's feasible part — and let the
+           next pass re-rank against the fresh worst-path view instead of
+           trialing thousands of stale candidates in collapsed bands *)
+        go := false
+      end
+  done;
+  !committed
+
+(* Passes run until one commits fewer than [min_pass_moves] moves.  The
+   greedy optimizer runs its boundary trickle to literal exhaustion —
+   dozens of passes committing a handful of moves each; cutting the
+   trickle at a small threshold trades a sliver of leakage (bounded in
+   the bench at ≤ 1% vs {!Stat_opt}) for a large share of the remaining
+   timing propagations. *)
+let reduce st =
+  let pass0 = st.passes in
+  let go = ref true in
+  while !go && st.passes - pass0 < st.cfg.max_passes do
+    st.passes <- st.passes + 1;
+    let committed = run_pass st in
+    (* the cutoff scales with circuit size (capped at [min_pass_moves]):
+       small circuits still run to exhaustion — their whole trickle is a
+       handful of cheap passes — while large ones stop once a pass
+       yields a negligible fraction of the reduction *)
+    let cutoff =
+      Stdlib.max 1
+        (Stdlib.min st.cfg.min_pass_moves
+           (Circuit.num_gates st.design.Design.circuit / 250))
+    in
+    if committed < cutoff then go := false
+  done
+
+(* Initial yield repair, as in Stat_opt.fix_yield: rank upsizable gates by
+   violation probability and trial-apply a shortlist, each trial measured
+   by one yield-only sync and undone by a checkpoint rollback. *)
+let fix_yield st =
+  let cfg = st.cfg in
+  let d = st.design in
+  let num_sizes = Cell_lib.num_sizes d.Design.lib in
+  let n = Circuit.num_gates d.Design.circuit in
+  let shortlist = 16 in
+  let stuck = ref false in
+  let steps = ref 0 in
+  while yield_now st < cfg.eta && (not !stuck) && !steps < 4 * n do
+    incr steps;
+    full_sync st;
+    let path_mu = Incremental.path_mu st.inc in
+    let path_sigma = Incremental.path_sigma st.inc in
+    let ranked =
+      let all = ref [] in
+      for id = 0 to n - 1 do
+        if
+          (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi
+          && d.Design.size_idx.(id) + 1 < num_sizes
+        then begin
+          let v =
+            Stat_opt.Private.violation ~path_mu ~path_sigma ~tmax:cfg.tmax id
+              ~delta:0.0
+          in
+          if v > 0.0 then all := (v, id) :: !all
+        end
+      done;
+      List.sort
+        (fun (a, ia) (b, ib) ->
+          let c = Float.compare b a in
+          if c <> 0 then c else Int.compare ib ia)
+        !all
+    in
+    let rec try_candidates k = function
+      | [] -> false
+      | _ when k >= shortlist -> false
+      | (_, id) :: rest ->
+        let s = d.Design.size_idx.(id) in
+        let cp = Incremental.checkpoint st.inc in
+        Design.set_size d id (s + 1);
+        Incremental.update_gate st.inc id;
+        Leak_ssta.update_gate st.leak id;
+        st.trials <- st.trials + 1;
+        let y_before = yield_now st in
+        yield_sync st;
+        if yield_now st > y_before then begin
+          Incremental.commit st.inc cp;
+          st.size_moves <- st.size_moves + 1;
+          true
+        end
+        else begin
+          Design.set_size d id s;
+          Leak_ssta.update_gate st.leak id;
+          Incremental.rollback st.inc cp;
+          try_candidates (k + 1) rest
+        end
+    in
+    if not (try_candidates 0 ranked) then stuck := true
+  done
+
+(* Alternation, as in Stat_opt: single bands can be trapped when every
+   remaining reduction needs slack only an upsize elsewhere can create.
+   Upsize the most violation-prone gate, re-run the banded reduction, and
+   keep the round only if E[leak] actually dropped. *)
+let alternate st =
+  let cfg = st.cfg in
+  let d = st.design in
+  let n = Circuit.num_gates d.Design.circuit in
+  let num_sizes = Cell_lib.num_sizes d.Design.lib in
+  let continue_ = ref true in
+  let rounds = ref 0 in
+  while !continue_ && !rounds < 4 do
+    incr rounds;
+    full_sync st;
+    let best_leak = Leak_ssta.mean st.leak in
+    let saved_vth = Array.copy d.Design.vth_idx in
+    let saved_size = Array.copy d.Design.size_idx in
+    let path_mu = Incremental.path_mu st.inc in
+    let path_sigma = Incremental.path_sigma st.inc in
+    let target = ref (-1) and worst = ref (-1.0) in
+    for id = 0 to n - 1 do
+      if
+        (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi
+        && d.Design.size_idx.(id) + 1 < num_sizes
+      then begin
+        let v =
+          Stat_opt.Private.violation ~path_mu ~path_sigma ~tmax:cfg.tmax id
+            ~delta:0.0
+        in
+        if Float.compare v !worst > 0 then begin
+          worst := v;
+          target := id
+        end
+      end
+    done;
+    if !target < 0 then continue_ := false
+    else begin
+      Design.set_size d !target (d.Design.size_idx.(!target) + 1);
+      Incremental.update_gate st.inc !target;
+      Leak_ssta.update_gate st.leak !target;
+      st.size_moves <- st.size_moves + 1;
+      st.trials <- st.trials + 1;
+      unblock_all st;
+      full_sync st;
+      reduce st;
+      if yield_now st < cfg.eta || Leak_ssta.mean st.leak >= best_leak then begin
+        (* round did not pay off: bulk-restore; the dirty cone of a bulk
+           restore is the whole circuit, so rebuild from scratch *)
+        Array.blit saved_vth 0 d.Design.vth_idx 0 n;
+        Array.blit saved_size 0 d.Design.size_idx 0 n;
+        Leak_ssta.refresh st.leak;
+        Incremental.rebuild st.inc;
+        continue_ := false
+      end
+    end
+  done
+
+let optimize cfg (d : Design.t) model =
+  let t0 = Unix.gettimeofday () in
+  let leak = Leak_ssta.create d model in
+  let memo = Memo.create d.Design.lib in
+  let inc = Incremental.create ~memo d model ~tmax:cfg.tmax in
+  let st =
+    {
+      cfg;
+      design = d;
+      leak;
+      memo;
+      inc;
+      vth_moves = 0;
+      size_moves = 0;
+      trials = 0;
+      passes = 0;
+      bands_tried = 0;
+      bands_committed = 0;
+      bands_rolled_back = 0;
+      bisections = 0;
+      rollbacks = 0;
+      syncs = 0;
+      band_cap = Stdlib.min 64 cfg.band_size;
+      slow_start = true;
+      blocked = Bytes.make (2 * Circuit.num_gates d.Design.circuit) '\000';
+    }
+  in
+  fix_yield st;
+  if yield_now st >= cfg.eta then begin
+    reduce st;
+    if cfg.allow_size then alternate st
+  end;
+  let istats = Incremental.stats st.inc in
+  let moves = st.vth_moves + st.size_moves in
+  let props = istats.Incremental.propagated + istats.Incremental.bwd_propagated in
+  {
+    feasible = yield_now st >= cfg.eta;
+    vth_moves = st.vth_moves;
+    size_moves = st.size_moves;
+    trials = st.trials;
+    passes = st.passes;
+    bands_tried = st.bands_tried;
+    bands_committed = st.bands_committed;
+    bands_rolled_back = st.bands_rolled_back;
+    bisections = st.bisections;
+    rollbacks = st.rollbacks;
+    syncs = st.syncs;
+    final_yield = yield_now st;
+    full_refreshes = 1 + istats.Incremental.rebuilds;
+    incr_updates = istats.Incremental.updates;
+    propagated_gates = props;
+    props_per_move =
+      (if moves > 0 then float_of_int props /. float_of_int moves else 0.0);
+    time_total = Unix.gettimeofday () -. t0;
+  }

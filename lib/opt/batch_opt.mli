@@ -1,0 +1,120 @@
+(** Slack-band batched statistical optimizer.
+
+    Same problem as {!Stat_opt} —
+
+    minimize  E[total leakage]
+    s.t.      P(circuit delay ≤ tmax) ≥ η
+
+    over per-gate dual-Vth assignment and discrete sizing — but built for
+    throughput, in the style of the PrimeTime-contest flows: instead of
+    committing one move at a time and re-measuring timing every few
+    moves, it ranks {e every} eligible gate once per pass, slices the
+    ranking into slack bands that fit inside a yield safe zone, applies a
+    whole band through {!Sl_ssta.Incremental.update_gate}, and pays a
+    {e single} timing sync per band.
+
+    {2 Algorithm}
+
+    Per pass:
+    + one full incremental sync makes the worst-path view current; every
+      eligible move is scored by {!Stat_opt.rank_candidates} (the exact
+      greedy formula, so both optimizers agree on what a good move is);
+    + the ranking is consumed band by band: a band is the next run of
+      candidates whose cumulative estimated yield cost fits the safe
+      zone — [yield_margin · (yield − η)], re-measured from the live
+      engine before each band — capped at [band_size] moves;
+    + the band is applied in bulk (each move one
+      {!Sl_ssta.Incremental.update_gate} + O(1) leakage update) under an
+      engine checkpoint, then a single yield-only sync re-measures;
+    + if the yield held, the checkpoint is committed; if it dipped below
+      η, the checkpoint {e is} the undo dictionary — one rollback
+      restores the timing view bit-exactly, the design assignment is
+      restored move by move, and the higher-ranked half of the band is
+      retried (a binary search for the largest feasible prefix, ≤ log
+      |band| syncs; the lower-ranked suffix is re-ranked next pass,
+      since the committed prefix made its estimates stale).  A failing
+      single move slows a gate down, and reduction only ever slows gates
+      down, so it is blocked for the rest of the reduction run (the
+      alternation phase upsizes, which breaks that monotonicity, so it
+      clears the blocks).  Bisection thus degenerates to {!Stat_opt}'s
+      one-move-at-a-time behaviour in the worst case, while a healthy
+      band commits hundreds of moves per sync.  The per-pass band cap
+      adapts TCP-style — doubling while bands commit cleanly, halving on
+      a rollback — so the optimizer converges near the largest band the
+      cost estimates can sustain.
+
+    The loop ends when a pass commits nothing; an alternation phase then
+    buys headroom exactly as {!Stat_opt} does (upsize the most
+    violation-prone gate, re-run, keep the round only if E[leak]
+    dropped).  The optimizer never terminates infeasible from a feasible
+    start: every committed band was measured at yield ≥ η. *)
+
+type config = {
+  tmax : float;               (** delay constraint, ps *)
+  eta : float;                (** timing-yield target *)
+  sensitivity : Stat_opt.sensitivity;  (** move-ranking metric, shared
+                                           with the greedy optimizer *)
+  allow_vth : bool;
+  allow_size : bool;
+  max_passes : int;           (** rank-and-band passes per reduction *)
+  band_size : int;            (** hard cap on moves per band *)
+  yield_margin : float;       (** fraction of the current yield headroom
+                                  (yield − η) a band's cumulative
+                                  estimated cost may spend — the safe
+                                  zone.  Unlike the greedy optimizer's
+                                  0.5 — which must survive 25 blind moves
+                                  between refreshes — the band budget is
+                                  re-measured from the live engine before
+                                  {e every} band and overspending costs
+                                  one checkpoint rollback, so the default
+                                  spends the full headroom (1.0) *)
+  min_pass_moves : int;       (** stop the reduction when a pass commits
+                                  fewer moves than this.  The greedy
+                                  optimizer runs its boundary trickle to
+                                  exhaustion — dozens of passes committing
+                                  a handful of moves each; cutting it
+                                  early trades a sliver of leakage
+                                  (bounded at ≤ 1% vs {!Stat_opt} in the
+                                  bench) for most of the remaining timing
+                                  propagations.  The effective cutoff is
+                                  [min min_pass_moves (num_gates/250)]
+                                  (at least 1), so small circuits still
+                                  run to exhaustion; 1 reproduces the
+                                  greedy run-to-exhaustion rule
+                                  everywhere *)
+  audit : bool;               (** debug: assert bit-agreement with a
+                                  from-scratch analysis at every pass
+                                  boundary (compiled out under
+                                  [-noassert]) *)
+}
+
+val default_config : tmax:float -> eta:float -> config
+(** Paper metric, both knobs, 25 passes, bands of ≤ 512 moves, margin
+    1.0, trickle cutoff at 4 moves/pass, audit off. *)
+
+type stats = {
+  feasible : bool;            (** η met at exit (SSTA-verified) *)
+  vth_moves : int;            (** committed threshold moves *)
+  size_moves : int;           (** committed size moves (both directions) *)
+  trials : int;               (** candidate evaluations *)
+  passes : int;
+  bands_tried : int;          (** band applications, including bisection
+                                  retries *)
+  bands_committed : int;
+  bands_rolled_back : int;
+  bisections : int;           (** failed bands split for retry *)
+  rollbacks : int;            (** moves undone across rolled-back bands *)
+  syncs : int;                (** incremental timing syncs (full + yield-only) *)
+  final_yield : float;
+  full_refreshes : int;       (** O(n) from-scratch analyses (initial
+                                  build + rebuilds after bulk restores) *)
+  incr_updates : int;         (** single-gate delay updates *)
+  propagated_gates : int;     (** arrival + required-time recomputations
+                                  over all syncs *)
+  props_per_move : float;     (** timing propagations per committed move —
+                                  the batching figure of merit *)
+  time_total : float;         (** seconds in optimize *)
+}
+
+val optimize : config -> Sl_tech.Design.t -> Sl_variation.Model.t -> stats
+(** Mutates the design in place. *)

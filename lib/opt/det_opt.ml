@@ -163,7 +163,16 @@ let reduce_pass cfg (d : Design.t) inc trials vth_moves size_moves =
         end
       end)
     ids;
-  let sorted = List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) !candidates in
+  (* deterministic tie-break (gate id descending, matching the historical
+     stable-sort order over the reverse build order) so trajectories are
+     reproducible across stdlib versions *)
+  let sorted =
+    List.sort
+      (fun (a, _, ia) (b, _, ib) ->
+        let c = Float.compare b a in
+        if c <> 0 then c else Int.compare ib ia)
+      !candidates
+  in
   let accepted = ref 0 in
   List.iter
     (fun (_, kind, id) ->

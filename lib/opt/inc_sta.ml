@@ -95,7 +95,10 @@ let merge_region t seeds =
       Array.iter add (fcone t s))
     seeds;
   let region = Array.of_list !acc in
-  Array.sort (fun (a : int) b -> compare a b) region;
+  (* Int.compare, not polymorphic compare: the region is sorted on every
+     update, and the polymorphic version walks the generic comparison path
+     per element pair *)
+  Array.sort Int.compare region;
   Array.iter (fun gid -> t.region_flag.(gid) <- false) region;
   region
 

@@ -158,9 +158,6 @@ let est_yield_cost_ ~path_mu ~path_sigma ~tmax id ~delta =
       (violation_ ~path_mu ~path_sigma ~tmax id ~delta
       -. violation_ ~path_mu ~path_sigma ~tmax id ~delta:0.0)
 
-let est_yield_cost st ~tmax id ~delta =
-  est_yield_cost_ ~path_mu:st.path_mu ~path_sigma:st.path_sigma ~tmax id ~delta
-
 let nominal_leak (d : Design.t) id ~vth_idx ~size_idx =
   let g = Circuit.gate d.Design.circuit id in
   Cell_lib.leak_current d.Design.lib g.Circuit.kind
@@ -173,26 +170,46 @@ type candidate = {
   est_cost : float;
 }
 
-let collect_candidates cfg st =
-  ensure_paths st;
-  let t0 = now () in
-  let d = st.design in
+(* Deterministic candidate order: score descending, ties broken by gate id
+   descending and `Size before `Vth within a gate.  Ties are real — every
+   free-win candidate scores infinity, and zero-est-cost candidates score
+   dleak/1e-12 — and the stdlib does not promise List.sort is stable, so
+   an explicit tie-break is what makes optimizer trajectories reproducible
+   across stdlib versions.  The chosen order equals what the current
+   (stable-in-practice) sort produced over the reverse build order, so
+   pinned seed trajectories are unchanged. *)
+let kind_rank = function `Size -> 0 | `Vth -> 1
+
+let compare_candidates a b =
+  let c = Float.compare b.score a.score in
+  if c <> 0 then c
+  else
+    let c = Int.compare b.gate a.gate in
+    if c <> 0 then c else Int.compare (kind_rank a.kind) (kind_rank b.kind)
+
+(* Score every eligible single-gate move (raise threshold / downsize) of
+   the design against the given worst-path view.  Shared by the greedy
+   optimizer (one list per pass, budgeted acceptance) and the batched
+   optimizer (one list per pass, slack-band application) so both rank
+   moves by the exact same formula. *)
+let rank_candidates ~sensitivity ~allow_vth ~allow_size ~tmax ~memo ~leak
+    ~path_mu ~path_sigma ?(eligible = fun _ _ -> true) (d : Design.t) =
   let num_vth = Cell_lib.num_vth d.Design.lib in
-  let leak_mean_now = Leak_ssta.mean st.leak in
+  let leak_mean_now = Leak_ssta.mean leak in
   let leak_p99_now =
-    match cfg.sensitivity with
-    | P99_leak_per_yield -> Leak_ssta.quantile st.leak 0.99
+    match sensitivity with
+    | P99_leak_per_yield -> Leak_ssta.quantile leak 0.99
     | _ -> 0.0
   in
   let candidates = ref [] in
   let consider gate kind ~vth_idx ~size_idx ~delta =
     if delta <> 0.0 then begin
-      let dleak_stat = leak_mean_now -. Leak_ssta.mean_if st.leak gate ~vth_idx ~size_idx in
+      let dleak_stat = leak_mean_now -. Leak_ssta.mean_if leak gate ~vth_idx ~size_idx in
       if delta > 0.0 then begin
         if dleak_stat > 0.0 then begin
-          let est_cost = est_yield_cost st ~tmax:cfg.tmax gate ~delta in
+          let est_cost = est_yield_cost_ ~path_mu ~path_sigma ~tmax gate ~delta in
           let score =
-            match cfg.sensitivity with
+            match sensitivity with
             | Stat_leak_per_yield -> dleak_stat /. (est_cost +. 1e-12)
             | Stat_leak_per_delay -> dleak_stat /. Float.max 1e-9 delta
             | Nominal_leak_per_yield ->
@@ -204,7 +221,7 @@ let collect_candidates cfg st =
               dleak_nom /. (est_cost +. 1e-12)
             | P99_leak_per_yield ->
               let dp99 =
-                leak_p99_now -. Leak_ssta.quantile_if st.leak gate ~vth_idx ~size_idx ~p:0.99
+                leak_p99_now -. Leak_ssta.quantile_if leak gate ~vth_idx ~size_idx ~p:0.99
               in
               dp99 /. (est_cost +. 1e-12)
           in
@@ -221,25 +238,34 @@ let collect_candidates cfg st =
     (fun (g : Circuit.gate) ->
       if g.Circuit.kind <> Cell_kind.Pi then begin
         let id = g.Circuit.id in
-        if cfg.allow_vth && d.Design.vth_idx.(id) + 1 < num_vth then begin
+        if allow_vth && d.Design.vth_idx.(id) + 1 < num_vth && eligible id `Vth then begin
           let v = d.Design.vth_idx.(id) in
           let delta =
-            Memo.delay_delta st.memo d id ~vth_idx:(v + 1)
+            Memo.delay_delta memo d id ~vth_idx:(v + 1)
               ~size_idx:d.Design.size_idx.(id)
           in
           consider id `Vth ~vth_idx:(v + 1) ~size_idx:d.Design.size_idx.(id) ~delta
         end;
-        if cfg.allow_size && d.Design.size_idx.(id) > 0 then begin
+        if allow_size && d.Design.size_idx.(id) > 0 && eligible id `Size then begin
           let s = d.Design.size_idx.(id) in
           let delta =
-            Memo.delay_delta st.memo d id ~vth_idx:d.Design.vth_idx.(id)
+            Memo.delay_delta memo d id ~vth_idx:d.Design.vth_idx.(id)
               ~size_idx:(s - 1)
           in
           consider id `Size ~vth_idx:d.Design.vth_idx.(id) ~size_idx:(s - 1) ~delta
         end
       end)
     d.Design.circuit.Circuit.gates;
-  let sorted = List.sort (fun a b -> Float.compare b.score a.score) !candidates in
+  List.sort compare_candidates !candidates
+
+let collect_candidates cfg st =
+  ensure_paths st;
+  let t0 = now () in
+  let sorted =
+    rank_candidates ~sensitivity:cfg.sensitivity ~allow_vth:cfg.allow_vth
+      ~allow_size:cfg.allow_size ~tmax:cfg.tmax ~memo:st.memo ~leak:st.leak
+      ~path_mu:st.path_mu ~path_sigma:st.path_sigma st.design
+  in
   st.time_candidates <- st.time_candidates +. (now () -. t0);
   sorted
 
@@ -292,7 +318,13 @@ let fix_yield cfg st trials size_moves =
           if v > 0.0 then all := (v, id) :: !all
         end
       done;
-      List.sort (fun (a, _) (b, _) -> Float.compare b a) !all
+      (* descending-id tie-break: deterministic under equal violation
+         probabilities, matching the historical stable-sort order *)
+      List.sort
+        (fun (a, ia) (b, ib) ->
+          let c = Float.compare b a in
+          if c <> 0 then c else Int.compare ib ia)
+        !all
     in
     let rec try_candidates k = function
       | [] -> false

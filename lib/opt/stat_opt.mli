@@ -87,6 +87,36 @@ type stats = {
 val optimize : config -> Sl_tech.Design.t -> Sl_variation.Model.t -> stats
 (** Mutates the design in place. *)
 
+(** {2 Candidate ranking}
+
+    The scoring core, shared with {!Batch_opt} so both optimizers rank
+    moves by the exact same formula. *)
+
+type candidate = {
+  score : float;              (** sensitivity value; [infinity] = free win *)
+  kind : [ `Vth | `Size ];
+  gate : int;
+  est_cost : float;           (** estimated yield cost of the move *)
+}
+
+val rank_candidates :
+  sensitivity:sensitivity ->
+  allow_vth:bool ->
+  allow_size:bool ->
+  tmax:float ->
+  memo:Sl_tech.Memo.t ->
+  leak:Sl_leakage.Leak_ssta.t ->
+  path_mu:float array ->
+  path_sigma:float array ->
+  ?eligible:(int -> [ `Vth | `Size ] -> bool) ->
+  Sl_tech.Design.t ->
+  candidate list
+(** Every eligible single-gate move (raise threshold by one / downsize by
+    one) scored against the given worst-path view, best first.  The order
+    is fully deterministic: score descending, ties broken by gate id
+    descending then [`Size] before [`Vth].  [eligible] (default: all)
+    filters moves before they are scored. *)
+
 (**/**)
 
 (** Estimation internals exposed for unit tests. *)

@@ -2,7 +2,7 @@ let statistic_against cdf samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Ks.statistic_against: empty sample";
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let worst = ref 0.0 in
   for i = 0 to n - 1 do
     let f = cdf sorted.(i) in
@@ -16,8 +16,8 @@ let statistic_two_sample xs ys =
   let nx = Array.length xs and ny = Array.length ys in
   if nx = 0 || ny = 0 then invalid_arg "Ks.statistic_two_sample: empty sample";
   let sx = Array.copy xs and sy = Array.copy ys in
-  Array.sort compare sx;
-  Array.sort compare sy;
+  Array.sort Float.compare sx;
+  Array.sort Float.compare sy;
   let i = ref 0 and j = ref 0 and worst = ref 0.0 in
   while !i < nx && !j < ny do
     if sx.(!i) <= sy.(!j) then incr i else incr j;

@@ -13,6 +13,7 @@ let () =
          Test_mc.suite;
          Test_yield.suite;
          Test_opt.suite;
+         Test_batch_opt.suite;
          Test_core.suite;
          Test_extensions.suite;
          Test_activity.suite;

@@ -1,0 +1,157 @@
+(* Slack-band batched optimizer: band rollback bit-identity, bisection
+   behaviour, and regression pins against the greedy Stat_opt.
+
+   The load-bearing property is the first one: a rolled-back band must
+   leave the incremental engine bit-identical to a from-scratch analysis
+   of the restored design — [audit = true] asserts exactly that at every
+   pass boundary, through every commit, rollback and bisection the run
+   performs. *)
+
+module Circuit = Sl_netlist.Circuit
+module Benchmarks = Sl_netlist.Benchmarks
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Spec = Sl_variation.Spec
+module Model = Sl_variation.Model
+module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Stat_opt = Sl_opt.Stat_opt
+module Batch_opt = Sl_opt.Batch_opt
+
+let setup name =
+  let c = Option.get (Benchmarks.by_name name) in
+  let d = Design.create ~size_idx:2 (Cell_lib.default ()) c in
+  let model = Model.build Spec.default c in
+  let res0 = Ssta.analyze d model in
+  let tmax = 1.25 *. res0.Ssta.circuit_delay.Canonical.mean in
+  (d, model, tmax)
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* ---------- band rollback / bisection bit-identity ---------- *)
+
+(* Every pass boundary audits the engine against a from-scratch analysis
+   (bit-for-bit), so any band commit or checkpoint rollback that left a
+   stale canonical form anywhere fails the run. *)
+let test_audited_run name () =
+  let d, model, tmax = setup name in
+  let cfg =
+    { (Batch_opt.default_config ~tmax ~eta:0.95) with Batch_opt.audit = true }
+  in
+  let st = Batch_opt.optimize cfg d model in
+  Alcotest.(check bool) "feasible" true st.Batch_opt.feasible;
+  (* the exit yield must bit-match an independent from-scratch SSTA of
+     the mutated design *)
+  let y = Ssta.timing_yield (Ssta.analyze d model) ~tmax in
+  Alcotest.(check bool)
+    (Printf.sprintf "exit yield %.17g bit-matches fresh SSTA" y)
+    true
+    (feq y st.Batch_opt.final_yield)
+
+(* Force the bisection path: a huge margin lets bands overspend the real
+   headroom, so they roll back and retry halved.  The audit stays on —
+   bit-identity must survive the failure path, not just clean commits —
+   and the result must still exit feasible. *)
+let test_forced_bisection () =
+  let d, model, tmax = setup "add32" in
+  let cfg =
+    {
+      (Batch_opt.default_config ~tmax ~eta:0.95) with
+      Batch_opt.yield_margin = 1000.0;
+      Batch_opt.min_pass_moves = 1;
+      Batch_opt.audit = true;
+    }
+  in
+  let st = Batch_opt.optimize cfg d model in
+  Alcotest.(check bool) "feasible" true st.Batch_opt.feasible;
+  Alcotest.(check bool) "yield >= eta" true (st.Batch_opt.final_yield >= 0.95);
+  Alcotest.(check bool)
+    (Printf.sprintf "bands rolled back (%d)" st.Batch_opt.bands_rolled_back)
+    true
+    (st.Batch_opt.bands_rolled_back > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "bisections taken (%d)" st.Batch_opt.bisections)
+    true
+    (st.Batch_opt.bisections > 0)
+
+(* ---------- regression pins vs the greedy optimizer ---------- *)
+
+(* Batching is a throughput move, not a quality move: on every benchmark
+   it must match Stat_opt's feasibility, stay within 1% of its mean
+   leakage, and (beyond trivial sizes) pay fewer timing propagations. *)
+let test_vs_stat name () =
+  let d_s, model, tmax = setup name in
+  let st_s = Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d_s model in
+  let leak_s = Leak_ssta.mean (Leak_ssta.create d_s model) in
+  let d_b, model_b, _ = setup name in
+  let st_b = Batch_opt.optimize (Batch_opt.default_config ~tmax ~eta:0.95) d_b model_b in
+  let leak_b = Leak_ssta.mean (Leak_ssta.create d_b model_b) in
+  Alcotest.(check bool) "feasibility parity" st_s.Stat_opt.feasible st_b.Batch_opt.feasible;
+  Alcotest.(check bool)
+    (Printf.sprintf "leak %.4g within 1%% of greedy %.4g" leak_b leak_s)
+    true
+    (leak_b <= 1.01 *. leak_s);
+  if Circuit.num_gates d_b.Design.circuit > 100 then
+    Alcotest.(check bool)
+      (Printf.sprintf "fewer propagations (%d < %d)" st_b.Batch_opt.propagated_gates
+         st_s.Stat_opt.propagated_gates)
+      true
+      (st_b.Batch_opt.propagated_gates < st_s.Stat_opt.propagated_gates)
+
+(* ---------- determinism and knobs ---------- *)
+
+let test_deterministic () =
+  let run () =
+    let d, model, tmax = setup "add32" in
+    let st = Batch_opt.optimize (Batch_opt.default_config ~tmax ~eta:0.95) d model in
+    (Array.copy d.Design.vth_idx, Array.copy d.Design.size_idx, st)
+  in
+  let v1, s1, st1 = run () in
+  let v2, s2, st2 = run () in
+  Alcotest.(check (array int)) "vth assignment" v1 v2;
+  Alcotest.(check (array int)) "size assignment" s1 s2;
+  Alcotest.(check bool) "identical stats" true
+    ({ st1 with Batch_opt.time_total = 0.0 }
+    = { st2 with Batch_opt.time_total = 0.0 })
+
+let test_knobs () =
+  let d, model, tmax = setup "add32" in
+  let cfg =
+    { (Batch_opt.default_config ~tmax ~eta:0.95) with Batch_opt.allow_size = false }
+  in
+  let sizes_before = Array.copy d.Design.size_idx in
+  let st = Batch_opt.optimize cfg d model in
+  Alcotest.(check int) "no size moves" 0 st.Batch_opt.size_moves;
+  Alcotest.(check (array int)) "sizes untouched" sizes_before d.Design.size_idx;
+  let d2, model2, tmax2 = setup "add32" in
+  let cfg2 =
+    { (Batch_opt.default_config ~tmax:tmax2 ~eta:0.95) with Batch_opt.allow_vth = false }
+  in
+  let vth_before = Array.copy d2.Design.vth_idx in
+  let st2 = Batch_opt.optimize cfg2 d2 model2 in
+  Alcotest.(check int) "no vth moves" 0 st2.Batch_opt.vth_moves;
+  Alcotest.(check (array int)) "vth untouched" vth_before d2.Design.vth_idx
+
+let suite =
+  [
+    ( "batch_opt",
+      [
+        Alcotest.test_case "audited run, bit-exact engine (c17)" `Quick
+          (test_audited_run "c17");
+        Alcotest.test_case "audited run, bit-exact engine (add32)" `Quick
+          (test_audited_run "add32");
+        Alcotest.test_case "audited run, bit-exact engine (mult8)" `Slow
+          (test_audited_run "mult8");
+        Alcotest.test_case "forced bisection stays bit-exact and feasible" `Quick
+          test_forced_bisection;
+        Alcotest.test_case "vs stat_opt: parity and <=1% leak (c17)" `Quick
+          (test_vs_stat "c17");
+        Alcotest.test_case "vs stat_opt: parity and <=1% leak (add32)" `Quick
+          (test_vs_stat "add32");
+        Alcotest.test_case "vs stat_opt: parity and <=1% leak (mult8)" `Slow
+          (test_vs_stat "mult8");
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "knob gating" `Quick test_knobs;
+      ] );
+  ]

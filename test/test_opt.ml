@@ -325,6 +325,22 @@ let test_anneal_deterministic_in_seed () =
   Alcotest.(check (array int)) "same vth" v1 v2;
   Alcotest.(check (array int)) "same sizes" s1 s2
 
+let test_anneal_proposed_counts_real_proposals () =
+  (* [proposed] must count only iterations that evaluated a real proposal:
+     boundary picks (no legal neighbour) are skipped, so proposed <
+     iterations on a design that starts at knob extremes, and accepted can
+     never exceed it.  The exact counts are pinned — the RNG stream and
+     the Metropolis walk are fully deterministic in the seed. *)
+  let d, model = stat_setup (Benchmarks.c17 ()) in
+  let tmax = 1.25 *. Sta.dmax d in
+  let cfg = { (Anneal.default_config ~tmax ~eta:0.95) with Anneal.iterations = 500 } in
+  let st = Anneal.optimize cfg d model in
+  Alcotest.(check bool) "proposed < iterations" true (st.Anneal.proposed < 500);
+  Alcotest.(check bool) "accepted <= proposed" true
+    (st.Anneal.accepted <= st.Anneal.proposed);
+  Alcotest.(check int) "proposed pinned" 458 st.Anneal.proposed;
+  Alcotest.(check int) "accepted pinned" 77 st.Anneal.accepted
+
 let test_greedy_close_to_anneal () =
   (* the greedy optimizer should be within 2x of a long annealing run on a
      small circuit (it is usually better) *)
@@ -392,6 +408,8 @@ let suite =
       [
         Alcotest.test_case "feasible and improves" `Quick test_anneal_feasible_and_improves;
         Alcotest.test_case "deterministic in seed" `Quick test_anneal_deterministic_in_seed;
+        Alcotest.test_case "proposed counts real proposals" `Quick
+          test_anneal_proposed_counts_real_proposals;
         Alcotest.test_case "greedy close to anneal" `Slow test_greedy_close_to_anneal;
       ] );
   ]

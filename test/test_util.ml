@@ -102,7 +102,7 @@ let test_rng_shuffle_permutes () =
   let b = Array.copy a in
   Rng.shuffle r b;
   let sb = Array.copy b in
-  Array.sort compare sb;
+  Array.sort Int.compare sb;
   Alcotest.(check (array int)) "same multiset" a sb;
   Alcotest.(check bool) "actually permuted" true (b <> a)
 

@@ -505,12 +505,25 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
+(* the revision the numbers were measured at, so a committed
+   BENCH_results.json is traceable; "unknown" outside a git checkout *)
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception Sys_error _ -> "unknown"
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ -> "unknown")
+
 let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
     ~(osp : opt_speedup list) ~(bsp : batch_speedup list) ~kernels =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"statleak-bench/1\",\n";
+  add "  \"schema\": \"statleak-bench/2\",\n";
+  add "  \"schema_version\": 2,\n";
+  add "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"experiments\": [\n";

@@ -67,7 +67,18 @@ let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let load_circuit spec =
-  if Sys.file_exists spec && not (Sys.is_directory spec) then Bench_format.parse_file spec
+  if Sys.file_exists spec && not (Sys.is_directory spec) then begin
+    try Bench_format.parse_file spec with
+    | Bench_format.Parse_error (line, msg) ->
+      Printf.eprintf "error: %s:%d: %s\n" spec line msg;
+      exit 2
+    | Failure msg ->
+      Printf.eprintf "error: %s: invalid netlist: %s\n" spec msg;
+      exit 2
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  end
   else
     match Benchmarks.by_name spec with
     | Some c -> c
@@ -78,7 +89,17 @@ let load_circuit spec =
 
 let load_lib = function
   | None -> Sl_tech.Cell_lib.default ()
-  | Some path -> Liberty.parse_file path
+  | Some path -> (
+    try Liberty.parse_file path with
+    | Liberty.Parse_error (line, msg) ->
+      Printf.eprintf "error: %s:%d: %s\n" path line msg;
+      exit 2
+    | Failure msg ->
+      Printf.eprintf "error: %s: invalid library: %s\n" path msg;
+      exit 2
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2)
 
 let make_setup circuit_spec lib_file sigma_scale size_idx =
   let circuit = load_circuit circuit_spec in
@@ -392,6 +413,193 @@ let experiments quick jobs ids =
         o.Experiments.body)
     selected
 
+(* ---------- serve / client ---------- *)
+
+module Json = Sl_util.Json
+module Frame = Sl_util.Frame
+module Server = Sl_serve.Server
+module Serve_client = Sl_serve.Client
+
+let serve socket jobs max_sessions quiet =
+  let cfg =
+    {
+      Server.socket_path = socket;
+      jobs;
+      max_sessions;
+      snapshot_dir = None;
+      log = not quiet;
+    }
+  in
+  let t =
+    try Server.create cfg with
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot listen on %s: %s\n" socket (Unix.error_message e);
+      exit 2
+    | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  Server.serve t
+
+(* Responses print as one "key: value" line per field; [_bits] twins and
+   the frame type are wire-level detail and stay hidden. *)
+let print_fields v =
+  match v with
+  | Json.Obj fields ->
+    List.iter
+      (fun (k, v) ->
+        if k <> "type" && not (String.length k > 5 && Filename.check_suffix k "_bits")
+        then
+          match v with
+          | Json.Str s -> Printf.printf "%s: %s\n" k s
+          | other -> Printf.printf "%s: %s\n" k (Json.to_string other))
+      fields
+  | other -> print_endline (Json.to_string other)
+
+let print_progress frame =
+  match frame with
+  | Json.Obj fields ->
+    let parts =
+      List.filter_map
+        (fun (k, v) ->
+          if k = "type" then None
+          else
+            Some
+              (match v with
+              | Json.Str s -> Printf.sprintf "%s=%s" k s
+              | other -> Printf.sprintf "%s=%s" k (Json.to_string other)))
+        fields
+    in
+    Printf.printf "progress: %s\n%!" (String.concat " " parts)
+  | _ -> ()
+
+let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
+    max_samples seed ci detail args =
+  let circuit_field spec =
+    (* a path is read client-side and shipped as netlist text, so the
+       daemon never depends on the client's filesystem *)
+    if Sys.file_exists spec && not (Sys.is_directory spec) then begin
+      let text =
+        let ic = open_in_bin spec in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let name = Filename.remove_extension (Filename.basename spec) in
+      ( "netlist",
+        Json.obj [ ("name", Json.Str name); ("text", Json.Str text) ] )
+    end
+    else ("bench", Json.Str spec)
+  in
+  let num x = Json.Num x in
+  let int_ n = Json.Num (float_of_int n) in
+  match args with
+    | [ "ping" ] -> Json.obj [ ("type", Json.Str "ping") ]
+    | [ "load"; session; circuit ] ->
+      Json.obj
+        ([
+           ("type", Json.Str "load");
+           ("session", Json.Str session);
+           circuit_field circuit;
+           ("sigma_scale", num sigma_scale);
+           ("size_idx", int_ size_idx);
+           ("tmax_factor", num factor);
+         ]
+        @ match lib with None -> [] | Some f -> [ ("lib", Json.Str f) ])
+    | [ "edit"; session; op; gate; value ] ->
+      let value =
+        match float_of_string_opt value with
+        | Some v -> num v
+        | None ->
+          Printf.eprintf "error: edit value %S is not a number\n" value;
+          exit 2
+      in
+      Json.obj
+        [
+          ("type", Json.Str "edit");
+          ("session", Json.Str session);
+          ( "ops",
+            Json.List
+              [ Json.obj [ ("op", Json.Str op); ("gate", Json.Str gate); ("value", value) ] ]
+          );
+        ]
+    | [ "analyze"; session ] ->
+      Json.obj [ ("type", Json.Str "analyze"); ("session", Json.Str session) ]
+    | [ "yield"; session ] ->
+      Json.obj
+        [
+          ("type", Json.Str "yield");
+          ("session", Json.Str session);
+          ("method", Json.Str method_);
+          ("halfwidth", num halfwidth);
+          ("max_samples", int_ max_samples);
+          ("seed", int_ seed);
+          ("ci", num ci);
+        ]
+    | [ "optimize"; session ] ->
+      Json.obj
+        [
+          ("type", Json.Str "optimize");
+          ("session", Json.Str session);
+          ("mode", Json.Str mode);
+          ("eta", num eta);
+          ("detail", Json.Bool detail);
+        ]
+    | [ "checkpoint"; session; name ] ->
+      Json.obj
+        [
+          ("type", Json.Str "checkpoint");
+          ("session", Json.Str session);
+          ("name", Json.Str name);
+        ]
+    | [ "rollback"; session; name ] ->
+      Json.obj
+        [
+          ("type", Json.Str "rollback");
+          ("session", Json.Str session);
+          ("name", Json.Str name);
+        ]
+    | [ "sessions" ] -> Json.obj [ ("type", Json.Str "sessions") ]
+    | [ "close"; session ] ->
+      Json.obj [ ("type", Json.Str "close"); ("session", Json.Str session) ]
+    | [ "stats" ] -> Json.obj [ ("type", Json.Str "stats") ]
+    | [ "shutdown" ] -> Json.obj [ ("type", Json.Str "shutdown") ]
+    | [] ->
+      Printf.eprintf
+        "error: client needs a command (ping, load, edit, analyze, yield, optimize, \
+         checkpoint, rollback, sessions, close, stats, shutdown)\n";
+      exit 2
+    | cmd :: _ ->
+      Printf.eprintf "error: bad client command or argument count for %S\n" cmd;
+      exit 2
+
+let client socket lib sigma_scale size_idx factor eta mode method_ halfwidth
+    max_samples seed ci detail args =
+  let req =
+    client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
+      max_samples seed ci detail args
+  in
+  try
+    let resp =
+      Serve_client.with_connection ~socket (fun c ->
+          Serve_client.request ~on_progress:print_progress c req)
+    in
+    print_fields resp
+  with
+  | Serve_client.Server_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "error: cannot reach server at %s: %s\n" socket
+      (Unix.error_message e);
+    exit 2
+  | Frame.Closed ->
+    Printf.eprintf "error: server closed the connection\n";
+    exit 1
+  | Frame.Protocol_error msg ->
+    Printf.eprintf "error: protocol: %s\n" msg;
+    exit 1
+
 (* ---------- command wiring ---------- *)
 
 let bench_list_cmd =
@@ -527,6 +735,80 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
     Term.(const experiments $ quick_arg $ jobs_arg $ ids_arg)
 
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(
+    value
+    & opt string (Filename.concat (Filename.get_temp_dir_name ()) "statleak.sock")
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let jobs_arg =
+    let doc = "Worker domains (= maximum simultaneous client connections)." in
+    Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let max_sessions_arg =
+    let doc =
+      "Sessions kept live in memory; beyond this the least-recently-used idle \
+       session is evicted to a disk snapshot and restored transparently on its \
+       next use."
+    in
+    Arg.(value & opt int 8 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the per-event log lines on stderr." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the optimization daemon: persistent incremental-SSTA sessions \
+          behind a Unix-socket protocol (see DESIGN.md §12).")
+    Term.(const serve $ socket_arg $ jobs_arg $ max_sessions_arg $ quiet_arg)
+
+let client_cmd =
+  let detail_arg =
+    let doc = "Ask $(b,optimize) to return the full per-gate assignment." in
+    Arg.(value & flag & info [ "detail" ] ~doc)
+  in
+  let method_arg =
+    let doc = "Estimator for $(b,yield) (naive, lhs, is, cv, is+cv)." in
+    Arg.(value & opt string "is+cv" & info [ "method" ] ~docv:"M" ~doc)
+  in
+  let ci_arg =
+    let doc = "Confidence level for $(b,yield)." in
+    Arg.(value & opt float 0.95 & info [ "ci" ] ~docv:"P" ~doc)
+  in
+  let halfwidth_arg =
+    let doc = "Target CI half-width for $(b,yield)." in
+    Arg.(value & opt float 0.005 & info [ "halfwidth" ] ~docv:"W" ~doc)
+  in
+  let max_samples_arg =
+    let doc = "Die cap for $(b,yield)." in
+    Arg.(value & opt int 200_000 & info [ "max-samples" ] ~docv:"N" ~doc)
+  in
+  let mode_arg =
+    let doc = "Optimizer for $(b,optimize): $(b,stat) or $(b,batch)." in
+    Arg.(value & opt string "stat" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let args_arg =
+    let doc =
+      "Command and operands: $(b,ping) | $(b,load) SESSION CIRCUIT | $(b,edit) \
+       SESSION resize|reassign-vth|set-load GATE VALUE | $(b,analyze) SESSION | \
+       $(b,yield) SESSION | $(b,optimize) SESSION | $(b,checkpoint) SESSION NAME \
+       | $(b,rollback) SESSION NAME | $(b,sessions) | $(b,close) SESSION | \
+       $(b,stats) | $(b,shutdown)"
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"CMD" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,statleak serve) daemon (see DESIGN.md §12).")
+    Term.(
+      const client $ socket_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
+      $ factor_arg $ eta_arg $ mode_arg $ method_arg $ halfwidth_arg
+      $ max_samples_arg $ seed_arg $ ci_arg $ detail_arg $ args_arg)
+
 let () =
   let doc = "statistical leakage optimization under process variation (DAC 2004 reproduction)" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -537,5 +819,5 @@ let () =
           [
             bench_list_cmd; info_cmd; sta_cmd; ssta_cmd; leakage_cmd; mc_cmd;
             yield_cmd; optimize_cmd; paths_cmd; ivc_cmd; export_cmd;
-            experiments_cmd;
+            experiments_cmd; serve_cmd; client_cmd;
           ]))

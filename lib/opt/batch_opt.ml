@@ -85,6 +85,7 @@ type st = {
      sync and rollback. *)
   mutable band_cap : int;
   mutable slow_start : bool;
+  progress : Stat_opt.progress -> unit;
   (* moves that failed at single-move granularity, indexed 2·gate + kind.
      Every reduction move slows a gate down, so yield is monotone
      non-increasing along a reduction run: a move that broke the
@@ -101,6 +102,15 @@ let block st gate kind = Bytes.set st.blocked (slot gate kind) '\001'
 let unblock_all st = Bytes.fill st.blocked 0 (Bytes.length st.blocked) '\000'
 
 let yield_now st = Incremental.yield st.inc
+
+let report st stage =
+  st.progress
+    {
+      Stat_opt.stage;
+      moves_committed = st.vth_moves + st.size_moves;
+      cur_yield = yield_now st;
+      leak_mean = Leak_ssta.mean st.leak;
+    }
 
 let full_sync st =
   Incremental.sync st.inc;
@@ -282,6 +292,7 @@ let reduce st =
   while !go && st.passes - pass0 < st.cfg.max_passes do
     st.passes <- st.passes + 1;
     let committed = run_pass st in
+    report st "reduce";
     (* the cutoff scales with circuit size (capped at [min_pass_moves]):
        small circuits still run to exhaustion — their whole trickle is a
        handful of cheap passes — while large ones stop once a pass
@@ -410,11 +421,12 @@ let alternate st =
         Leak_ssta.refresh st.leak;
         Incremental.rebuild st.inc;
         continue_ := false
-      end
+      end;
+      report st "alternation"
     end
   done
 
-let optimize cfg (d : Design.t) model =
+let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) model =
   let t0 = Unix.gettimeofday () in
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
@@ -438,10 +450,12 @@ let optimize cfg (d : Design.t) model =
       syncs = 0;
       band_cap = Stdlib.min 64 cfg.band_size;
       slow_start = true;
+      progress;
       blocked = Bytes.make (2 * Circuit.num_gates d.Design.circuit) '\000';
     }
   in
   fix_yield st;
+  report st "fix_yield";
   if yield_now st >= cfg.eta then begin
     reduce st;
     if cfg.allow_size then alternate st

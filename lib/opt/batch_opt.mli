@@ -116,5 +116,10 @@ type stats = {
   time_total : float;         (** seconds in optimize *)
 }
 
-val optimize : config -> Sl_tech.Design.t -> Sl_variation.Model.t -> stats
-(** Mutates the design in place. *)
+val optimize :
+  ?progress:(Stat_opt.progress -> unit) -> config -> Sl_tech.Design.t ->
+  Sl_variation.Model.t -> stats
+(** Mutates the design in place.  [progress] (default: none) is invoked
+    after the repair phase, after every pass and after every alternation
+    round — the serve daemon's streaming hook; it must not mutate the
+    design and has no effect on the trajectory. *)

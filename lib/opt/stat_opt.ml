@@ -61,6 +61,13 @@ type stats = {
   time_candidates : float;
 }
 
+type progress = {
+  stage : string;
+  moves_committed : int;
+  cur_yield : float;
+  leak_mean : float;
+}
+
 type move = { id : int; prev : [ `Vth of int | `Size of int ] }
 
 type engine = Full | Inc of Incremental.t
@@ -365,7 +372,7 @@ let fix_yield cfg st trials size_moves =
     if not (try_candidates 0 ranked) then stuck := true
   done
 
-let optimize cfg (d : Design.t) model =
+let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
   let engine =
@@ -399,7 +406,17 @@ let optimize cfg (d : Design.t) model =
   refresh st ~tmax:cfg.tmax;
   let trials = ref 0 and vth_moves = ref 0 and size_moves = ref 0 in
   let rollbacks = ref 0 in
+  let report stage =
+    progress
+      {
+        stage;
+        moves_committed = !vth_moves + !size_moves;
+        cur_yield = st.yield_;
+        leak_mean = Leak_ssta.mean st.leak;
+      }
+  in
   fix_yield cfg st trials size_moves;
+  report "fix_yield";
   let feasible_start = st.yield_ >= cfg.eta in
   (* greedy reduction: sorted candidate passes with budgeted acceptance,
      exact refresh and rollback; runs until a pass accepts nothing *)
@@ -438,6 +455,7 @@ let optimize cfg (d : Design.t) model =
         batch_count := 0;
         budget := cfg.yield_margin *. Float.max 0.0 (st.yield_ -. cfg.eta);
         st.settles <- st.settles + 1;
+        report "reduce";
         match st.engine with
         | Inc inc when cfg.audit && st.settles mod cfg.refresh_every = 0 ->
           (* debug-build agreement check against a from-scratch analysis;
@@ -520,7 +538,8 @@ let optimize cfg (d : Design.t) model =
             Leak_ssta.refresh st.leak;
             refresh ~rebuild:true st ~tmax:cfg.tmax;
             continue_ := false
-          end
+          end;
+          report "alternation"
         end
       done
     end

@@ -84,8 +84,22 @@ type stats = {
   time_candidates : float;(** seconds inside candidate collection *)
 }
 
-val optimize : config -> Sl_tech.Design.t -> Sl_variation.Model.t -> stats
-(** Mutates the design in place. *)
+type progress = {
+  stage : string;          (** "fix_yield" | "reduce" | "alternation" *)
+  moves_committed : int;   (** vth + size moves currently applied *)
+  cur_yield : float;       (** SSTA yield at the last exact re-measure *)
+  leak_mean : float;       (** E[total leakage] now, nA *)
+}
+(** One streaming status point of a long-running optimization — what the
+    serve daemon forwards to clients as progress frames.  Also the shape
+    {!Batch_opt} reports. *)
+
+val optimize :
+  ?progress:(progress -> unit) -> config -> Sl_tech.Design.t -> Sl_variation.Model.t ->
+  stats
+(** Mutates the design in place.  [progress] (default: none) is invoked
+    at every exact re-measure point; it must not mutate the design and
+    has no effect on the trajectory. *)
 
 (** {2 Candidate ranking}
 

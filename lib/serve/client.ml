@@ -1,0 +1,49 @@
+module Json = Sl_util.Json
+module Frame = Sl_util.Frame
+
+type t = { fd : Unix.file_descr }
+
+exception Server_error of string
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t = { fd } in
+  (try
+     Protocol.send fd (Protocol.hello ());
+     let h = Protocol.recv fd in
+     match Protocol.frame_type h with
+     | "hello" -> ()
+     | "error" ->
+       raise
+         (Frame.Protocol_error
+            (Option.value ~default:"handshake rejected" (Json.str "message" h)))
+     | other -> raise (Frame.Protocol_error ("unexpected handshake frame: " ^ other))
+   with e ->
+     close t;
+     raise e);
+  t
+
+let request ?(on_progress = fun _ -> ()) t req =
+  Protocol.send t.fd req;
+  let rec wait () =
+    let frame = Protocol.recv t.fd in
+    match Protocol.frame_type frame with
+    | "progress" ->
+      on_progress frame;
+      wait ()
+    | "ok" -> frame
+    | "error" ->
+      raise (Server_error (Option.value ~default:"unknown error" (Json.str "message" frame)))
+    | other -> raise (Frame.Protocol_error ("unexpected frame type: " ^ other))
+  in
+  wait ()
+
+let with_connection ~socket f =
+  let t = connect ~socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,25 @@
+(** Client side of the serve protocol: connect, handshake, one
+    request/response exchange at a time with streamed progress frames. *)
+
+type t
+
+exception Server_error of string
+(** The server answered a request with an [error] frame. *)
+
+val connect : socket:string -> t
+(** Connect to a running daemon and complete the hello handshake.
+    @raise Unix.Unix_error when the socket is unreachable.
+    @raise Sl_util.Frame.Protocol_error on a handshake mismatch. *)
+
+val close : t -> unit
+
+val request :
+  ?on_progress:(Sl_util.Json.t -> unit) -> t -> Sl_util.Json.t -> Sl_util.Json.t
+(** Send one request frame and read frames until the terminal one:
+    [progress] frames go to [on_progress] (default: dropped), the
+    terminal [ok] frame is returned.
+    @raise Server_error on a terminal [error] frame.
+    @raise Sl_util.Frame.Closed if the server goes away mid-exchange. *)
+
+val with_connection : socket:string -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exceptions). *)

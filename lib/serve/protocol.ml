@@ -1,0 +1,31 @@
+module Json = Sl_util.Json
+module Frame = Sl_util.Frame
+
+let version = 1
+
+let send fd v = Frame.write fd (Json.to_string v)
+
+let recv fd =
+  let payload = Frame.read fd in
+  try Json.of_string payload
+  with Json.Parse_error msg -> raise (Frame.Protocol_error ("bad JSON frame: " ^ msg))
+
+let hello () =
+  Json.obj
+    [
+      ("type", Json.Str "hello");
+      ("version", Json.Num (float_of_int version));
+      ("server", Json.Str "statleak");
+    ]
+
+let ok fields = Json.obj (("type", Json.Str "ok") :: fields)
+let error msg = Json.obj [ ("type", Json.Str "error"); ("message", Json.Str msg) ]
+let progress fields = Json.obj (("type", Json.Str "progress") :: fields)
+
+let frame_type v = Option.value ~default:"" (Json.str "type" v)
+let is_progress v = frame_type v = "progress"
+
+let bits_of_float x = Printf.sprintf "%016Lx" (Int64.bits_of_float x)
+
+let float_field name x =
+  [ (name, Json.Num x); (name ^ "_bits", Json.Str (bits_of_float x)) ]

@@ -1,0 +1,49 @@
+(** The serve wire protocol (DESIGN.md §12).
+
+    One JSON document per length-prefixed frame ({!Sl_util.Frame}).  A
+    connection opens with a versioned handshake — client sends
+    [{"type":"hello","version":V}], server answers with its own hello or
+    an error — then runs strict request/response: the client sends one
+    request frame and reads frames until a terminal [ok] or [error]
+    arrives; any number of [progress] frames may precede the terminal
+    frame of a long-running request ([optimize], [yield]).
+
+    Every request names its operation in ["type"]; session-scoped
+    requests carry ["session"].  Floats whose exact bit pattern matters
+    (analysis results, trajectories) travel twice: as a JSON number and
+    as a [_bits] hex string of their IEEE-754 encoding, so clients can
+    assert bit-identity without trusting decimal round-trips. *)
+
+val version : int
+(** Protocol version; bumped on any incompatible frame change. *)
+
+val send : Unix.file_descr -> Sl_util.Json.t -> unit
+(** One JSON document as one frame. *)
+
+val recv : Unix.file_descr -> Sl_util.Json.t
+(** Read one frame and parse it.
+    @raise Sl_util.Frame.Closed on EOF at a frame boundary.
+    @raise Sl_util.Frame.Protocol_error on framing or JSON errors. *)
+
+val hello : unit -> Sl_util.Json.t
+(** A handshake frame carrying {!version}. *)
+
+val ok : (string * Sl_util.Json.t) list -> Sl_util.Json.t
+(** Terminal success frame; [Null]-valued fields are dropped. *)
+
+val error : string -> Sl_util.Json.t
+(** Terminal failure frame. *)
+
+val progress : (string * Sl_util.Json.t) list -> Sl_util.Json.t
+(** Non-terminal streaming frame. *)
+
+val is_progress : Sl_util.Json.t -> bool
+
+val frame_type : Sl_util.Json.t -> string
+(** The ["type"] field; [""] when absent. *)
+
+val bits_of_float : float -> string
+(** IEEE-754 bit pattern as 16 hex digits. *)
+
+val float_field : string -> float -> (string * Sl_util.Json.t) list
+(** [float_field name x] = the decimal field plus its [_bits] twin. *)

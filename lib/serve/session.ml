@@ -1,0 +1,255 @@
+module Circuit = Sl_netlist.Circuit
+module Benchmarks = Sl_netlist.Benchmarks
+module Bench_format = Sl_netlist.Bench_format
+module Design = Sl_tech.Design
+module Memo = Sl_tech.Memo
+module Cell_lib = Sl_tech.Cell_lib
+module Liberty = Sl_tech.Liberty
+module Spec = Sl_variation.Spec
+module Canonical = Sl_ssta.Canonical
+module Incremental = Sl_ssta.Incremental
+module Leak_ssta = Sl_leakage.Leak_ssta
+module Setup = Statleak.Setup
+module Stat_opt = Sl_opt.Stat_opt
+module Batch_opt = Sl_opt.Batch_opt
+
+type circuit_src = Bench of string | Text of { name : string; text : string }
+
+type source = {
+  circuit : circuit_src;
+  lib_file : string option;
+  sigma_scale : float;
+  base_size_idx : int;
+  tmax_factor : float;
+}
+
+type saved = { sv_vth : int array; sv_size : int array; sv_extra : float array }
+
+type t = {
+  name : string;
+  source : source;
+  setup : Setup.t;
+  design : Design.t;
+  engine : Incremental.t;
+  leak : Leak_ssta.t;
+  tmax : float;
+  shared_memo : bool;
+  mutable savepoints : (string * saved) list;
+  mutable edits : int;
+  lock : Mutex.t;
+}
+
+let resolve_circuit = function
+  | Bench name -> (
+    match Benchmarks.by_name name with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "unknown benchmark %S" name))
+  | Text { name; text } -> Bench_format.parse_string ~name text
+
+let capture design =
+  {
+    sv_vth = Array.copy design.Design.vth_idx;
+    sv_size = Array.copy design.Design.size_idx;
+    sv_extra = Array.copy design.Design.extra_load;
+  }
+
+(* [init] pre-loads an assignment (snapshot restore) before the initial
+   analysis, so a restored session pays one full analysis, not two. *)
+let build ?memo ~name ?init (source : source) =
+  if source.sigma_scale <= 0.0 then invalid_arg "session: sigma_scale must be > 0";
+  if source.tmax_factor <= 0.0 then invalid_arg "session: tmax_factor must be > 0";
+  let circuit = resolve_circuit source.circuit in
+  let lib =
+    match source.lib_file with
+    | None -> Cell_lib.default ()
+    | Some path -> Liberty.parse_file path
+  in
+  let spec = Spec.scaled source.sigma_scale in
+  let setup =
+    Setup.make ~lib ~spec ~base_size_idx:source.base_size_idx
+      ~name:circuit.Circuit.name circuit
+  in
+  let design = Setup.fresh_design setup in
+  (match init with
+  | None -> ()
+  | Some saved ->
+    Array.blit saved.sv_vth 0 design.Design.vth_idx 0 (Array.length saved.sv_vth);
+    Array.blit saved.sv_size 0 design.Design.size_idx 0 (Array.length saved.sv_size);
+    Array.blit saved.sv_extra 0 design.Design.extra_load 0
+      (Array.length saved.sv_extra));
+  let memo =
+    match (source.lib_file, memo) with
+    | None, Some m when Memo.frozen m && Memo.covers m design -> Some m
+    | _ ->
+      let m = Memo.create lib in
+      Memo.prefill m design;
+      Some m
+  in
+  let shared_memo =
+    match memo with Some m -> Memo.frozen m | None -> false
+  in
+  let tmax = Setup.tmax setup ~factor:source.tmax_factor in
+  let engine = Incremental.create ?memo design setup.Setup.model ~tmax in
+  let leak = Leak_ssta.create design setup.Setup.model in
+  {
+    name;
+    source;
+    setup;
+    design;
+    engine;
+    leak;
+    tmax;
+    shared_memo;
+    savepoints = [];
+    edits = 0;
+    lock = Mutex.create ();
+  }
+
+let create ?memo ~name source = build ?memo ~name source
+
+type edit =
+  | Resize of string * int
+  | Reassign_vth of string * int
+  | Set_load of string * float
+
+let gate_id t gate_name =
+  match Circuit.find t.setup.Setup.circuit gate_name with
+  | Some g -> g.Circuit.id
+  | None -> invalid_arg (Printf.sprintf "no gate named %S" gate_name)
+
+let apply_edit t edit =
+  let id =
+    match edit with
+    | Resize (g, size_idx) ->
+      let id = gate_id t g in
+      Design.set_size t.design id size_idx;
+      id
+    | Reassign_vth (g, vth_idx) ->
+      let id = gate_id t g in
+      Design.set_vth t.design id vth_idx;
+      id
+    | Set_load (g, cap) ->
+      let id = gate_id t g in
+      Design.set_extra_load t.design id cap;
+      id
+  in
+  Incremental.update_gate t.engine id;
+  t.edits <- t.edits + 1
+
+type analysis = {
+  yield : float;
+  delay_mean : float;
+  delay_sigma : float;
+  leak_mean : float;
+  leak_std : float;
+  leak_nominal : float;
+  leak_p99 : float;
+  high_vth : int;
+  total_width : float;
+}
+
+let analyze t =
+  Incremental.sync t.engine;
+  (* the timing engine is bit-identical to from-scratch by construction;
+     leakage moments are made so by full recomputation — incremental
+     accumulator updates are not exactly reversible, which would break
+     the rollback/restore bit-identity guarantee *)
+  Leak_ssta.refresh t.leak;
+  let cd = Incremental.circuit_delay t.engine in
+  {
+    yield = Incremental.yield t.engine;
+    delay_mean = cd.Canonical.mean;
+    delay_sigma = Canonical.sigma cd;
+    leak_mean = Leak_ssta.mean t.leak;
+    leak_std = Leak_ssta.std t.leak;
+    leak_nominal = Leak_ssta.nominal t.leak;
+    leak_p99 = Leak_ssta.quantile t.leak 0.99;
+    high_vth = Design.count_high_vth t.design;
+    total_width = Design.total_width t.design;
+  }
+
+let save t name =
+  t.savepoints <- (name, capture t.design) :: List.remove_assoc name t.savepoints
+
+let rollback t name =
+  let saved =
+    match List.assoc_opt name t.savepoints with
+    | Some s -> s
+    | None -> raise Not_found
+  in
+  let d = t.design in
+  let changed = ref 0 in
+  Array.iteri
+    (fun id _ ->
+      if
+        d.Design.vth_idx.(id) <> saved.sv_vth.(id)
+        || d.Design.size_idx.(id) <> saved.sv_size.(id)
+        || d.Design.extra_load.(id) <> saved.sv_extra.(id)
+      then begin
+        d.Design.vth_idx.(id) <- saved.sv_vth.(id);
+        d.Design.size_idx.(id) <- saved.sv_size.(id);
+        d.Design.extra_load.(id) <- saved.sv_extra.(id);
+        Incremental.update_gate t.engine id;
+        incr changed
+      end)
+    d.Design.vth_idx;
+  !changed
+
+let savepoint_names t = List.map fst t.savepoints
+
+type opt_stats = Stat_stats of Stat_opt.stats | Batch_stats of Batch_opt.stats
+
+let optimize ?progress t ~mode ~eta =
+  let model = t.setup.Setup.model in
+  let stats =
+    match mode with
+    | `Stat ->
+      Stat_stats
+        (Stat_opt.optimize ?progress
+           (Stat_opt.default_config ~tmax:t.tmax ~eta)
+           t.design model)
+    | `Batch ->
+      Batch_stats
+        (Batch_opt.optimize ?progress
+           (Batch_opt.default_config ~tmax:t.tmax ~eta)
+           t.design model)
+  in
+  (* the optimizer ran its own engine over our design; re-base ours *)
+  Incremental.rebuild t.engine;
+  Leak_ssta.refresh t.leak;
+  stats
+
+(* Eviction snapshots: everything needed to rebuild deterministically.
+   A version tag guards against unmarshalling a stale on-disk format. *)
+type snapshot_rec = {
+  snap_version : int;
+  snap_source : source;
+  snap_assign : saved;
+  snap_saves : (string * saved) list;
+  snap_edits : int;
+}
+
+let snapshot_version = 1
+
+let snapshot t =
+  Marshal.to_string
+    {
+      snap_version = snapshot_version;
+      snap_source = t.source;
+      snap_assign = capture t.design;
+      snap_saves = t.savepoints;
+      snap_edits = t.edits;
+    }
+    []
+
+let restore ?memo ~name blob =
+  let r : snapshot_rec =
+    try Marshal.from_string blob 0
+    with _ -> failwith "session restore: corrupt snapshot"
+  in
+  if r.snap_version <> snapshot_version then
+    failwith "session restore: snapshot version mismatch";
+  let t = build ?memo ~name ~init:r.snap_assign r.snap_source in
+  t.savepoints <- r.snap_saves;
+  t.edits <- r.snap_edits;
+  t

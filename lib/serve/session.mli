@@ -1,0 +1,125 @@
+(** One named design held open by the serve daemon.
+
+    A session is a {!Statleak.Setup} problem instance plus the live
+    analysis state the protocol operations touch: the mutable
+    {!Sl_tech.Design}, an {!Sl_ssta.Incremental} timing engine, a
+    {!Sl_leakage.Leak_ssta} accumulator, and a map of named savepoints
+    (assignment snapshots the client can roll back to).
+
+    Everything here is deterministic and replayable: a session is created
+    from a {!source} value — the circuit text or benchmark name plus the
+    scalar knobs — and {!snapshot}/{!restore} round-trips through exactly
+    that value plus the assignment arrays, so a session restored from an
+    eviction snapshot is {e bit-identical} to the one that was evicted
+    (same parse, same from-scratch analysis).
+
+    Sessions are not internally synchronized; the server serializes all
+    access through {!lock} (one writer at a time per session). *)
+
+type circuit_src =
+  | Bench of string  (** a {!Sl_netlist.Benchmarks} suite name *)
+  | Text of { name : string; text : string }
+      (** a ".bench" netlist held verbatim — what file loads become, so
+          eviction snapshots stay valid when the file changes *)
+
+type source = {
+  circuit : circuit_src;
+  lib_file : string option;  (** [None] = built-in 100nm library *)
+  sigma_scale : float;
+  base_size_idx : int;
+  tmax_factor : float;
+}
+
+type t = {
+  name : string;  (** the session (registry) name, not the circuit name *)
+  source : source;
+  setup : Statleak.Setup.t;
+  design : Sl_tech.Design.t;
+  engine : Sl_ssta.Incremental.t;
+  leak : Sl_leakage.Leak_ssta.t;
+  tmax : float;  (** [tmax_factor · d0], fixed at load *)
+  shared_memo : bool;  (** running on the daemon's frozen library memo *)
+  mutable savepoints : (string * saved) list;
+  mutable edits : int;  (** applied edit operations, for stats *)
+  lock : Mutex.t;
+}
+
+and saved
+
+val create : ?memo:Sl_tech.Memo.t -> name:string -> source -> t
+(** Resolve the source, build the setup and run the initial full
+    analysis.  [memo] is the daemon's shared frozen table; it is used
+    only when the session runs on the built-in library and the table
+    {!Sl_tech.Memo.covers} the design — otherwise the session gets a
+    private memo.
+    @raise Invalid_argument on an unknown benchmark name or bad knobs.
+    @raise Sl_netlist.Bench_format.Parse_error on malformed netlist text.
+    @raise Sl_tech.Liberty.Parse_error on a malformed library file. *)
+
+(** {2 Operations} (caller holds {!lock}) *)
+
+type edit =
+  | Resize of string * int        (** gate name, new size index *)
+  | Reassign_vth of string * int  (** gate name, new threshold index *)
+  | Set_load of string * float    (** gate name, extra load in fF *)
+
+val apply_edit : t -> edit -> unit
+(** Apply one edit to the design and propagate it into the timing and
+    leakage state (cone repair deferred to the next {!analyze}).
+    @raise Invalid_argument on an unknown gate, a PI, or a bad value. *)
+
+type analysis = {
+  yield : float;
+  delay_mean : float;
+  delay_sigma : float;
+  leak_mean : float;
+  leak_std : float;
+  leak_nominal : float;
+  leak_p99 : float;
+  high_vth : int;
+  total_width : float;
+}
+
+val analyze : t -> analysis
+(** Sync the incremental engine, recompute the leakage moments from
+    scratch and read the current numbers.  Every reported value is a pure
+    function of the circuit source and the current assignment — two
+    sessions in the same state analyze bit-identically, whatever edit or
+    rollback history brought them there. *)
+
+val save : t -> string -> unit
+(** Record the current assignment (threshold, size and extra-load arrays)
+    under a savepoint name, replacing any previous savepoint of that
+    name. *)
+
+val rollback : t -> string -> int
+(** Restore the named savepoint's assignment; returns the number of gates
+    whose assignment changed (each is pushed through the incremental
+    engine, so the next {!analyze} repairs only the touched cones).
+    @raise Not_found on an unknown savepoint. *)
+
+val savepoint_names : t -> string list
+
+type opt_stats =
+  | Stat_stats of Sl_opt.Stat_opt.stats
+  | Batch_stats of Sl_opt.Batch_opt.stats
+
+val optimize :
+  ?progress:(Sl_opt.Stat_opt.progress -> unit) ->
+  t -> mode:[ `Stat | `Batch ] -> eta:float -> opt_stats
+(** Run the requested optimizer on the session design with the session's
+    [tmax] and the optimizer's default configuration — exactly what the
+    one-shot [statleak optimize --mode stat|batch] CLI runs, so the move
+    trajectory is identical.  The session's engine and leakage state are
+    rebuilt afterwards (the optimizer drives its own engine). *)
+
+(** {2 Eviction snapshots} *)
+
+val snapshot : t -> string
+(** Serialize the session (source + assignment + savepoints) to a byte
+    string.  Must not be called mid-operation. *)
+
+val restore : ?memo:Sl_tech.Memo.t -> name:string -> string -> t
+(** Rebuild a session from {!snapshot} output.  Deterministic: the
+    restored session analyzes bit-identically to the evicted one.
+    @raise Failure on a corrupt snapshot. *)

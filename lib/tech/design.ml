@@ -6,6 +6,7 @@ type t = {
   circuit : Circuit.t;
   vth_idx : int array;
   size_idx : int array;
+  extra_load : float array;
 }
 
 let create ?(vth_idx = 0) ?(size_idx = 0) lib circuit =
@@ -14,9 +15,21 @@ let create ?(vth_idx = 0) ?(size_idx = 0) lib circuit =
   if size_idx < 0 || size_idx >= Cell_lib.num_sizes lib then
     invalid_arg "Design.create: size_idx out of range";
   let n = Circuit.num_gates circuit in
-  { lib; circuit; vth_idx = Array.make n vth_idx; size_idx = Array.make n size_idx }
+  {
+    lib;
+    circuit;
+    vth_idx = Array.make n vth_idx;
+    size_idx = Array.make n size_idx;
+    extra_load = Array.make n 0.0;
+  }
 
-let copy d = { d with vth_idx = Array.copy d.vth_idx; size_idx = Array.copy d.size_idx }
+let copy d =
+  {
+    d with
+    vth_idx = Array.copy d.vth_idx;
+    size_idx = Array.copy d.size_idx;
+    extra_load = Array.copy d.extra_load;
+  }
 
 let check_cell d id what =
   let g = Circuit.gate d.circuit id in
@@ -35,6 +48,12 @@ let set_size d id s =
     invalid_arg "Design.set_size: index out of range";
   d.size_idx.(id) <- s
 
+let set_extra_load d id c =
+  check_cell d id "set_extra_load";
+  if not (Float.is_finite c) || c < 0.0 then
+    invalid_arg "Design.set_extra_load: load must be finite and non-negative";
+  d.extra_load.(id) <- c
+
 let arity d id = Array.length (Circuit.gate d.circuit id).Circuit.fanin
 
 let external_load d id =
@@ -52,7 +71,9 @@ let external_load d id =
       0.0 g.Circuit.fanout
   in
   let po_cap = if Circuit.is_po d.circuit id then d.lib.Cell_lib.tech.Tech.c_out else 0.0 in
-  fanout_cap +. po_cap
+  (* the extra-load term is last so the untouched case (+. 0.0) leaves the
+     historical sum bit-identical *)
+  fanout_cap +. po_cap +. d.extra_load.(id)
 
 let load d id =
   let g = Circuit.gate d.circuit id in

@@ -7,6 +7,10 @@ type t = {
   circuit : Sl_netlist.Circuit.t;
   vth_idx : int array;   (** per gate id; entries for PIs are ignored *)
   size_idx : int array;  (** per gate id; entries for PIs are ignored *)
+  extra_load : float array;
+      (** per-gate additional output capacitance, fF (default 0) — the
+          what-if load knob of interactive sessions ([set-load] edits);
+          added to {!external_load} after the structural terms *)
 }
 
 val create : ?vth_idx:int -> ?size_idx:int -> Cell_lib.t -> Sl_netlist.Circuit.t -> t
@@ -22,6 +26,11 @@ val set_vth : t -> int -> int -> unit
     out-of-range index. *)
 
 val set_size : t -> int -> int -> unit
+
+val set_extra_load : t -> int -> float -> unit
+(** [set_extra_load d gate_id cap_ff] overrides the gate's additional
+    output load (an interactive what-if edit: extra wire, a fanout stub).
+    @raise Invalid_argument on a PI node, a negative or non-finite value. *)
 
 val arity : t -> int -> int
 (** Fanin count of gate [id]. *)

@@ -14,15 +14,20 @@ type entry = {
 type t = {
   lib : Cell_lib.t;
   table : (Cell_kind.t * int, entry) Hashtbl.t;
+  mutable frozen : bool;
 }
 
-let create lib = { lib; table = Hashtbl.create 64 }
+let create lib = { lib; table = Hashtbl.create 64; frozen = false }
 
 let entry t kind ~arity =
   let key = (kind, arity) in
   match Hashtbl.find_opt t.table key with
   | Some e -> e
   | None ->
+    if t.frozen then
+      invalid_arg
+        (Printf.sprintf "Memo: lookup miss on frozen table (%s/%d not prefilled)"
+           (Cell_kind.to_string kind) arity);
     let ns = Cell_lib.num_sizes t.lib and nv = Cell_lib.num_vth t.lib in
     let e =
       {
@@ -36,6 +41,36 @@ let entry t kind ~arity =
     in
     Hashtbl.add t.table key e;
     e
+
+let prefill t (d : Design.t) =
+  if t.frozen then invalid_arg "Memo.prefill: table is frozen";
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.Circuit.kind <> Cell_kind.Pi then
+        ignore (entry t g.Circuit.kind ~arity:(Array.length g.Circuit.fanin)))
+    d.Design.circuit.Circuit.gates
+
+let prefill_kinds t ~max_arity =
+  if t.frozen then invalid_arg "Memo.prefill_kinds: table is frozen";
+  if max_arity < 1 then invalid_arg "Memo.prefill_kinds: max_arity < 1";
+  List.iter
+    (fun kind ->
+      let lo = Cell_kind.min_arity kind in
+      let hi = Stdlib.min max_arity (Cell_kind.max_arity kind) in
+      for arity = lo to hi do
+        ignore (entry t kind ~arity)
+      done)
+    Cell_kind.all_cells
+
+let freeze t = t.frozen <- true
+let frozen t = t.frozen
+
+let covers t (d : Design.t) =
+  Array.for_all
+    (fun (g : Circuit.gate) ->
+      g.Circuit.kind = Cell_kind.Pi
+      || Hashtbl.mem t.table (g.Circuit.kind, Array.length g.Circuit.fanin))
+    d.Design.circuit.Circuit.gates
 
 let drive_res t kind ~arity ~size_idx ~vth_idx =
   (entry t kind ~arity).res.((size_idx * Cell_lib.num_vth t.lib) + vth_idx)
@@ -65,7 +100,8 @@ let load_at t (d : Design.t) id ~size_idx =
     if g.Circuit.kind = Cell_kind.Pi then 0.0
     else self_load t g.Circuit.kind ~arity:(Array.length g.Circuit.fanin) ~size_idx
   in
-  fanout_cap +. po_cap +. self
+  (* same association as Design.load = ((fanout + po) + extra) + self *)
+  fanout_cap +. po_cap +. d.Design.extra_load.(id) +. self
 
 let gate_delay_at t (d : Design.t) id ~vth_idx ~size_idx =
   let g = Circuit.gate d.Design.circuit id in

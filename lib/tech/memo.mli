@@ -19,6 +19,41 @@ val create : Cell_lib.t -> t
 (** An empty table bound to a library.  Entries fill lazily on first use;
     a table must only ever be used with designs over the same library. *)
 
+(** {2 Cross-domain sharing}
+
+    Lazy filling mutates the underlying hash table, so an unfrozen memo
+    must not be shared across domains.  The sharing contract is:
+
+    + fill the table on one domain ({!prefill} / {!prefill_kinds});
+    + {!freeze} it — from then on the table never mutates: a lookup hit
+      reads immutable arrays (safe from any number of domains
+      concurrently, no lock), and a lookup {e miss} raises
+      [Invalid_argument] instead of inserting;
+    + hand the frozen table to concurrent readers (the serve daemon keeps
+      one frozen memo per library, shared by every session).
+
+    {!covers} tells a caller whether a given design can run entirely on
+    hits — the daemon falls back to a private memo when it cannot. *)
+
+val prefill : t -> Design.t -> unit
+(** Fill every (kind, arity) entry the design's gates use.
+    @raise Invalid_argument on a frozen table. *)
+
+val prefill_kinds : t -> max_arity:int -> unit
+(** Fill every library cell kind over arities [min_arity .. max_arity]
+    (clamped per kind) — design-independent coverage for a shared table.
+    @raise Invalid_argument on a frozen table or [max_arity] < 1. *)
+
+val freeze : t -> unit
+(** Seal the table: lookups never mutate again (misses raise).  Required
+    before sharing the memo across domains.  Irreversible. *)
+
+val frozen : t -> bool
+
+val covers : t -> Design.t -> bool
+(** Whether every (kind, arity) the design uses is already filled — i.e.
+    the design can be analyzed against a frozen table. *)
+
 val drive_res :
   t -> Sl_netlist.Cell_kind.t -> arity:int -> size_idx:int -> vth_idx:int -> float
 (** Nominal ([dvth = dl = 0]) drive resistance. *)

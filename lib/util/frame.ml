@@ -1,0 +1,42 @@
+exception Closed
+exception Protocol_error of string
+
+let max_frame = 16 * 1024 * 1024
+
+(* Read exactly [len] bytes into [buf] at [off]; [at_boundary] selects the
+   EOF exception (Closed at a frame boundary, Protocol_error inside one). *)
+let really_read fd buf off len ~at_boundary =
+  let got = ref 0 in
+  while !got < len do
+    let n = Unix.read fd buf (off + !got) (len - !got) in
+    if n = 0 then
+      if at_boundary && !got = 0 then raise Closed
+      else raise (Protocol_error "truncated frame");
+    got := !got + n
+  done
+
+let really_write fd buf off len =
+  let sent = ref 0 in
+  while !sent < len do
+    let n = Unix.write fd buf (off + !sent) (len - !sent) in
+    sent := !sent + n
+  done
+
+let read fd =
+  let hdr = Bytes.create 4 in
+  really_read fd hdr 0 4 ~at_boundary:true;
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame length %d out of range" len));
+  let payload = Bytes.create len in
+  really_read fd payload 0 len ~at_boundary:false;
+  Bytes.unsafe_to_string payload
+
+let write fd s =
+  let len = String.length s in
+  if len > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame length %d exceeds max" len));
+  let msg = Bytes.create (4 + len) in
+  Bytes.set_int32_be msg 0 (Int32.of_int len);
+  Bytes.blit_string s 0 msg 4 len;
+  really_write fd msg 0 (4 + len)

@@ -1,0 +1,27 @@
+(** Length-prefixed message framing — the serve protocol's wire layer.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    payload bytes (the serve protocol puts one JSON document per frame).
+    Reads and writes always transfer whole frames: short reads/writes are
+    retried until the frame completes, so concurrent writers on distinct
+    fds never interleave partial frames. *)
+
+exception Closed
+(** Peer closed the connection at a frame boundary (EOF before the first
+    length byte). *)
+
+exception Protocol_error of string
+(** Truncated frame, or a declared length outside [0, max_frame]. *)
+
+val max_frame : int
+(** Upper bound on a payload length (16 MiB) — a corrupt or hostile
+    length prefix fails fast instead of allocating unbounded memory. *)
+
+val read : Unix.file_descr -> string
+(** Read one complete frame's payload.
+    @raise Closed on EOF at a frame boundary.
+    @raise Protocol_error on a truncated frame or an absurd length. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one complete frame (length prefix + payload).
+    @raise Protocol_error if the payload exceeds [max_frame]. *)

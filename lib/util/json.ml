@@ -1,0 +1,250 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------------- printer ---------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string x =
+  if not (Float.is_finite x) then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else
+    (* shortest representation that round-trips a float *)
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x -> Buffer.add_string buf (number_to_string x)
+    | Str s -> escape buf s
+    | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit v)
+        vs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          emit v)
+        kvs;
+      Buffer.add_char buf '}'
+  in
+  emit v;
+  Buffer.contents buf
+
+(* ---------------- parser ---------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if c.pos >= String.length c.src then fail c "unterminated string";
+    let ch = c.src.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+      (if c.pos >= String.length c.src then fail c "unterminated escape";
+       let e = c.src.[c.pos] in
+       c.pos <- c.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' ->
+         if c.pos + 4 > String.length c.src then fail c "truncated \\u escape";
+         let hex = String.sub c.src c.pos 4 in
+         c.pos <- c.pos + 4;
+         let code =
+           try int_of_string ("0x" ^ hex) with _ -> fail c "bad \\u escape"
+         in
+         (* UTF-8 encode the BMP code point (surrogates kept verbatim as
+            replacement-free bytes is not needed by the protocol, which is
+            ASCII; still handle the general case) *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+       | _ -> fail c "unknown escape");
+      loop ()
+    | c -> Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.src && is_num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some x -> Num x
+  | None -> fail c (Printf.sprintf "bad number %S" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let member () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec members acc =
+        let kv = member () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members (kv :: acc)
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          List.rev (kv :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* ---------------- accessors ---------------- *)
+
+let mem key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let str ?default key v =
+  match mem key v with Some (Str s) -> Some s | Some _ -> None | None -> default
+
+let num ?default key v =
+  match mem key v with Some (Num x) -> Some x | Some _ -> None | None -> default
+
+let int ?default key v =
+  match mem key v with
+  | Some (Num x) when Float.is_integer x -> Some (int_of_float x)
+  | Some _ -> None
+  | None -> default
+
+let bool ?default key v =
+  match mem key v with Some (Bool b) -> Some b | Some _ -> None | None -> default
+
+let list key v = match mem key v with Some (List vs) -> Some vs | _ -> None
+
+let obj kvs = Obj (List.filter (fun (_, v) -> v <> Null) kvs)

@@ -1,0 +1,45 @@
+(** Minimal JSON: the wire format of the serve protocol.
+
+    A self-contained value type, recursive-descent parser and compact
+    printer — no external dependency.  Numbers are [float]s (ints
+    round-trip exactly up to 2{^53}; the protocol encodes genuine 64-bit
+    payloads such as IEEE bit patterns as decimal strings instead).
+    Object member order is preserved by the printer; duplicate keys keep
+    the first binding on lookup. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val of_string : string -> t
+(** Parse one JSON value (leading/trailing whitespace allowed).
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val to_string : t -> string
+(** Compact (no-whitespace) serialization; strings are escaped per RFC
+    8259, non-finite numbers become [null]. *)
+
+(** {2 Object accessors}
+
+    All lookups are total: a missing key or a type mismatch returns
+    [None] (or the [default]). *)
+
+val mem : string -> t -> t option
+(** [mem key (Obj _)]: first binding of [key]; [None] on non-objects. *)
+
+val str : ?default:string -> string -> t -> string option
+val num : ?default:float -> string -> t -> float option
+val int : ?default:int -> string -> t -> int option
+val bool : ?default:bool -> string -> t -> bool option
+val list : string -> t -> t list option
+
+val obj : (string * t) list -> t
+(** Build an object, dropping bindings whose value is [Null] — keeps
+    optional protocol fields off the wire. *)

@@ -52,3 +52,70 @@ let run ~jobs ~tasks ~init f =
   end
 
 let for_ ~jobs ~tasks f = ignore (run ~jobs ~tasks ~init:(fun () -> ()) (fun () i -> f i))
+
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t array;
+    on_error : exn -> unit;
+  }
+
+  let worker_loop t () =
+    let rec next () =
+      Mutex.lock t.mutex;
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if t.stopping then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      let task = wait () in
+      Mutex.unlock t.mutex;
+      match task with
+      | None -> ()
+      | Some f ->
+        (try f () with e -> (try t.on_error e with _ -> ()));
+        next ()
+    in
+    next ()
+
+  let create ?(on_error = fun _ -> ()) ~jobs () =
+    if jobs < 1 then invalid_arg "Parallel.Pool.create: jobs < 1";
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        workers = [||];
+        on_error;
+      }
+    in
+    t.workers <- Array.init jobs (fun _ -> Domain.spawn (worker_loop t));
+    t
+
+  let jobs t = Array.length t.workers
+
+  let submit t f =
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Parallel.Pool.submit: pool is shut down"
+    end;
+    Queue.push f t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let was_stopping = t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if not was_stopping then Array.iter Domain.join t.workers
+end

@@ -33,3 +33,33 @@ val run :
 
 val for_ : jobs:int -> tasks:int -> (int -> unit) -> unit
 (** Stateless [run]. *)
+
+(** Persistent domain pool for long-lived services.
+
+    Unlike {!run} — which spawns workers for one task batch and joins
+    them — a [Pool.t] keeps [jobs] domains alive draining a shared work
+    queue, so a server can multiplex many independent requests over a
+    fixed set of domains.  Tasks are arbitrary thunks; exceptions a task
+    raises are caught and passed to the [on_error] handler (default:
+    ignored) rather than killing the worker.
+
+    Tasks must synchronize among themselves (the serve layer gives every
+    session its own mutex); the pool guarantees only that each submitted
+    task runs exactly once, on some worker, in FIFO submission order per
+    worker pick-up. *)
+module Pool : sig
+  type t
+
+  val create : ?on_error:(exn -> unit) -> jobs:int -> unit -> t
+  (** Spawn [jobs] worker domains (≥ 1).
+      @raise Invalid_argument if [jobs] < 1. *)
+
+  val jobs : t -> int
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a task; returns immediately.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Finish queued tasks, then join all workers.  Idempotent. *)
+end

@@ -34,8 +34,9 @@ type state =
   | Weighted_controlled of Cv.Biacc.t * Stats.Wacc.t
 
 let estimate ?(ci = 0.95) ?jobs ?(method_ = Is_cv) ?(quantity = Yield)
-    ?(batch_chunks = 4) ?(max_samples = 1_000_000) ~target_halfwidth ~seed ~tmax
-    (d : Sl_tech.Design.t) model =
+    ?(batch_chunks = 4) ?(max_samples = 1_000_000)
+    ?(progress = fun ~samples:_ ~value:_ ~halfwidth:_ -> ()) ~target_halfwidth
+    ~seed ~tmax (d : Sl_tech.Design.t) model =
   if target_halfwidth < 0.0 then invalid_arg "Seq.estimate: negative target_halfwidth";
   if batch_chunks < 1 then invalid_arg "Seq.estimate: batch_chunks < 1";
   if max_samples < 1 then invalid_arg "Seq.estimate: max_samples < 1";
@@ -147,6 +148,12 @@ let estimate ?(ci = 0.95) ?jobs ?(method_ = Is_cv) ?(quantity = Yield)
     used := !used + count;
     incr batch;
     let se = raw_stderr () in
+    (let pv =
+       match quantity with
+       | Leak_mean -> raw_value ()
+       | Yield -> Float.min 1.0 (Float.max 0.0 (1.0 -. raw_value ()))
+     in
+     progress ~samples:!used ~value:pv ~halfwidth:(z *. se));
     let converged =
       target_halfwidth > 0.0 && enough_batches () && se > 0.0
       && z *. se <= target_halfwidth

@@ -36,6 +36,10 @@ val estimate :
   ?quantity:quantity ->   (* default Yield *)
   ?batch_chunks:int ->    (* 256-die chunks per batch, default 4 *)
   ?max_samples:int ->     (* sample cap, default 1_000_000 *)
+  ?progress:(samples:int -> value:float -> halfwidth:float -> unit) ->
+  (* called after every batch with the running estimate (oriented as the
+     requested quantity) and current CI half-width — the serve daemon's
+     streaming hook; never changes a number *)
   target_halfwidth:float ->
   seed:int -> tmax:float ->
   Sl_tech.Design.t -> Sl_variation.Model.t -> Estimate.t

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# CI smoke for the `statleak serve` daemon: a c17 + add32 round-trip over
+# the wire protocol, checkpoint/rollback determinism, >= 2 concurrent
+# sessions, LRU eviction + transparent restore, zero leaked sessions and
+# a clean shutdown.  Run from the repo root after `dune build`.
+set -euo pipefail
+
+CLI=${CLI:-_build/default/bin/statleak_cli.exe}
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/statleak-smoke-XXXXXX.sock")
+OUT1=$(mktemp) OUT2=$(mktemp)
+cleanup() {
+  kill "$SERVER" 2>/dev/null || true
+  rm -f "$OUT1" "$OUT2" "$SOCK"
+}
+
+"$CLI" serve --socket "$SOCK" --jobs 4 --max-sessions 2 &
+SERVER=$!
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+
+client() { "$CLI" client --socket "$SOCK" "$@"; }
+
+echo "== ping"
+client ping
+
+echo "== load c17 and add32 sessions"
+client load s1 c17    | grep -q 'circuit: c17'
+client load s2 add32  | grep -q 'circuit: add32'
+client stats          | grep -q 'live_sessions: 2'
+
+echo "== edit / analyze / rollback round-trip on s1"
+client checkpoint s1 base >/dev/null
+client edit s1 reassign-vth G10 1 | grep -q 'applied: 1'
+YIELD_EDITED=$(client analyze s1 | awk -F': ' '/^yield:/{print $2}')
+client rollback s1 base | grep -q 'reverted: 1'
+client edit s1 reassign-vth G10 1 >/dev/null
+YIELD_AGAIN=$(client analyze s1 | awk -F': ' '/^yield:/{print $2}')
+[ "$YIELD_EDITED" = "$YIELD_AGAIN" ] || {
+  echo "FAIL: rollback + replay is not deterministic ($YIELD_EDITED vs $YIELD_AGAIN)"
+  exit 1
+}
+
+echo "== concurrent optimize on both sessions"
+client optimize s1 --mode stat  >"$OUT1" &
+P1=$!
+client optimize s2 --mode batch >"$OUT2" &
+P2=$!
+wait "$P1"; wait "$P2"
+grep -q 'feasible: true' "$OUT1"
+grep -q 'feasible: true' "$OUT2"
+
+echo "== a third session forces an LRU eviction"
+client load s3 c17 >/dev/null
+STATS=$(client stats)
+echo "$STATS" | grep -q 'live_sessions: 2'
+echo "$STATS" | grep -Eq 'evictions: [1-9]'
+
+echo "== touching the evicted session restores it transparently"
+client analyze s1 | grep -q 'circuit: c17'
+client stats | grep -Eq 'restores: [1-9]'
+
+echo "== close all sessions: nothing may leak"
+client close s1 >/dev/null
+client close s2 >/dev/null
+client close s3 >/dev/null
+STATS=$(client stats)
+echo "$STATS" | grep -q 'live_sessions: 0'
+echo "$STATS" | grep -q 'evicted_sessions: 0'
+
+echo "== shutdown"
+client shutdown | grep -q 'stopping: true'
+wait "$SERVER" || { echo "FAIL: server exited nonzero"; exit 1; }
+[ ! -S "$SOCK" ] || { echo "FAIL: socket file not removed"; exit 1; }
+[ ! -e "$SOCK.sessions" ] || { echo "FAIL: snapshot dir not removed"; exit 1; }
+
+echo "serve smoke OK"

@@ -19,5 +19,6 @@ let () =
          Test_activity.suite;
          Test_golden.suite;
          Test_printers.suite;
+         Test_serve.suite;
          Test_cli.suite;
        ])

@@ -71,6 +71,54 @@ let test_parse_file_path () =
   Sys.remove path;
   check_ok "file path" r "1 cells"
 
+let check_clean_error msg (code, out) needle =
+  if code = 0 then Alcotest.failf "%s: expected a nonzero exit\n%s" msg out;
+  if code = -1 then Alcotest.failf "%s: killed by signal (uncaught exception?)" msg;
+  if not (contains out "error:") then
+    Alcotest.failf "%s: no one-line error message\n%s" msg out;
+  if contains out "Fatal error" || contains out "Raised at" then
+    Alcotest.failf "%s: leaked an exception trace\n%s" msg out;
+  if not (contains out needle) then
+    Alcotest.failf "%s: output missing %S\n%s" msg needle out
+
+let test_unparsable_bench_file () =
+  let path = Filename.temp_file "cli_bad" ".bench" in
+  let oc = open_out path in
+  output_string oc "INPUT(a)\nOUTPUT(o)\no = NOT(\n";
+  close_out oc;
+  let r = run (Printf.sprintf "info %s" path) in
+  Sys.remove path;
+  check_clean_error "garbage netlist" r ":3:"
+
+let test_structurally_bad_bench_file () =
+  let path = Filename.temp_file "cli_dangling" ".bench" in
+  let oc = open_out path in
+  (* parses fine, but the net "b" is never defined *)
+  output_string oc "INPUT(a)\nOUTPUT(o)\no = NAND(a, b)\n";
+  close_out oc;
+  let r = run (Printf.sprintf "info %s" path) in
+  Sys.remove path;
+  check_clean_error "dangling net" r "invalid netlist"
+
+let test_missing_lib_file () =
+  check_clean_error "missing library"
+    (run "sta c17 --lib /definitely/not/a/file.lib")
+    "No such file"
+
+let test_unparsable_lib_file () =
+  let path = Filename.temp_file "cli_bad" ".lib" in
+  let oc = open_out path in
+  output_string oc "cell NOT {\n  this is not a library\n";
+  close_out oc;
+  let r = run (Printf.sprintf "sta c17 --lib %s" path) in
+  Sys.remove path;
+  check_clean_error "garbage library" r path
+
+let test_client_no_server () =
+  check_clean_error "client without server"
+    (run "client --socket /tmp/definitely-no-statleak-daemon.sock ping")
+    "cannot reach server"
+
 let suite =
   [
     ( "cli",
@@ -86,5 +134,11 @@ let suite =
         Alcotest.test_case "rejects bad mode" `Quick test_optimize_rejects_bad_mode;
         Alcotest.test_case "unknown circuit" `Quick test_unknown_circuit_fails;
         Alcotest.test_case "bench file path" `Quick test_parse_file_path;
+        Alcotest.test_case "unparsable bench file" `Quick test_unparsable_bench_file;
+        Alcotest.test_case "structurally bad bench" `Quick
+          test_structurally_bad_bench_file;
+        Alcotest.test_case "missing lib file" `Quick test_missing_lib_file;
+        Alcotest.test_case "unparsable lib file" `Quick test_unparsable_lib_file;
+        Alcotest.test_case "client without server" `Quick test_client_no_server;
       ] );
   ]

@@ -1,0 +1,432 @@
+(* The serve subsystem: JSON/framing/pool unit tests, the frozen-memo
+   sharing contract, and in-process daemon round-trips over a real Unix
+   socket — including the bit-identity and optimizer-parity guarantees
+   the protocol documents. *)
+
+module Json = Sl_util.Json
+module Frame = Sl_util.Frame
+module Pool = Sl_util.Parallel.Pool
+module Circuit = Sl_netlist.Circuit
+module Benchmarks = Sl_netlist.Benchmarks
+module Design = Sl_tech.Design
+module Memo = Sl_tech.Memo
+module Cell_lib = Sl_tech.Cell_lib
+module Setup = Statleak.Setup
+module Stat_opt = Sl_opt.Stat_opt
+module Protocol = Sl_serve.Protocol
+module Server = Sl_serve.Server
+module Client = Sl_serve.Client
+
+(* ---------- Json ---------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Num 1.5);
+        ("b", Json.Str "x\"y\n\\z");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Num (-3.0) ]);
+        ("d", Json.Obj [ ("nested", Json.Str "") ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Json.of_string (Json.to_string v) = v)
+
+let test_json_float_bits () =
+  (* the printer must round-trip doubles exactly *)
+  List.iter
+    (fun x ->
+      match Json.of_string (Json.to_string (Json.Num x)) with
+      | Json.Num y ->
+        Alcotest.(check int64) "bits" (Int64.bits_of_float x) (Int64.bits_of_float y)
+      | _ -> Alcotest.fail "not a number")
+    [ 0.1; 1.0 /. 3.0; 1e-300; 153.81777777777776; Float.max_float ]
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_json_accessors () =
+  let v = Json.of_string {|{"s":"x","n":2.5,"i":7,"b":true,"l":[1],"o":{"k":1}}|} in
+  Alcotest.(check (option string)) "str" (Some "x") (Json.str "s" v);
+  Alcotest.(check (option (float 0.0))) "num" (Some 2.5) (Json.num "n" v);
+  Alcotest.(check (option int)) "int" (Some 7) (Json.int "i" v);
+  Alcotest.(check (option int)) "int on non-integer" None (Json.int "n" v);
+  Alcotest.(check (option bool)) "bool" (Some true) (Json.bool "b" v);
+  Alcotest.(check (option int)) "default" (Some 3) (Json.int ~default:3 "missing" v);
+  Alcotest.(check bool) "list" true (Json.list "l" v = Some [ Json.Num 1.0 ]);
+  Alcotest.(check bool) "mem" true (Json.mem "o" v <> None)
+
+(* ---------- Frame ---------- *)
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      List.iter
+        (fun payload ->
+          Frame.write a payload;
+          Alcotest.(check string) "payload" payload (Frame.read b))
+        [ ""; "x"; String.make 70_000 'q'; "{\"type\":\"ping\"}" ])
+
+let test_frame_closed () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close a;
+  Fun.protect
+    ~finally:(fun () -> Unix.close b)
+    (fun () ->
+      match Frame.read b with
+      | exception Frame.Closed -> ()
+      | _ -> Alcotest.fail "expected Closed")
+
+let test_frame_bad_length () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      Unix.close b)
+    (fun () ->
+      (* a length prefix far beyond max_frame must be rejected *)
+      let bad = Bytes.create 4 in
+      Bytes.set_int32_be bad 0 0x7fffffffl;
+      ignore (Unix.write a bad 0 4);
+      match Frame.read b with
+      | exception Frame.Protocol_error _ -> ()
+      | _ -> Alcotest.fail "expected Protocol_error")
+
+(* ---------- Pool ---------- *)
+
+let test_pool_runs_all () =
+  let pool = Pool.create ~jobs:3 () in
+  let n = 50 in
+  let hits = Array.make n 0 in
+  let m = Mutex.create () in
+  for i = 0 to n - 1 do
+    Pool.submit pool (fun () ->
+        Mutex.lock m;
+        hits.(i) <- hits.(i) + 1;
+        Mutex.unlock m)
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "every task ran once" true (Array.for_all (( = ) 1) hits)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:1 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  match Pool.submit pool (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+
+(* ---------- frozen-memo sharing ---------- *)
+
+let test_memo_frozen_concurrent () =
+  let lib = Cell_lib.default () in
+  let c = Option.get (Benchmarks.by_name "add32") in
+  let d = Design.create lib c in
+  let memo = Memo.create lib in
+  Memo.prefill memo d;
+  Memo.freeze memo;
+  Alcotest.(check bool) "covers" true (Memo.covers memo d);
+  (* sequential reference *)
+  let expect = Array.init (Circuit.num_gates c) (fun id -> Memo.gate_delay memo d id) in
+  let worker () =
+    Array.init (Circuit.num_gates c) (fun id -> Memo.gate_delay memo d id)
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter
+    (fun dom ->
+      let got = Domain.join dom in
+      Alcotest.(check bool) "concurrent reads bit-identical" true (got = expect))
+    domains
+
+let test_memo_frozen_miss_raises () =
+  let lib = Cell_lib.default () in
+  let memo = Memo.create lib in
+  let c17 = Benchmarks.c17 () in
+  let d = Design.create lib c17 in
+  Memo.prefill memo d;
+  Memo.freeze memo;
+  (* c17 is all NAND2/NOT; an unprefetched kind must refuse to fill *)
+  match Memo.drive_res memo Sl_netlist.Cell_kind.Nor ~arity:4 ~size_idx:0 ~vth_idx:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "frozen miss must raise"
+
+(* ---------- daemon round-trips ---------- *)
+
+let sock_seq = ref 0
+
+let with_server ?(jobs = 4) ?(max_sessions = 8) f =
+  incr sock_seq;
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sl-test-%d-%d.sock" (Unix.getpid ()) !sock_seq)
+  in
+  let cfg =
+    { Server.socket_path = sock; jobs; max_sessions; snapshot_dir = None; log = false }
+  in
+  let t = Server.create cfg in
+  let srv = Domain.spawn (fun () -> Server.serve t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Domain.join srv)
+    (fun () -> f sock t)
+
+let req fields = Json.obj (List.map (fun (k, v) -> (k, v)) fields)
+let s k = Json.Str k
+let n x = Json.Num x
+
+let rpc ?on_progress c fields = Client.request ?on_progress c (req fields)
+
+let get_str key v = Option.get (Json.str key v)
+let get_num key v = Option.get (Json.num key v)
+let get_int key v = Option.get (Json.int key v)
+
+let load c ~session ~bench =
+  rpc c [ ("type", s "load"); ("session", s session); ("bench", s bench) ]
+
+let edit c ~session ~op ~gate ~value =
+  rpc c
+    [
+      ("type", s "edit");
+      ("session", s session);
+      ( "ops",
+        Json.List [ req [ ("op", s op); ("gate", s gate); ("value", n value) ] ] );
+    ]
+
+let analyze c ~session = rpc c [ ("type", s "analyze"); ("session", s session) ]
+
+let analysis_bits v =
+  List.map
+    (fun k -> (k, get_str k v))
+    [ "yield_bits"; "delay_mean_bits"; "delay_sigma_bits"; "leak_mean_bits" ]
+
+let apply_reference_edits c ~session =
+  ignore (edit c ~session ~op:"reassign-vth" ~gate:"G10" ~value:1.0);
+  ignore (edit c ~session ~op:"resize" ~gate:"G11" ~value:3.0);
+  ignore (edit c ~session ~op:"set-load" ~gate:"G16" ~value:1.5)
+
+let test_serve_bit_identity () =
+  with_server (fun sock _ ->
+      Client.with_connection ~socket:sock (fun c ->
+          ignore (load c ~session:"s1" ~bench:"c17");
+          apply_reference_edits c ~session:"s1";
+          let a = analyze c ~session:"s1" in
+          let bits = analysis_bits a in
+          (* savepoint, diverge, roll back: analysis must return bit-identically *)
+          ignore
+            (rpc c [ ("type", s "checkpoint"); ("session", s "s1"); ("name", s "sp") ]);
+          ignore (edit c ~session:"s1" ~op:"resize" ~gate:"G19" ~value:0.0);
+          ignore (edit c ~session:"s1" ~op:"reassign-vth" ~gate:"G22" ~value:1.0);
+          let diverged = analyze c ~session:"s1" in
+          Alcotest.(check bool) "diverged state differs" true
+            (analysis_bits diverged <> bits);
+          let rb =
+            rpc c [ ("type", s "rollback"); ("session", s "s1"); ("name", s "sp") ]
+          in
+          Alcotest.(check int) "reverted gates" 2 (get_int "reverted" rb);
+          Alcotest.(check bool) "rollback analysis bit-identical" true
+            (analysis_bits rb = bits);
+          (* a fresh session given the same edits must agree to the bit *)
+          ignore (load c ~session:"s2" ~bench:"c17");
+          apply_reference_edits c ~session:"s2";
+          let fresh = analyze c ~session:"s2" in
+          Alcotest.(check bool) "fresh session bit-identical" true
+            (analysis_bits fresh = bits)))
+
+let ints_of_csv str = List.map int_of_string (String.split_on_char ',' str)
+
+let test_serve_optimize_parity () =
+  with_server (fun sock _ ->
+      Client.with_connection ~socket:sock (fun c ->
+          ignore (load c ~session:"opt" ~bench:"c17");
+          let progressed = ref 0 in
+          let resp =
+            rpc c
+              ~on_progress:(fun _ -> incr progressed)
+              [
+                ("type", s "optimize");
+                ("session", s "opt");
+                ("mode", s "stat");
+                ("eta", n 0.95);
+                ("detail", Json.Bool true);
+              ]
+          in
+          Alcotest.(check bool) "progress streamed" true (!progressed > 0);
+          (* the one-shot reference: same circuit, same defaults, run directly *)
+          let setup = Setup.of_benchmark ~spec:(Sl_variation.Spec.scaled 1.0) "c17" in
+          let d = Setup.fresh_design setup in
+          let tmax = Setup.tmax setup ~factor:1.25 in
+          let st =
+            Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d
+              setup.Setup.model
+          in
+          Alcotest.(check int) "vth moves" st.Stat_opt.vth_moves
+            (get_int "vth_moves" resp);
+          Alcotest.(check int) "size moves" st.Stat_opt.size_moves
+            (get_int "size_moves" resp);
+          Alcotest.(check int) "trials" st.Stat_opt.trials (get_int "trials" resp);
+          Alcotest.(check int) "refreshes" st.Stat_opt.refreshes
+            (get_int "refreshes" resp);
+          Alcotest.(check int) "rollbacks" st.Stat_opt.rollbacks
+            (get_int "rollbacks" resp);
+          Alcotest.(check string) "final yield bits"
+            (Protocol.bits_of_float st.Stat_opt.final_yield)
+            (get_str "final_yield_bits" resp);
+          let assignment = Option.get (Json.mem "assignment" resp) in
+          Alcotest.(check (list int)) "vth assignment"
+            (Array.to_list d.Design.vth_idx)
+            (ints_of_csv (get_str "vth" assignment));
+          Alcotest.(check (list int)) "size assignment"
+            (Array.to_list d.Design.size_idx)
+            (ints_of_csv (get_str "size" assignment))))
+
+let counters_of t = Server.counters t
+
+let test_serve_eviction_restore () =
+  with_server ~max_sessions:1 (fun sock t ->
+      Client.with_connection ~socket:sock (fun c ->
+          ignore (load c ~session:"a" ~bench:"c17");
+          apply_reference_edits c ~session:"a";
+          ignore
+            (rpc c [ ("type", s "checkpoint"); ("session", s "a"); ("name", s "sp") ]);
+          let before = analysis_bits (analyze c ~session:"a") in
+          (* loading a second session must push "a" out *)
+          ignore (load c ~session:"b" ~bench:"add32");
+          let cs = counters_of t in
+          Alcotest.(check bool) "evicted" true (cs.Server.evictions >= 1);
+          Alcotest.(check int) "one live" 1 cs.Server.live_sessions;
+          (* touching "a" restores it transparently and bit-identically *)
+          let after = analysis_bits (analyze c ~session:"a") in
+          Alcotest.(check bool) "restored bit-identical" true (after = before);
+          let cs = counters_of t in
+          Alcotest.(check bool) "restored" true (cs.Server.restores >= 1);
+          (* savepoints survive eviction: roll back on the restored session *)
+          let rb =
+            rpc c [ ("type", s "rollback"); ("session", s "a"); ("name", s "sp") ]
+          in
+          Alcotest.(check int) "no drift to revert" 0 (get_int "reverted" rb);
+          ignore (rpc c [ ("type", s "close"); ("session", s "a") ]);
+          ignore (rpc c [ ("type", s "close"); ("session", s "b") ]);
+          let cs = counters_of t in
+          Alcotest.(check int) "no sessions leaked" 0
+            (cs.Server.live_sessions + cs.Server.evicted_sessions)))
+
+let test_serve_concurrent_sessions () =
+  with_server ~jobs:4 (fun sock _ ->
+      (* reference numbers computed on one connection first *)
+      let reference =
+        Client.with_connection ~socket:sock (fun c ->
+            ignore (load c ~session:"ref" ~bench:"c17");
+            apply_reference_edits c ~session:"ref";
+            let bits = analysis_bits (analyze c ~session:"ref") in
+            ignore (rpc c [ ("type", s "close"); ("session", s "ref") ]);
+            bits)
+      in
+      let worker i =
+        let session = Printf.sprintf "w%d" i in
+        Client.with_connection ~socket:sock (fun c ->
+            ignore (load c ~session ~bench:"c17");
+            let result = ref [] in
+            for _ = 1 to 5 do
+              apply_reference_edits c ~session;
+              result := analysis_bits (analyze c ~session);
+              ignore
+                (rpc c
+                   [ ("type", s "checkpoint"); ("session", s session); ("name", s "x") ])
+            done;
+            ignore (rpc c [ ("type", s "close"); ("session", s session) ]);
+            !result)
+      in
+      let domains = Array.init 3 (fun i -> Domain.spawn (fun () -> worker i)) in
+      Array.iter
+        (fun dom ->
+          Alcotest.(check bool) "concurrent session bit-identical" true
+            (Domain.join dom = reference))
+        domains)
+
+let expect_error what thunk =
+  match thunk () with
+  | exception Client.Server_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected a server error" what
+
+let test_serve_error_paths () =
+  with_server (fun sock _ ->
+      Client.with_connection ~socket:sock (fun c ->
+          expect_error "unknown session" (fun () -> analyze c ~session:"ghost");
+          expect_error "unknown bench" (fun () -> load c ~session:"x" ~bench:"nope");
+          ignore (load c ~session:"x" ~bench:"c17");
+          expect_error "duplicate session" (fun () -> load c ~session:"x" ~bench:"c17");
+          expect_error "unknown gate" (fun () ->
+              edit c ~session:"x" ~op:"resize" ~gate:"NOGATE" ~value:1.0);
+          expect_error "bad edit op" (fun () ->
+              edit c ~session:"x" ~op:"frobnicate" ~gate:"G10" ~value:1.0);
+          expect_error "unknown savepoint" (fun () ->
+              rpc c [ ("type", s "rollback"); ("session", s "x"); ("name", s "none") ]);
+          expect_error "negative load" (fun () ->
+              edit c ~session:"x" ~op:"set-load" ~gate:"G10" ~value:(-1.0));
+          expect_error "unknown type" (fun () -> rpc c [ ("type", s "warp") ]);
+          expect_error "netlist parse error" (fun () ->
+              rpc c
+                [
+                  ("type", s "load");
+                  ("session", s "y");
+                  ( "netlist",
+                    req [ ("name", s "bad"); ("text", s "o = NOT(\ngarbage") ] );
+                ]);
+          (* after all that, the session is still intact and usable *)
+          ignore (analyze c ~session:"x")))
+
+let test_serve_handshake_version () =
+  with_server (fun sock _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          Protocol.send fd (req [ ("type", s "hello"); ("version", n 999.0) ]);
+          let resp = Protocol.recv fd in
+          Alcotest.(check string) "rejected" "error" (Protocol.frame_type resp)))
+
+let suite =
+  [
+    ( "serve-json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "float bits" `Quick test_json_float_bits;
+        Alcotest.test_case "parse errors" `Quick test_json_errors;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
+    ( "serve-frame",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+        Alcotest.test_case "closed" `Quick test_frame_closed;
+        Alcotest.test_case "bad length" `Quick test_frame_bad_length;
+      ] );
+    ( "serve-pool",
+      [
+        Alcotest.test_case "runs all tasks" `Quick test_pool_runs_all;
+        Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+      ] );
+    ( "serve-memo",
+      [
+        Alcotest.test_case "frozen concurrent reads" `Quick test_memo_frozen_concurrent;
+        Alcotest.test_case "frozen miss raises" `Quick test_memo_frozen_miss_raises;
+      ] );
+    ( "serve",
+      [
+        Alcotest.test_case "edit/rollback bit-identity" `Quick test_serve_bit_identity;
+        Alcotest.test_case "optimize parity" `Quick test_serve_optimize_parity;
+        Alcotest.test_case "eviction and restore" `Quick test_serve_eviction_restore;
+        Alcotest.test_case "concurrent sessions" `Quick test_serve_concurrent_sessions;
+        Alcotest.test_case "error paths" `Quick test_serve_error_paths;
+        Alcotest.test_case "handshake version" `Quick test_serve_handshake_version;
+      ] );
+  ]

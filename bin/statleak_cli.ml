@@ -61,10 +61,17 @@ let samples_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for Monte-Carlo evaluation (default: all cores).  Results \
-     are bit-identical for every value."
+    "Worker domains: Monte-Carlo evaluation parallelizes across dies \
+     (default: all cores), SSTA and the statistical optimizers across the \
+     gates of each topological level (default: 1).  Results are \
+     bit-identical for every value."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* SSTA/optimizer propagation: [None] means 1 domain (never silently spawn
+   for a caller who didn't ask), unlike Monte-Carlo's all-cores default —
+   both are safe, bit-identity holds either way. *)
+let ssta_jobs = function Some j -> j | None -> 1
 
 let load_circuit spec =
   if Sys.file_exists spec && not (Sys.is_directory spec) then begin
@@ -139,10 +146,11 @@ let sta circuit_spec lib_file size_idx =
         res.Sta.arrival.(id))
     path
 
-let ssta circuit_spec lib_file sigma_scale size_idx factor critical =
+let ssta circuit_spec lib_file sigma_scale size_idx factor critical jobs =
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let d = Setup.fresh_design s in
-  let res = Ssta.analyze d s.Setup.model in
+  let jobs = ssta_jobs jobs in
+  let res = Ssta.analyze ~jobs d s.Setup.model in
   let cd = res.Ssta.circuit_delay in
   let tmax = Setup.tmax s ~factor in
   Printf.printf "circuit delay: mean %.1f ps, sigma %.1f ps (%.1f%%)\n"
@@ -157,7 +165,7 @@ let ssta circuit_spec lib_file sigma_scale size_idx factor critical =
         (Ssta.tmax_for_yield res ~p))
     [ 0.5; 0.9; 0.95; 0.99 ];
   if critical > 0 then begin
-    let bwd = Ssta.backward s.Setup.circuit res in
+    let bwd = Ssta.backward ~jobs s.Setup.circuit res in
     let cells =
       Array.to_list s.Setup.circuit.Circuit.gates
       |> List.filter_map (fun (g : Circuit.gate) ->
@@ -278,7 +286,10 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
       st.Sl_opt.Lr_opt.corner_dmax
   | "stat" ->
     let st =
-      Sl_opt.Stat_opt.optimize (Sl_opt.Stat_opt.default_config ~tmax ~eta) d s.Setup.model
+      Sl_opt.Stat_opt.optimize
+        { (Sl_opt.Stat_opt.default_config ~tmax ~eta) with
+          Sl_opt.Stat_opt.jobs = ssta_jobs jobs }
+        d s.Setup.model
     in
     Printf.printf
       "stat optimizer: feasible=%b vth_moves=%d size_moves=%d trials=%d refreshes=%d \
@@ -304,11 +315,18 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
           (float_of_int st.Sl_opt.Stat_opt.propagated_gates /. float_of_int moves);
       Printf.printf "  time in refresh/sync: %.3f s\n" st.Sl_opt.Stat_opt.time_refresh;
       Printf.printf "  time collecting candidates: %.3f s\n"
-        st.Sl_opt.Stat_opt.time_candidates
+        st.Sl_opt.Stat_opt.time_candidates;
+      Printf.printf
+        "  level batches:        %d on %d domains, %d inline (widest level %d gates)\n"
+        st.Sl_opt.Stat_opt.par_levels (ssta_jobs jobs)
+        st.Sl_opt.Stat_opt.seq_levels st.Sl_opt.Stat_opt.max_level_width
     end
   | "batch" ->
     let st =
-      Sl_opt.Batch_opt.optimize (Sl_opt.Batch_opt.default_config ~tmax ~eta) d s.Setup.model
+      Sl_opt.Batch_opt.optimize
+        { (Sl_opt.Batch_opt.default_config ~tmax ~eta) with
+          Sl_opt.Batch_opt.jobs = ssta_jobs jobs }
+        d s.Setup.model
     in
     Printf.printf
       "batch optimizer: feasible=%b vth_moves=%d size_moves=%d trials=%d passes=%d \
@@ -330,7 +348,11 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
         st.Sl_opt.Batch_opt.props_per_move;
       Printf.printf "  bands rolled back:    %d (%d moves undone)\n"
         st.Sl_opt.Batch_opt.bands_rolled_back st.Sl_opt.Batch_opt.rollbacks;
-      Printf.printf "  time total:           %.3f s\n" st.Sl_opt.Batch_opt.time_total
+      Printf.printf "  time total:           %.3f s\n" st.Sl_opt.Batch_opt.time_total;
+      Printf.printf
+        "  level batches:        %d on %d domains, %d inline (widest level %d gates)\n"
+        st.Sl_opt.Batch_opt.par_levels (ssta_jobs jobs)
+        st.Sl_opt.Batch_opt.seq_levels st.Sl_opt.Batch_opt.max_level_width
     end
   | other ->
     Printf.eprintf "error: unknown mode %S (use det, lr, stat or batch)\n" other;
@@ -474,7 +496,7 @@ let print_progress frame =
   | _ -> ()
 
 let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
-    max_samples seed ci detail args =
+    max_samples seed ci detail jobs args =
   let circuit_field spec =
     (* a path is read client-side and shipped as netlist text, so the
        daemon never depends on the client's filesystem *)
@@ -543,6 +565,7 @@ let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
           ("session", Json.Str session);
           ("mode", Json.Str mode);
           ("eta", num eta);
+          ("jobs", int_ (ssta_jobs jobs));
           ("detail", Json.Bool detail);
         ]
     | [ "checkpoint"; session; name ] ->
@@ -574,10 +597,10 @@ let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
       exit 2
 
 let client socket lib sigma_scale size_idx factor eta mode method_ halfwidth
-    max_samples seed ci detail args =
+    max_samples seed ci detail jobs args =
   let req =
     client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
-      max_samples seed ci detail args
+      max_samples seed ci detail jobs args
   in
   try
     let resp =
@@ -623,7 +646,8 @@ let ssta_cmd =
           value
           & opt int 0
           & info [ "critical" ] ~docv:"N"
-              ~doc:"Also list the N most statistically critical gates."))
+              ~doc:"Also list the N most statistically critical gates.")
+      $ jobs_arg)
 
 let leakage_cmd =
   Cmd.v (Cmd.info "leakage" ~doc:"Statistical leakage: mean, std, percentiles.")
@@ -807,7 +831,7 @@ let client_cmd =
     Term.(
       const client $ socket_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
       $ factor_arg $ eta_arg $ mode_arg $ method_arg $ halfwidth_arg
-      $ max_samples_arg $ seed_arg $ ci_arg $ detail_arg $ args_arg)
+      $ max_samples_arg $ seed_arg $ ci_arg $ detail_arg $ jobs_arg $ args_arg)
 
 let () =
   let doc = "statistical leakage optimization under process variation (DAC 2004 reproduction)" in

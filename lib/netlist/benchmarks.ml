@@ -37,10 +37,31 @@ let generators : (string * (unit -> Circuit.t)) list =
     ("rand3500", fun () -> Generators.random_dag ~seed:45 ~gates:3500 ~inputs:207 ~outputs:108); (* ~ c7552 *)
   ]
 
+(* Scaling workloads.  Kept out of [generators] (and hence [names] and
+   the suite selectors) on purpose: they are one to two orders of
+   magnitude bigger than the ISCAS-85 bracket and only the scaling bench
+   and explicit CLI requests should ever instantiate them. *)
+let large_generators : (string * (unit -> Circuit.t)) list =
+  [
+    ("rand30k", Generators.rand30k);
+    ("rand100k", Generators.rand100k);
+    ( "spipe30k",
+      fun () ->
+        (* 10 register stages × 128 bits × 24 layers = 30 720 gates of
+           wide, shallow sequential logic (ISCAS89-style), loaded through
+           the register cut. *)
+        Bench_format.parse_string ~sequential:`Cut ~name:"spipe30k"
+          (Generators.seq_pipeline_bench ~stages:10 ~width:128 ~layers:24) );
+  ]
+
 let names = List.map fst generators
+let large_names = List.map fst large_generators
 
 let by_name n =
-  List.assoc_opt n generators |> Option.map (fun gen -> gen ())
+  (match List.assoc_opt n generators with
+  | Some _ as g -> g
+  | None -> List.assoc_opt n large_generators)
+  |> Option.map (fun gen -> gen ())
 
 let instantiate keep =
   List.filter_map

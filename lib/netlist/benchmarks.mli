@@ -10,10 +10,17 @@ val c17 : unit -> Circuit.t
     embedded ".bench" text. *)
 
 val by_name : string -> Circuit.t option
-(** Look up any suite circuit by name (e.g. "mult16"). *)
+(** Look up any suite circuit by name (e.g. "mult16").  Also resolves the
+    scaling workloads in {!large_names}. *)
 
 val names : string list
-(** All suite circuit names, smallest first. *)
+(** All suite circuit names, smallest first.  Excludes the scaling
+    workloads — those are only instantiated on explicit request. *)
+
+val large_names : string list
+(** Scaling-workload names ("rand30k", "rand100k", "spipe30k" — 30k–100k
+    gates).  Resolvable through {!by_name} but deliberately absent from
+    {!names}: the standard suite selectors never instantiate them. *)
 
 val small : unit -> (string * Circuit.t) list
 (** c17 + the sub-200-cell circuits; used by fast unit tests. *)

@@ -332,11 +332,11 @@ let barrel_shifter n =
   Array.iter (fun net -> B.mark_output b net) !cur;
   B.build b
 
-let random_dag ~seed ~gates ~inputs ~outputs =
+let random_dag_named ~name ~seed ~gates ~inputs ~outputs =
   if inputs < 2 || gates < 1 || outputs < 1 then
     invalid_arg "Generators.random_dag: degenerate shape";
   let rng = Sl_util.Rng.create seed in
-  let b = B.create (Printf.sprintf "rand%d" gates) in
+  let b = B.create name in
   let nets = Array.make (inputs + gates) "" in
   for i = 0 to inputs - 1 do
     let net = Printf.sprintf "pi%d" i in
@@ -386,3 +386,63 @@ let random_dag ~seed ~gates ~inputs ~outputs =
     B.mark_output b nets.(inputs + gates - 1 - k)
   done;
   B.build b
+
+let random_dag ~seed ~gates ~inputs ~outputs =
+  random_dag_named
+    ~name:(Printf.sprintf "rand%d" gates)
+    ~seed ~gates ~inputs ~outputs
+
+let rand30k () =
+  random_dag_named ~name:"rand30k" ~seed:314 ~gates:30_000 ~inputs:256
+    ~outputs:64
+
+let rand100k () =
+  random_dag_named ~name:"rand100k" ~seed:2718 ~gates:100_000 ~inputs:512
+    ~outputs:128
+
+let seq_pipeline_bench ~stages ~width ~layers =
+  if stages < 1 || width < 2 || layers < 1 then
+    invalid_arg "Generators.seq_pipeline_bench: degenerate shape";
+  let buf = Buffer.create ((stages * width * layers * 24) + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "# spipe%dx%dx%d\n" stages width layers);
+  for i = 0 to width - 1 do
+    Buffer.add_string buf (Printf.sprintf "INPUT(pi%d)\n" i)
+  done;
+  (* Stage [s] reads vector [in_s] (primary inputs for s = 0, register
+     outputs r{s}_* otherwise), mixes it through [layers] 2-input layers
+     with odd rotation offsets, and hands the result to a DFF bank
+     (or the primary outputs, for the last stage). *)
+  let cloud_net s l i = Printf.sprintf "c%d_%d_%d" s l i in
+  let stage_in s i =
+    if s = 0 then Printf.sprintf "pi%d" i else Printf.sprintf "r%d_%d" s i
+  in
+  let kinds = [| "NAND"; "XOR"; "NOR"; "AND" |] in
+  let gates = Buffer.create (stages * width * layers * 24) in
+  for s = 0 to stages - 1 do
+    for l = 0 to layers - 1 do
+      let shift = (2 * l) + 1 in
+      for i = 0 to width - 1 do
+        let a, b =
+          if l = 0 then (stage_in s i, stage_in s ((i + shift) mod width))
+          else (cloud_net s (l - 1) i, cloud_net s (l - 1) ((i + shift) mod width))
+        in
+        let kind = kinds.((s + l + i) mod 4) in
+        Buffer.add_string gates
+          (Printf.sprintf "%s = %s(%s, %s)\n" (cloud_net s l i) kind a b)
+      done
+    done;
+    if s < stages - 1 then
+      for i = 0 to width - 1 do
+        Buffer.add_string gates
+          (Printf.sprintf "r%d_%d = DFF(%s)\n" (s + 1) i
+             (cloud_net s (layers - 1) i))
+      done
+  done;
+  for i = 0 to width - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "OUTPUT(%s)\n" (cloud_net (stages - 1) (layers - 1) i))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_buffer buf gates;
+  Buffer.contents buf

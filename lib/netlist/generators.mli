@@ -39,10 +39,34 @@ val barrel_shifter : int -> Circuit.t
     shift amount s0..s(log₂n − 1); outputs o0..o(n-1).
     @raise Invalid_argument unless n is a power of two ≥ 2. *)
 
+val random_dag_named :
+  name:string ->
+  seed:int -> gates:int -> inputs:int -> outputs:int -> Circuit.t
+(** {!random_dag} with an explicit circuit name. *)
+
 val random_dag :
   seed:int -> gates:int -> inputs:int -> outputs:int -> Circuit.t
 (** Random 2-input logic DAG.  Each gate draws its kind uniformly from
     {NAND, NOR, AND, OR, XOR, XNOR, NOT, BUF} (inverters/buffers at low
     probability) and its fanins from a locality-biased window over earlier
     nodes, which yields ISCAS-like depth (≈ 20–50 for thousands of gates)
-    and fanout distribution.  Deterministic in [seed]. *)
+    and fanout distribution.  Deterministic in [seed]; the circuit is
+    named ["rand<gates>"]. *)
+
+val rand30k : unit -> Circuit.t
+(** 30 000-gate random DAG (seed 314, 256 inputs, 64 outputs) — the
+    mid-size scaling workload.  Deterministic across runs. *)
+
+val rand100k : unit -> Circuit.t
+(** 100 000-gate random DAG (seed 2718, 512 inputs, 128 outputs) — the
+    headline scaling workload.  Deterministic across runs. *)
+
+val seq_pipeline_bench : stages:int -> width:int -> layers:int -> string
+(** ISCAS89-style sequential benchmark as ".bench" text: [stages]
+    combinational clouds of [layers] × [width] two-input gates (kinds
+    cycling NAND/XOR/NOR/AND with odd rotation offsets) separated by
+    DFF banks, ending in [width] primary outputs.  Deterministic.  Load
+    it with {!Bench_format.parse_string}[ ~sequential:`Cut], which turns
+    every register into a pseudo-input/pseudo-output pair, giving a wide,
+    shallow combinational circuit of [stages·width·layers] gates.
+    @raise Invalid_argument if [stages < 1], [width < 2] or [layers < 1]. *)

@@ -17,6 +17,7 @@ type config = {
   yield_margin : float;
   min_pass_moves : int;
   audit : bool;
+  jobs : int;
 }
 
 let default_config ~tmax ~eta =
@@ -31,6 +32,7 @@ let default_config ~tmax ~eta =
     yield_margin = 1.0;
     min_pass_moves = 4;
     audit = false;
+    jobs = 1;
   }
 
 type stats = {
@@ -51,6 +53,9 @@ type stats = {
   propagated_gates : int;
   props_per_move : float;
   time_total : float;
+  par_levels : int;
+  seq_levels : int;
+  max_level_width : int;
 }
 
 type move = { gate : int; kind : [ `Vth | `Size ]; prev : int }
@@ -430,7 +435,7 @@ let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) 
   let t0 = Unix.gettimeofday () in
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
-  let inc = Incremental.create ~memo d model ~tmax:cfg.tmax in
+  let inc = Incremental.create ~memo ~jobs:cfg.jobs d model ~tmax:cfg.tmax in
   let st =
     {
       cfg;
@@ -482,4 +487,7 @@ let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) 
     props_per_move =
       (if moves > 0 then float_of_int props /. float_of_int moves else 0.0);
     time_total = Unix.gettimeofday () -. t0;
+    par_levels = istats.Incremental.par_levels;
+    seq_levels = istats.Incremental.seq_levels;
+    max_level_width = istats.Incremental.max_level_width;
   }

@@ -86,6 +86,10 @@ type config = {
                                   from-scratch analysis at every pass
                                   boundary (compiled out under
                                   [-noassert]) *)
+  jobs : int;                 (** domains for level-parallel propagation
+                                  inside the incremental engine; bit-
+                                  identical for every value — only
+                                  wall-clock changes *)
 }
 
 val default_config : tmax:float -> eta:float -> config
@@ -114,6 +118,10 @@ type stats = {
   props_per_move : float;     (** timing propagations per committed move —
                                   the batching figure of merit *)
   time_total : float;         (** seconds in optimize *)
+  par_levels : int;           (** level batches run on domains *)
+  seq_levels : int;           (** level batches run inline *)
+  max_level_width : int;      (** widest staged level batch — evidence for
+                                  tuning the parallel width threshold *)
 }
 
 val optimize :

@@ -27,6 +27,7 @@ type config = {
   yield_margin : float;
   incremental : bool;
   audit : bool;
+  jobs : int;
 }
 
 let default_config ~tmax ~eta =
@@ -41,6 +42,7 @@ let default_config ~tmax ~eta =
     yield_margin = 0.5;
     incremental = true;
     audit = false;
+    jobs = 1;
   }
 
 type stats = {
@@ -59,6 +61,9 @@ type stats = {
   cutoffs : int;
   time_refresh : float;
   time_candidates : float;
+  par_levels : int;
+  seq_levels : int;
+  max_level_width : int;
 }
 
 type progress = {
@@ -81,6 +86,10 @@ type state = {
   leak : Leak_ssta.t;
   memo : Memo.t;
   engine : engine;
+  jobs : int;
+  (* level-schedule evidence for Full-mode refreshes; Inc mode counts
+     inside the engine *)
+  pstats : Ssta.par_stats;
   mutable path_mu : float array;     (* mean of T_g = A_g + S_g *)
   mutable path_sigma : float array;
   mutable yield_ : float;
@@ -101,8 +110,11 @@ let refresh ?(rebuild = false) ?(paths = true) st ~tmax =
   let t0 = now () in
   (match st.engine with
   | Full ->
-    let res = Ssta.analyze ~memo:st.memo st.design st.model in
-    let bwd = Ssta.backward st.design.Design.circuit res in
+    let res =
+      Ssta.analyze ~memo:st.memo ~jobs:st.jobs ~stats:st.pstats st.design
+        st.model
+    in
+    let bwd = Ssta.backward ~jobs:st.jobs ~stats:st.pstats st.design.Design.circuit res in
     let n = Circuit.num_gates st.design.Design.circuit in
     let mu = Array.make n 0.0 and sg = Array.make n 0.0 in
     for id = 0 to n - 1 do
@@ -376,7 +388,8 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
   let engine =
-    if cfg.incremental then Inc (Incremental.create ~memo d model ~tmax:cfg.tmax)
+    if cfg.incremental then
+      Inc (Incremental.create ~memo ~jobs:cfg.jobs d model ~tmax:cfg.tmax)
     else Full
   in
   let st =
@@ -386,6 +399,8 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
       leak;
       memo;
       engine;
+      jobs = cfg.jobs;
+      pstats = Ssta.par_stats ();
       path_mu = [||];
       path_sigma = [||];
       yield_ = 0.0;
@@ -572,6 +587,18 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
     cutoffs = (match istats with Some s -> s.Incremental.cutoffs | None -> 0);
     time_refresh = st.time_refresh;
     time_candidates = st.time_candidates;
+    par_levels =
+      (match istats with
+      | Some s -> s.Incremental.par_levels
+      | None -> st.pstats.Ssta.par_levels);
+    seq_levels =
+      (match istats with
+      | Some s -> s.Incremental.seq_levels
+      | None -> st.pstats.Ssta.seq_levels);
+    max_level_width =
+      (match istats with
+      | Some s -> s.Incremental.max_level_width
+      | None -> st.pstats.Ssta.max_level_width);
   }
 
 (**/**)

@@ -57,6 +57,10 @@ type config = {
                               [assert] that the incremental state agrees
                               bit-for-bit with a from-scratch analysis
                               (compiled out under [-noassert]) *)
+  jobs : int;             (** domains for level-parallel SSTA propagation
+                              inside every refresh (full or incremental).
+                              Bit-identical for every value — the
+                              trajectory cannot change, only wall-clock *)
 }
 
 val default_config : tmax:float -> eta:float -> config
@@ -82,6 +86,9 @@ type stats = {
   cutoffs : int;          (** recomputations cut off by exact equality *)
   time_refresh : float;   (** seconds inside refresh/sync/rollback *)
   time_candidates : float;(** seconds inside candidate collection *)
+  par_levels : int;       (** level batches run on domains (see [jobs]) *)
+  seq_levels : int;       (** level batches run inline (below threshold) *)
+  max_level_width : int;  (** widest level batch seen — threshold evidence *)
 }
 
 type progress = {

@@ -1,0 +1,59 @@
+(** Flat structure-of-arrays storage for canonical timing state.
+
+    An arena holds [n] canonical forms as three unboxed float arrays
+    (means, independent remainders, and an [n × num_pcs] row-major
+    coefficient matrix) instead of [n] heap records.  Timing passes walk
+    contiguous memory, and — because every slot is disjoint — the gates
+    of one topological level can be filled by concurrent domains without
+    synchronization.
+
+    {b Bit-identity contract.}  Every kernel replays the float operations
+    of its {!Canonical} twin in the same order on the same operands, so a
+    forward/backward sweep through the arena produces IEEE words
+    identical to the per-record pipeline it replaces (and therefore
+    identical for every [jobs] value — the schedule only decides {e who}
+    computes a slot, never {e what}). *)
+
+type t = {
+  n : int;
+  num_pcs : int;
+  mean : float array;
+  rnd : float array;
+  coeffs : float array;  (** [n * num_pcs], row-major *)
+}
+
+val create : n:int -> num_pcs:int -> t
+(** All slots start as the canonical constant 0. *)
+
+val get : t -> int -> Canonical.t
+(** Materialize slot [i] as a fresh canonical record. *)
+
+val set : t -> int -> Canonical.t -> unit
+
+(** A single worker-owned canonical accumulator — the fold state of one
+    gate's arrival (or required-time) computation.  Mutating it allocates
+    nothing, so a level pass is allocation-flat. *)
+type scratch = {
+  mutable s_mean : float;
+  mutable s_rnd : float;
+  s_co : float array;
+}
+
+val scratch : num_pcs:int -> scratch
+val load_zero : scratch -> unit
+val load : scratch -> t -> int -> unit
+val store : t -> int -> scratch -> unit
+val to_canonical : scratch -> Canonical.t
+
+val add_canonical : scratch -> Canonical.t -> unit
+(** [sc ← Canonical.add sc b]. *)
+
+val load_add_canonical_slot : scratch -> Canonical.t -> t -> int -> unit
+(** [sc ← Canonical.add a (slot j)] — the backward-pass term
+    [delay(fo) + S(fo)] without materializing either operand. *)
+
+val max2_slot : scratch -> t -> int -> unit
+(** [sc ← Canonical.max2 sc (slot j)]. *)
+
+val max2_scratch : scratch -> scratch -> unit
+(** [sc ← Canonical.max2 sc b] for two scratches ([b] unchanged). *)

@@ -3,6 +3,7 @@ module Cell_kind = Sl_netlist.Cell_kind
 module Design = Sl_tech.Design
 module Memo = Sl_tech.Memo
 module Model = Sl_variation.Model
+module Parallel = Sl_util.Parallel
 
 (* Bitwise float/canonical equality: the early-termination test.  Plain
    (=) would call NaN <> NaN and -0.0 = 0.0; comparing the IEEE bits makes
@@ -32,6 +33,9 @@ type stats = {
   bwd_propagated : int;
   cutoffs : int;
   max_cone : int;
+  par_levels : int;
+  seq_levels : int;
+  max_level_width : int;
 }
 
 (* Copy-on-write snapshot of everything a move batch may touch.  Canonical
@@ -55,6 +59,11 @@ type t = {
   memo : Memo.t;
   tmax : float;
   n : int;
+  jobs : int;
+  par_threshold : int;
+  levels : int array array;
+  (* gate id -> drives a primary output; Circuit.is_po is a linear scan *)
+  po : bool array;
   zero : Canonical.t;
   gate_delay : Canonical.t array;
   arrival : Canonical.t array;
@@ -76,6 +85,12 @@ type t = {
   (* per-propagation scratch, always cleared before returning *)
   arr_dirty : bool array;
   s_dirty : bool array;
+  (* level-batch scratch for the two-phase sync scans: the gates of the
+     current level that must recompute, and their freshly computed forms
+     (buf_ok false marks a dead gate's None) *)
+  work : int array;
+  buf : Canonical.t array;
+  buf_ok : bool array;
   mutable cp : checkpoint option;
   (* counters *)
   mutable n_updates : int;
@@ -85,6 +100,9 @@ type t = {
   mutable n_bwd_propagated : int;
   mutable n_cutoffs : int;
   mutable n_max_cone : int;
+  mutable n_par_levels : int;
+  mutable n_seq_levels : int;
+  mutable n_max_level_width : int;
 }
 
 let design t = t.design
@@ -104,6 +122,9 @@ let stats t =
     bwd_propagated = t.n_bwd_propagated;
     cutoffs = t.n_cutoffs;
     max_cone = t.n_max_cone;
+    par_levels = t.n_par_levels;
+    seq_levels = t.n_seq_levels;
+    max_level_width = t.n_max_level_width;
   }
 
 (* ---------------- exact recomputation kernels ----------------
@@ -127,10 +148,7 @@ let recompute_bwd t (g : Circuit.gate) =
     Array.to_list g.Circuit.fanout
     |> List.map (fun fo -> Canonical.add t.gate_delay.(fo) t.bwd.(fo))
   in
-  let terms =
-    if Circuit.is_po t.design.Design.circuit g.Circuit.id then t.zero :: terms
-    else terms
-  in
+  let terms = if t.po.(g.Circuit.id) then t.zero :: terms else terms in
   match terms with
   | [] -> None (* dead gate: backward stays zero forever *)
   | tm :: rest -> Some (List.fold_left Canonical.max2 tm rest)
@@ -184,25 +202,39 @@ let clear_pending t =
   t.out_dirty <- false
 
 let recompute_all t =
-  let res = Ssta.analyze ~memo:t.memo t.design t.model in
+  let res =
+    Ssta.analyze ~memo:t.memo ~jobs:t.jobs ~par_threshold:t.par_threshold
+      t.design t.model
+  in
   Array.blit res.Ssta.gate_delay 0 t.gate_delay 0 t.n;
   Array.blit res.Ssta.arrival 0 t.arrival 0 t.n;
   t.circuit_delay <- res.Ssta.circuit_delay;
-  let bwd = Ssta.backward t.design.Design.circuit res in
+  let bwd =
+    Ssta.backward ~jobs:t.jobs ~par_threshold:t.par_threshold
+      t.design.Design.circuit res
+  in
   Array.blit bwd 0 t.bwd 0 t.n;
-  for id = 0 to t.n - 1 do
-    let p = Ssta.path_through res ~backward:bwd id in
-    t.path_mu.(id) <- p.Canonical.mean;
-    t.path_sigma.(id) <- Canonical.sigma p
-  done;
+  (* per-gate path moments are independent, and float-array slots are
+     written at most once per index: safe to chunk across domains *)
+  Parallel.run_chunks ~jobs:t.jobs ~threshold:t.par_threshold ~n:t.n
+    ~init:(fun () -> ())
+    (fun () lo hi ->
+      for id = lo to hi - 1 do
+        let p = Ssta.path_through res ~backward:bwd id in
+        t.path_mu.(id) <- p.Canonical.mean;
+        t.path_sigma.(id) <- Canonical.sigma p
+      done);
   t.yield_ <- Ssta.timing_yield res ~tmax:t.tmax;
   clear_pending t
 
-let create ?memo (d : Design.t) model ~tmax =
+let create ?memo ?(jobs = 1) ?(par_threshold = Ssta.default_par_threshold)
+    (d : Design.t) model ~tmax =
   let memo = match memo with Some m -> m | None -> Memo.create d.Design.lib in
   let n = Circuit.num_gates d.Design.circuit in
   let num_pcs = Model.num_pcs model in
   let zero = Canonical.constant ~num_pcs 0.0 in
+  let po = Array.make n false in
+  Array.iter (fun o -> po.(o) <- true) d.Design.circuit.Circuit.outputs;
   let t =
     {
       design = d;
@@ -210,6 +242,10 @@ let create ?memo (d : Design.t) model ~tmax =
       memo;
       tmax;
       n;
+      jobs = (if jobs < 1 then invalid_arg "Incremental.create: jobs < 1" else jobs);
+      par_threshold;
+      levels = Circuit.levels d.Design.circuit;
+      po;
       zero;
       gate_delay = Array.make n zero;
       arrival = Array.make n zero;
@@ -227,6 +263,9 @@ let create ?memo (d : Design.t) model ~tmax =
       path_dirty_flag = Array.make n false;
       arr_dirty = Array.make n false;
       s_dirty = Array.make n false;
+      work = Array.make n 0;
+      buf = Array.make n zero;
+      buf_ok = Array.make n false;
       cp = None;
       n_updates = 0;
       n_syncs = 0;
@@ -235,6 +274,9 @@ let create ?memo (d : Design.t) model ~tmax =
       n_bwd_propagated = 0;
       n_cutoffs = 0;
       n_max_cone = 0;
+      n_par_levels = 0;
+      n_seq_levels = 0;
+      n_max_level_width = 0;
     }
   in
   recompute_all t;
@@ -281,6 +323,48 @@ let update_gate t id =
 
 (* ---------------- lazy forward / backward / path / yield repair ------ *)
 
+(* first index in (ascending) [a] whose value is >= x; Array.length a if none *)
+let lower_bound (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* first index in (ascending) [a] whose value is > x; Array.length a if none *)
+let upper_bound (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Run the compute phase of one level batch: [t.buf.(i)] (and for the
+   backward pass [t.buf_ok.(i)]) for the [wn] gates staged in [t.work].
+   Every staged gate reads only slots finalized by earlier levels and
+   writes only its own [buf] slot, so the chunked parallel schedule
+   produces the same words as the inline loop — the commit phase that
+   follows is sequential either way. *)
+let run_level_batch t ~wn compute =
+  if wn > t.n_max_level_width then t.n_max_level_width <- wn;
+  if t.jobs > 1 && wn >= t.par_threshold then begin
+    t.n_par_levels <- t.n_par_levels + 1;
+    Parallel.run_chunks ~jobs:t.jobs ~threshold:t.par_threshold ~n:wn
+      ~init:(fun () -> ())
+      (fun () lo hi ->
+        for i = lo to hi - 1 do
+          compute i
+        done)
+  end
+  else begin
+    t.n_seq_levels <- t.n_seq_levels + 1;
+    for i = 0 to wn - 1 do
+      compute i
+    done
+  end
+
 let sync ?(paths = true) t =
   t.n_syncs <- t.n_syncs + 1;
   (match t.pending_delay with
@@ -299,28 +383,49 @@ let sync ?(paths = true) t =
         (t.n - 1) pending in
     let touched = ref [] in
     let recomputed = ref 0 in
-    for gid = lo to t.n - 1 do
-      let gg = Circuit.gate c gid in
-      if gg.Circuit.kind <> Cell_kind.Pi then begin
-        let must =
-          t.delay_pending.(gid)
-          || Array.exists (fun f -> t.arr_dirty.(f)) gg.Circuit.fanin
-        in
-        if must then begin
-          incr recomputed;
-          let na = recompute_arrival t gg in
-          if ceq na t.arrival.(gid) then t.n_cutoffs <- t.n_cutoffs + 1
-          else begin
-            save_arrival t gid;
-            t.arrival.(gid) <- na;
-            t.arr_dirty.(gid) <- true;
-            touched := gid :: !touched;
-            mark_path_dirty t gid;
-            if Circuit.is_po c gid then t.out_dirty <- true
+    (* level-by-level two-phase repair: stage the level's must-recompute
+       gates (their fanins sit at strictly lower levels, already
+       committed), compute the new arrivals — on domains when the batch
+       is wide — then commit sequentially in ascending id order, exactly
+       the order the flat id sweep used to visit them *)
+    Array.iter
+      (fun level ->
+        let len = Array.length level in
+        let wn = ref 0 in
+        for k = lower_bound level lo to len - 1 do
+          let gid = level.(k) in
+          let gg = Circuit.gate c gid in
+          if gg.Circuit.kind <> Cell_kind.Pi then begin
+            let must =
+              t.delay_pending.(gid)
+              || Array.exists (fun f -> t.arr_dirty.(f)) gg.Circuit.fanin
+            in
+            if must then begin
+              t.work.(!wn) <- gid;
+              incr wn
+            end
           end
-        end
-      end
-    done;
+        done;
+        let wn = !wn in
+        if wn > 0 then begin
+          run_level_batch t ~wn (fun i ->
+              t.buf.(i) <- recompute_arrival t (Circuit.gate c t.work.(i)));
+          for i = 0 to wn - 1 do
+            let gid = t.work.(i) in
+            incr recomputed;
+            let na = t.buf.(i) in
+            if ceq na t.arrival.(gid) then t.n_cutoffs <- t.n_cutoffs + 1
+            else begin
+              save_arrival t gid;
+              t.arrival.(gid) <- na;
+              t.arr_dirty.(gid) <- true;
+              touched := gid :: !touched;
+              mark_path_dirty t gid;
+              if t.po.(gid) then t.out_dirty <- true
+            end
+          done
+        end)
+      t.levels;
     t.n_propagated <- t.n_propagated + !recomputed;
     if !recomputed > t.n_max_cone then t.n_max_cone <- !recomputed;
     List.iter (fun gid -> t.arr_dirty.(gid) <- false) !touched;
@@ -355,26 +460,48 @@ let sync ?(paths = true) t =
           0 pending in
       let touched = ref [] in
       let recomputed = ref 0 in
-      for gid = hi downto 0 do
-        let gg = Circuit.gate c gid in
-        let must =
-          Array.exists
-            (fun fo -> t.bwd_pending.(fo) || t.s_dirty.(fo))
-            gg.Circuit.fanout
-        in
-        if must then begin
-          incr recomputed;
-          match recompute_bwd t gg with
-          | None -> ()
-          | Some ns ->
-            if ceq ns t.bwd.(gid) then t.n_cutoffs <- t.n_cutoffs + 1
-            else begin
-              save_bwd t gid;
-              t.bwd.(gid) <- ns;
-              t.s_dirty.(gid) <- true;
-              touched := gid :: !touched;
-              mark_path_dirty t gid
+      (* mirror of the forward repair, by decreasing level: a gate's
+         fanouts sit at strictly higher levels, committed in earlier
+         iterations, so each staged batch reads only finalized slots *)
+      for li = Array.length t.levels - 1 downto 0 do
+        let level = t.levels.(li) in
+        let wn = ref 0 in
+        for k = 0 to upper_bound level hi - 1 do
+          let gid = level.(k) in
+          let gg = Circuit.gate c gid in
+          let must =
+            Array.exists
+              (fun fo -> t.bwd_pending.(fo) || t.s_dirty.(fo))
+              gg.Circuit.fanout
+          in
+          if must then begin
+            t.work.(!wn) <- gid;
+            incr wn
+          end
+        done;
+        let wn = !wn in
+        if wn > 0 then begin
+          run_level_batch t ~wn (fun i ->
+              match recompute_bwd t (Circuit.gate c t.work.(i)) with
+              | None -> t.buf_ok.(i) <- false
+              | Some ns ->
+                t.buf.(i) <- ns;
+                t.buf_ok.(i) <- true);
+          for i = 0 to wn - 1 do
+            let gid = t.work.(i) in
+            incr recomputed;
+            if t.buf_ok.(i) then begin
+              let ns = t.buf.(i) in
+              if ceq ns t.bwd.(gid) then t.n_cutoffs <- t.n_cutoffs + 1
+              else begin
+                save_bwd t gid;
+                t.bwd.(gid) <- ns;
+                t.s_dirty.(gid) <- true;
+                touched := gid :: !touched;
+                mark_path_dirty t gid
+              end
             end
+          done
         end
       done;
       t.n_bwd_propagated <- t.n_bwd_propagated + !recomputed;
@@ -453,8 +580,14 @@ let rollback t cp =
 (* ---------------- audit ---------------- *)
 
 let audit t =
-  let res = Ssta.analyze ~memo:t.memo t.design t.model in
-  let bwd = Ssta.backward t.design.Design.circuit res in
+  let res =
+    Ssta.analyze ~memo:t.memo ~jobs:t.jobs ~par_threshold:t.par_threshold
+      t.design t.model
+  in
+  let bwd =
+    Ssta.backward ~jobs:t.jobs ~par_threshold:t.par_threshold
+      t.design.Design.circuit res
+  in
   let ok = ref (ceq res.Ssta.circuit_delay t.circuit_delay) in
   if not (feq (Ssta.timing_yield res ~tmax:t.tmax) t.yield_) then ok := false;
   for id = 0 to t.n - 1 do

@@ -32,9 +32,18 @@
 type t
 
 val create :
-  ?memo:Sl_tech.Memo.t -> Sl_tech.Design.t -> Sl_variation.Model.t -> tmax:float -> t
+  ?memo:Sl_tech.Memo.t -> ?jobs:int -> ?par_threshold:int ->
+  Sl_tech.Design.t -> Sl_variation.Model.t -> tmax:float -> t
 (** Full analysis of the design as-is (the design is referenced, not
-    copied).  [tmax] fixes the constraint at which [yield] is evaluated. *)
+    copied).  [tmax] fixes the constraint at which [yield] is evaluated.
+
+    [?jobs] (default 1) parallelizes the level batches of every rebuild
+    and {!sync} scan across domains; a batch narrower than
+    [?par_threshold] (default {!Ssta.default_par_threshold}) runs inline.
+    The repaired state is bit-identical for every [jobs] value: within a
+    level each gate reads only slots finalized by earlier levels and
+    writes only its own, and the commit order is fixed.
+    @raise Invalid_argument if [jobs] < 1. *)
 
 val design : t -> Sl_tech.Design.t
 
@@ -107,6 +116,9 @@ type stats = {
   bwd_propagated : int;  (** required-time recomputations over all syncs *)
   cutoffs : int;         (** recomputations that came back bit-identical *)
   max_cone : int;        (** largest arrival-recompute count of any sync *)
+  par_levels : int;      (** level batches executed on domains *)
+  seq_levels : int;      (** level batches executed inline *)
+  max_level_width : int; (** widest staged level batch seen *)
 }
 
 val stats : t -> stats

@@ -2,12 +2,23 @@ module Circuit = Sl_netlist.Circuit
 module Cell_kind = Sl_netlist.Cell_kind
 module Design = Sl_tech.Design
 module Model = Sl_variation.Model
+module Parallel = Sl_util.Parallel
 
 type result = {
   gate_delay : Canonical.t array;
   arrival : Canonical.t array;
   circuit_delay : Canonical.t;
 }
+
+type par_stats = {
+  mutable par_levels : int;
+  mutable seq_levels : int;
+  mutable max_level_width : int;
+}
+
+let par_stats () = { par_levels = 0; seq_levels = 0; max_level_width = 0 }
+
+let default_par_threshold = 192
 
 let gate_delay_canonical ?memo (d : Design.t) model id =
   let g = Circuit.gate d.Design.circuit id in
@@ -27,33 +38,91 @@ let gate_delay_canonical ?memo (d : Design.t) model id =
     Canonical.make ~mean:d0 ~coeffs ~rnd:(sqrt ((rv *. rv) +. (rl *. rl)))
   end
 
-let analyze ?memo (d : Design.t) model =
+(* Count whether a level batch of [width] gates will run on domains or
+   inline, mirroring the Parallel.run_chunks decision. *)
+let tally stats ~jobs ~threshold width =
+  match stats with
+  | None -> ()
+  | Some st ->
+    if width > st.max_level_width then st.max_level_width <- width;
+    if jobs > 1 && width >= threshold then st.par_levels <- st.par_levels + 1
+    else st.seq_levels <- st.seq_levels + 1
+
+(* Levelized forward propagation through a flat arena.  Gates of one
+   level have all fanins at strictly lower levels (Circuit invariant:
+   level = 1 + max fanin level), so within a level every gate reads only
+   finalized slots and writes only its own — the parallel schedule cannot
+   change any operand, and the result is bit-identical to the sequential
+   sweep for every [jobs] value. *)
+let analyze ?memo ?(jobs = 1) ?(par_threshold = default_par_threshold) ?stats
+    (d : Design.t) model =
   let circuit = d.Design.circuit in
   let n = Circuit.num_gates circuit in
   let num_pcs = Model.num_pcs model in
   let zero = Canonical.constant ~num_pcs 0.0 in
-  let gate_delay = Array.init n (fun id -> gate_delay_canonical ?memo d model id) in
-  let arrival = Array.make n zero in
-  Array.iter
-    (fun (g : Circuit.gate) ->
-      if g.Circuit.kind <> Cell_kind.Pi then begin
-        let worst =
-          match Array.to_list g.Circuit.fanin with
-          | [] -> zero
-          | f :: rest ->
-            List.fold_left
-              (fun acc f' -> Canonical.max2 acc arrival.(f'))
-              arrival.(f) rest
-        in
-        arrival.(g.Circuit.id) <- Canonical.add worst gate_delay.(g.Circuit.id)
-      end)
-    circuit.Circuit.gates;
-  let circuit_delay =
-    match Array.to_list circuit.Circuit.outputs with
-    | [] -> zero
-    | o :: rest ->
-      List.fold_left (fun acc o' -> Canonical.max2 acc arrival.(o')) arrival.(o) rest
+  (* Canonical per-gate delays are pure per id, so chunked domains fill
+     disjoint slots.  An unfrozen memo fills its hash table lazily and is
+     not domain-safe (Sl_tech.Memo), so it forces the sequential path;
+     the values are the same either way. *)
+  let gate_delay = Array.make n zero in
+  let delay_par =
+    jobs > 1
+    && (match memo with None -> true | Some m -> Sl_tech.Memo.frozen m)
   in
+  let fill_delays lo hi =
+    for id = lo to hi - 1 do
+      gate_delay.(id) <- gate_delay_canonical ?memo d model id
+    done
+  in
+  if delay_par then
+    Parallel.run_chunks ~jobs ~threshold:par_threshold ~n ~init:(fun () -> ())
+      (fun () lo hi -> fill_delays lo hi)
+  else fill_delays 0 n;
+  let arr = Arena.create ~n ~num_pcs in
+  let forward_gate sc gid =
+    let g = circuit.Circuit.gates.(gid) in
+    if g.Circuit.kind <> Cell_kind.Pi then begin
+      let fanin = g.Circuit.fanin in
+      (match Array.length fanin with
+      | 0 -> Arena.load_zero sc
+      | len ->
+        Arena.load sc arr fanin.(0);
+        for k = 1 to len - 1 do
+          Arena.max2_slot sc arr fanin.(k)
+        done);
+      Arena.add_canonical sc gate_delay.(gid);
+      Arena.store arr gid sc
+    end
+  in
+  Array.iter
+    (fun level ->
+      let width = Array.length level in
+      tally stats ~jobs ~threshold:par_threshold width;
+      Parallel.run_chunks ~jobs ~threshold:par_threshold ~n:width
+        ~init:(fun () -> Arena.scratch ~num_pcs)
+        (fun sc lo hi ->
+          for k = lo to hi - 1 do
+            forward_gate sc level.(k)
+          done))
+    (Circuit.levels circuit);
+  let circuit_delay =
+    let outs = circuit.Circuit.outputs in
+    if Array.length outs = 0 then zero
+    else begin
+      let sc = Arena.scratch ~num_pcs in
+      Arena.load sc arr outs.(0);
+      for k = 1 to Array.length outs - 1 do
+        Arena.max2_slot sc arr outs.(k)
+      done;
+      Arena.to_canonical sc
+    end
+  in
+  let arrival = Array.make n zero in
+  Parallel.run_chunks ~jobs ~threshold:par_threshold ~n ~init:(fun () -> ())
+    (fun () lo hi ->
+      for i = lo to hi - 1 do
+        arrival.(i) <- Arena.get arr i
+      done);
   { gate_delay; arrival; circuit_delay }
 
 let pc_sensitivity res = Array.copy res.circuit_delay.Canonical.coeffs
@@ -61,22 +130,62 @@ let pc_sensitivity res = Array.copy res.circuit_delay.Canonical.coeffs
 let timing_yield res ~tmax = Canonical.cdf res.circuit_delay tmax
 let tmax_for_yield res ~p = Canonical.quantile res.circuit_delay p
 
-let backward circuit res =
+(* Backward (required-time) sweep through the same arena, by decreasing
+   level: a gate's fanouts all sit at strictly higher levels, so within a
+   level every gate reads only finalized slots.  Same bit-identity-by-
+   construction argument as [analyze]. *)
+let backward ?(jobs = 1) ?(par_threshold = default_par_threshold) ?stats circuit
+    res =
   let n = Circuit.num_gates circuit in
   let num_pcs = Canonical.num_pcs res.circuit_delay in
   let zero = Canonical.constant ~num_pcs 0.0 in
-  let s = Array.make n zero in
-  for i = n - 1 downto 0 do
-    let g = circuit.Circuit.gates.(i) in
-    let terms =
-      Array.to_list g.Circuit.fanout
-      |> List.map (fun fo -> Canonical.add res.gate_delay.(fo) s.(fo))
-    in
-    let terms = if Circuit.is_po circuit g.Circuit.id then zero :: terms else terms in
-    match terms with
-    | [] -> ()  (* dead gate: keep zero *)
-    | t :: rest -> s.(i) <- List.fold_left Canonical.max2 t rest
+  let po = Array.make n false in
+  Array.iter (fun o -> po.(o) <- true) circuit.Circuit.outputs;
+  let sa = Arena.create ~n ~num_pcs in
+  let bwd_gate sc tm gid =
+    let g = circuit.Circuit.gates.(gid) in
+    let fanout = g.Circuit.fanout in
+    let len = Array.length fanout in
+    if po.(gid) then begin
+      (* PO driver: the zero term heads the fold *)
+      Arena.load_zero sc;
+      for k = 0 to len - 1 do
+        let fo = fanout.(k) in
+        Arena.load_add_canonical_slot tm res.gate_delay.(fo) sa fo;
+        Arena.max2_scratch sc tm
+      done;
+      Arena.store sa gid sc
+    end
+    else if len > 0 then begin
+      let fo0 = fanout.(0) in
+      Arena.load_add_canonical_slot sc res.gate_delay.(fo0) sa fo0;
+      for k = 1 to len - 1 do
+        let fo = fanout.(k) in
+        Arena.load_add_canonical_slot tm res.gate_delay.(fo) sa fo;
+        Arena.max2_scratch sc tm
+      done;
+      Arena.store sa gid sc
+    end
+    (* dead gate (no fanout, not a PO): slot keeps zero *)
+  in
+  let levels = Circuit.levels circuit in
+  for li = Array.length levels - 1 downto 0 do
+    let level = levels.(li) in
+    let width = Array.length level in
+    tally stats ~jobs ~threshold:par_threshold width;
+    Parallel.run_chunks ~jobs ~threshold:par_threshold ~n:width
+      ~init:(fun () -> (Arena.scratch ~num_pcs, Arena.scratch ~num_pcs))
+      (fun (sc, tm) lo hi ->
+        for k = lo to hi - 1 do
+          bwd_gate sc tm level.(k)
+        done)
   done;
+  let s = Array.make n zero in
+  Parallel.run_chunks ~jobs ~threshold:par_threshold ~n ~init:(fun () -> ())
+    (fun () lo hi ->
+      for i = lo to hi - 1 do
+        s.(i) <- Arena.get sa i
+      done);
   s
 
 let path_through res ~backward id = Canonical.add res.arrival.(id) backward.(id)

@@ -20,7 +20,34 @@ val gate_delay_canonical :
     and sensitivities come from the (bit-identical) memo table — the hot
     path of incremental re-timing. *)
 
-val analyze : ?memo:Sl_tech.Memo.t -> Sl_tech.Design.t -> Sl_variation.Model.t -> result
+type par_stats = {
+  mutable par_levels : int;      (** level batches run on domains *)
+  mutable seq_levels : int;      (** level batches run inline *)
+  mutable max_level_width : int; (** widest level batch seen *)
+}
+(** Evidence for tuning the per-level width threshold: how the level
+    schedule actually split between domain and inline execution. *)
+
+val par_stats : unit -> par_stats
+(** Fresh all-zero accumulator; pass the same one to several calls to
+    aggregate. *)
+
+val default_par_threshold : int
+(** Default minimum level width for spawning domains: below it, the
+    spawn overhead of {!Sl_util.Parallel.run} exceeds the level's work. *)
+
+val analyze :
+  ?memo:Sl_tech.Memo.t -> ?jobs:int -> ?par_threshold:int -> ?stats:par_stats ->
+  Sl_tech.Design.t -> Sl_variation.Model.t -> result
+(** Levelized forward propagation through a flat {!Arena}.  With
+    [?jobs > 1], each level wider than [?par_threshold] is split into
+    chunks executed by concurrent domains; a gate's fanins all sit at
+    strictly lower levels, so every worker reads only finalized slots
+    and writes only its own — results are bit-identical
+    ([Int64.bits_of_float]) to the sequential sweep for every [jobs]
+    value, by construction.  Gate-delay linearization is parallelized
+    only when [?memo] is absent or frozen (an unfrozen memo fills its
+    table lazily and is not domain-safe). *)
 
 val pc_sensitivity : result -> float array
 (** Fresh copy of the circuit-delay canonical form's PC sensitivity
@@ -34,10 +61,14 @@ val timing_yield : result -> tmax:float -> float
 val tmax_for_yield : result -> p:float -> float
 (** Smallest constraint achieving yield [p] (the circuit-delay quantile). *)
 
-val backward : Sl_netlist.Circuit.t -> result -> Canonical.t array
+val backward :
+  ?jobs:int -> ?par_threshold:int -> ?stats:par_stats ->
+  Sl_netlist.Circuit.t -> result -> Canonical.t array
 (** [S_g]: canonical form of the longest delay from gate [g]'s output to
     any primary output (excluding [g]'s own delay); 0 at PO drivers.
-    Reverse sweep with Clark maxima. *)
+    Reverse levelized sweep with Clark maxima; same level-parallel
+    schedule and bit-identity guarantee as {!analyze} (fanouts sit at
+    strictly higher levels). *)
 
 val path_through : result -> backward:Canonical.t array -> int -> Canonical.t
 (** [A_g + S_g] — the delay distribution of the worst path through gate

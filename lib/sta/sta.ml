@@ -1,6 +1,11 @@
 module Circuit = Sl_netlist.Circuit
 module Cell_kind = Sl_netlist.Cell_kind
 module Design = Sl_tech.Design
+module Parallel = Sl_util.Parallel
+
+(* scalar arrival propagation is ~10 ns/gate, so domains only pay off on
+   very wide levels; far coarser than the canonical-form threshold *)
+let default_par_threshold = 4096
 
 type result = {
   delay : float array;
@@ -19,17 +24,30 @@ let delays ?dvth ?dl (d : Design.t) =
   Array.init n (fun id ->
       Design.gate_delay d id ~dvth:(get dvth id) ~dl:(get dl id))
 
-let arrivals circuit delay =
+let arrivals ?(jobs = 1) ?(par_threshold = default_par_threshold) circuit delay =
   let n = Circuit.num_gates circuit in
   let arr = Array.make n 0.0 in
-  Array.iter
-    (fun (g : Circuit.gate) ->
-      if g.Circuit.kind <> Cell_kind.Pi then begin
-        let worst = ref 0.0 in
-        Array.iter (fun f -> if arr.(f) > !worst then worst := arr.(f)) g.Circuit.fanin;
-        arr.(g.Circuit.id) <- !worst +. delay.(g.Circuit.id)
-      end)
-    circuit.Circuit.gates;
+  let one (g : Circuit.gate) =
+    if g.Circuit.kind <> Cell_kind.Pi then begin
+      let worst = ref 0.0 in
+      Array.iter (fun f -> if arr.(f) > !worst then worst := arr.(f)) g.Circuit.fanin;
+      arr.(g.Circuit.id) <- !worst +. delay.(g.Circuit.id)
+    end
+  in
+  if jobs <= 1 then Array.iter one circuit.Circuit.gates
+  else
+    (* same level-parallel schedule as Ssta.analyze: within a level every
+       gate reads only lower-level slots and writes its own — identical
+       words for every jobs value *)
+    Array.iter
+      (fun level ->
+        Parallel.run_chunks ~jobs ~threshold:par_threshold
+          ~n:(Array.length level) ~init:(fun () -> ())
+          (fun () lo hi ->
+            for k = lo to hi - 1 do
+              one circuit.Circuit.gates.(level.(k))
+            done))
+      (Circuit.levels circuit);
   arr
 
 let dmax_of_arrivals circuit arrival =
@@ -37,10 +55,10 @@ let dmax_of_arrivals circuit arrival =
     (fun acc id -> Float.max acc arrival.(id))
     0.0 circuit.Circuit.outputs
 
-let analyze ?dvth ?dl ?tmax (d : Design.t) =
+let analyze ?dvth ?dl ?tmax ?jobs (d : Design.t) =
   let circuit = d.Design.circuit in
   let delay = delays ?dvth ?dl d in
-  let arrival = arrivals circuit delay in
+  let arrival = arrivals ?jobs circuit delay in
   let dmax = dmax_of_arrivals circuit arrival in
   let t = match tmax with Some t -> t | None -> dmax in
   let n = Circuit.num_gates circuit in
@@ -64,9 +82,9 @@ let analyze ?dvth ?dl ?tmax (d : Design.t) =
   let slack = Array.init n (fun i -> required.(i) -. arrival.(i)) in
   { delay; arrival; required; slack; dmax }
 
-let dmax ?dvth ?dl d =
+let dmax ?dvth ?dl ?jobs d =
   let delay = delays ?dvth ?dl d in
-  let arrival = arrivals d.Design.circuit delay in
+  let arrival = arrivals ?jobs d.Design.circuit delay in
   dmax_of_arrivals d.Design.circuit arrival
 
 let critical_path circuit res =

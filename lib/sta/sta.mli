@@ -20,16 +20,24 @@ val delays :
   ?dvth:float array -> ?dl:float array -> Sl_tech.Design.t -> float array
 (** Per-gate delays; omitted variation arrays mean the nominal die. *)
 
-val arrivals : Sl_netlist.Circuit.t -> float array -> float array
-(** Forward sweep given per-gate delays. *)
+val arrivals :
+  ?jobs:int -> ?par_threshold:int ->
+  Sl_netlist.Circuit.t -> float array -> float array
+(** Forward sweep given per-gate delays.  With [?jobs > 1] levels wider
+    than [?par_threshold] (default 4096 — scalar gates are cheap) are
+    chunked across domains; bit-identical to the sequential sweep for
+    every [jobs] value, as in {!Sl_ssta.Ssta.analyze}.  Note: Monte-Carlo
+    parallelizes across dies, not within a sweep — leave [jobs] at 1
+    inside per-die evaluators. *)
 
 val analyze :
-  ?dvth:float array -> ?dl:float array -> ?tmax:float ->
+  ?dvth:float array -> ?dl:float array -> ?tmax:float -> ?jobs:int ->
   Sl_tech.Design.t -> result
 (** Full analysis.  [tmax] defaults to the computed [dmax] (zero-slack
     normalization). *)
 
-val dmax : ?dvth:float array -> ?dl:float array -> Sl_tech.Design.t -> float
+val dmax :
+  ?dvth:float array -> ?dl:float array -> ?jobs:int -> Sl_tech.Design.t -> float
 (** Circuit delay only. *)
 
 val critical_path : Sl_netlist.Circuit.t -> result -> int array

@@ -53,6 +53,30 @@ let run ~jobs ~tasks ~init f =
 
 let for_ ~jobs ~tasks f = ignore (run ~jobs ~tasks ~init:(fun () -> ()) (fun () i -> f i))
 
+let run_chunks ~jobs ~threshold ~n ~init f =
+  if n < 0 then invalid_arg "Parallel.run_chunks: n < 0";
+  if n > 0 then begin
+    if jobs <= 1 || n < threshold then begin
+      (* below the width threshold the spawn overhead dominates the work,
+         so run the whole range inline with a single state *)
+      let st = init () in
+      f st 0 n
+    end
+    else begin
+      (* more chunks than workers so an uneven per-index cost still
+         balances over the shared counter; chunk boundaries are a function
+         of [n] and [jobs] only, and every index lands in exactly one
+         chunk, so writes to index-designated slots stay disjoint *)
+      let ntasks = Stdlib.min n (jobs * 4) in
+      let chunk = ((n + ntasks) - 1) / ntasks in
+      ignore
+        (run ~jobs ~tasks:ntasks ~init (fun st t ->
+             let lo = t * chunk in
+             let hi = Stdlib.min n (lo + chunk) in
+             if lo < hi then f st lo hi))
+    end
+  end
+
 module Pool = struct
   type t = {
     mutex : Mutex.t;

@@ -34,6 +34,19 @@ val run :
 val for_ : jobs:int -> tasks:int -> (int -> unit) -> unit
 (** Stateless [run]. *)
 
+val run_chunks :
+  jobs:int -> threshold:int -> n:int -> init:(unit -> 'state) ->
+  ('state -> int -> int -> unit) -> unit
+(** [run_chunks ~jobs ~threshold ~n ~init f] covers the index range
+    [0, n) with half-open chunks, calling [f state lo hi] for each; when
+    [jobs = 1] or [n < threshold] the whole range runs inline as one
+    chunk (no domain spawned).  Chunk boundaries depend only on [n] and
+    [jobs], so an [f] whose effect at index [i] depends only on [i]
+    writes every slot exactly once regardless of scheduling — the
+    level-parallel SSTA passes lean on this for bit-identity.
+    @raise Invalid_argument if [n] < 0, or [jobs] < 1 on the parallel path.
+    @raise Worker if any chunk raises. *)
+
 (** Persistent domain pool for long-lived services.
 
     Unlike {!run} — which spawns workers for one task batch and joins

@@ -133,6 +133,43 @@ let test_knobs () =
   Alcotest.(check int) "no vth moves" 0 st2.Batch_opt.vth_moves;
   Alcotest.(check (array int)) "vth untouched" vth_before d2.Design.vth_idx
 
+(* ---------- level-parallel engine: trajectory identity ---------- *)
+
+(* A circuit wide enough (256-gate levels > the 192-gate threshold) that
+   jobs=2 really takes the domain path inside the incremental engine —
+   then the whole optimization trajectory (assignment, moves, yield bits)
+   must be unchanged, with audit re-checking the engine throughout. *)
+let test_jobs_trajectory_identity () =
+  let c =
+    Sl_netlist.Bench_format.parse_string ~sequential:`Cut ~name:"spipe-test"
+      (Sl_netlist.Generators.seq_pipeline_bench ~stages:2 ~width:256 ~layers:3)
+  in
+  let model = Model.build Spec.default c in
+  let run jobs =
+    let d = Design.create ~size_idx:2 (Cell_lib.default ()) c in
+    let res0 = Ssta.analyze d model in
+    let tmax = 1.25 *. res0.Ssta.circuit_delay.Canonical.mean in
+    let cfg =
+      { (Batch_opt.default_config ~tmax ~eta:0.95) with
+        Batch_opt.audit = true; jobs }
+    in
+    let st = Batch_opt.optimize cfg d model in
+    (Design.assignment_digest d, st)
+  in
+  let dig1, st1 = run 1 in
+  let dig2, st2 = run 2 in
+  Alcotest.(check string) "same assignment" dig1 dig2;
+  Alcotest.(check int) "same vth moves" st1.Batch_opt.vth_moves st2.Batch_opt.vth_moves;
+  Alcotest.(check int) "same size moves" st1.Batch_opt.size_moves st2.Batch_opt.size_moves;
+  Alcotest.(check int) "same syncs" st1.Batch_opt.syncs st2.Batch_opt.syncs;
+  Alcotest.(check bool) "same yield bits" true
+    (feq st1.Batch_opt.final_yield st2.Batch_opt.final_yield);
+  (* prove the parallel path actually ran, and that jobs=1 never does *)
+  Alcotest.(check int) "jobs=1 inline only" 0 st1.Batch_opt.par_levels;
+  Alcotest.(check bool) "jobs=2 used domains" true (st2.Batch_opt.par_levels > 0);
+  Alcotest.(check bool) "widest level cleared threshold" true
+    (st2.Batch_opt.max_level_width >= 256)
+
 let suite =
   [
     ( "batch_opt",
@@ -153,5 +190,7 @@ let suite =
           (test_vs_stat "mult8");
         Alcotest.test_case "deterministic" `Quick test_deterministic;
         Alcotest.test_case "knob gating" `Quick test_knobs;
+        Alcotest.test_case "jobs=2 trajectory identity (wide levels)" `Slow
+          test_jobs_trajectory_identity;
       ] );
   ]

@@ -410,6 +410,76 @@ let test_random_dag_deterministic () =
   Alcotest.(check bool) "different seed differs" true
     (Bench_format.to_string c1 <> Bench_format.to_string c3)
 
+(* Scaling workloads: structure, determinism and the format round-trip.
+   rand30k (30k gates) is cheap enough to instantiate twice; rand100k's
+   shape is pinned through a single instantiation. *)
+let check_topological (c : Circuit.t) =
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      Array.iter
+        (fun f ->
+          if f >= g.Circuit.id then Alcotest.failf "fanin %d >= gate %d" f g.Circuit.id;
+          if (Circuit.gate c f).Circuit.level >= g.Circuit.level then
+            Alcotest.failf "fanin level not below gate %d" g.Circuit.id)
+        g.Circuit.fanin)
+    c.Circuit.gates
+
+let test_rand30k_shape_and_roundtrip () =
+  let c = Generators.rand30k () in
+  Alcotest.(check string) "name" "rand30k" c.Circuit.name;
+  Alcotest.(check int) "cells" 30_000 (Circuit.num_cells c);
+  Alcotest.(check int) "inputs" 256 (Array.length c.Circuit.inputs);
+  Alcotest.(check int) "outputs" 64 (Array.length c.Circuit.outputs);
+  check_topological c;
+  (* deterministic across runs... *)
+  let text = Bench_format.to_string c in
+  Alcotest.(check string) "identical on re-generation" text
+    (Bench_format.to_string (Generators.rand30k ()));
+  (* ...and the text round-trips to the same structure *)
+  let c' = Bench_format.parse_string ~name:"rand30k" text in
+  Alcotest.(check string) "bench round-trip" text (Bench_format.to_string c')
+
+let test_rand100k_shape () =
+  let c = Generators.rand100k () in
+  Alcotest.(check string) "name" "rand100k" c.Circuit.name;
+  Alcotest.(check int) "cells" 100_000 (Circuit.num_cells c);
+  Alcotest.(check int) "inputs" 512 (Array.length c.Circuit.inputs);
+  Alcotest.(check int) "outputs" 128 (Array.length c.Circuit.outputs);
+  check_topological c
+
+let test_seq_pipeline_bench () =
+  let text = Generators.seq_pipeline_bench ~stages:3 ~width:4 ~layers:2 in
+  (* identical text on re-generation *)
+  Alcotest.(check string) "deterministic" text
+    (Generators.seq_pipeline_bench ~stages:3 ~width:4 ~layers:2);
+  (* registers present, so the strict parser must reject it... *)
+  (match Bench_format.parse_string ~name:"spipe" text with
+  | _ -> Alcotest.fail "expected Parse_error on DFF"
+  | exception Bench_format.Parse_error _ -> ());
+  (* ...and the register cut turns each DFF into a PI/PO pair:
+     width PIs + (stages-1)*width register outputs, and the mirror POs *)
+  let c = Bench_format.parse_string ~sequential:`Cut ~name:"spipe" text in
+  Alcotest.(check int) "cells" (3 * 4 * 2) (Circuit.num_cells c);
+  Alcotest.(check int) "inputs" (4 + (2 * 4)) (Array.length c.Circuit.inputs);
+  Alcotest.(check int) "outputs" (4 + (2 * 4)) (Array.length c.Circuit.outputs);
+  (* each stage cloud is [layers] levels deep; the cut makes them
+     independent, so the whole circuit is [layers] levels deep *)
+  Alcotest.(check int) "depth = layers" 2 c.Circuit.depth;
+  check_topological c
+
+let test_large_registry () =
+  (* resolvable by name, but never part of the standard suite *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " resolvable") true (Benchmarks.by_name n <> None);
+      Alcotest.(check bool) (n ^ " not in names") false (List.mem n Benchmarks.names))
+    Benchmarks.large_names;
+  match Benchmarks.by_name "spipe30k" with
+  | Some c ->
+    Alcotest.(check int) "spipe30k cells" 30_720 (Circuit.num_cells c);
+    Alcotest.(check bool) "wide and shallow" true (c.Circuit.depth <= 24)
+  | None -> Alcotest.fail "spipe30k missing"
+
 let test_benchmark_suite_instantiates () =
   List.iter
     (fun (name, c) ->
@@ -500,6 +570,10 @@ let suite =
         Alcotest.test_case "verilog escaping" `Quick test_verilog_escapes_weird_names;
         Alcotest.test_case "random dag shape" `Quick test_random_dag_shape;
         Alcotest.test_case "random dag deterministic" `Quick test_random_dag_deterministic;
+        Alcotest.test_case "rand30k shape + roundtrip" `Slow test_rand30k_shape_and_roundtrip;
+        Alcotest.test_case "rand100k shape" `Slow test_rand100k_shape;
+        Alcotest.test_case "seq pipeline bench" `Quick test_seq_pipeline_bench;
+        Alcotest.test_case "large registry" `Slow test_large_registry;
         Alcotest.test_case "suite instantiates" `Quick test_benchmark_suite_instantiates;
         Alcotest.test_case "benchmark lookup" `Quick test_benchmark_lookup;
       ]

@@ -108,6 +108,89 @@ let test_ssta_zero_variation_equals_sta () =
     res.Ssta.circuit_delay.Canonical.mean;
   check_float ~eps:1e-9 "zero sigma" 0.0 (Canonical.sigma res.Ssta.circuit_delay)
 
+(* ---------- level-parallel propagation: bit-identity ---------- *)
+
+let bits = Int64.bits_of_float
+
+let canon_bits_equal (a : Canonical.t) (b : Canonical.t) =
+  Int64.equal (bits a.Canonical.mean) (bits b.Canonical.mean)
+  && Int64.equal (bits a.Canonical.rnd) (bits b.Canonical.rnd)
+  && Array.length a.Canonical.coeffs = Array.length b.Canonical.coeffs
+  && Array.for_all2
+       (fun x y -> Int64.equal (bits x) (bits y))
+       a.Canonical.coeffs b.Canonical.coeffs
+
+let check_canon_array_identical name a b =
+  if Array.length a <> Array.length b then Alcotest.failf "%s: length" name;
+  Array.iteri
+    (fun i x ->
+      if not (canon_bits_equal x b.(i)) then
+        Alcotest.failf "%s: slot %d differs" name i)
+    a
+
+let test_parallel_analyze_bit_identical () =
+  (* every suite circuit, forward + backward, jobs in {1,2,4}: the
+     arena's level schedule must replicate the sequential float-operation
+     order to the IEEE bit.  A tight threshold forces even narrow levels
+     onto the parallel path. *)
+  List.iter
+    (fun name ->
+      let circuit =
+        match Benchmarks.by_name name with Some c -> c | None -> assert false
+      in
+      let d, m = setup circuit in
+      let base = Ssta.analyze ~jobs:1 d m in
+      let base_bwd = Ssta.backward ~jobs:1 circuit base in
+      List.iter
+        (fun jobs ->
+          let res = Ssta.analyze ~jobs ~par_threshold:2 d m in
+          check_canon_array_identical
+            (Printf.sprintf "%s arrival jobs=%d" name jobs)
+            base.Ssta.arrival res.Ssta.arrival;
+          check_canon_array_identical
+            (Printf.sprintf "%s gate_delay jobs=%d" name jobs)
+            base.Ssta.gate_delay res.Ssta.gate_delay;
+          if not (canon_bits_equal base.Ssta.circuit_delay res.Ssta.circuit_delay)
+          then Alcotest.failf "%s circuit_delay jobs=%d" name jobs;
+          let bwd = Ssta.backward ~jobs ~par_threshold:2 circuit res in
+          check_canon_array_identical
+            (Printf.sprintf "%s backward jobs=%d" name jobs)
+            base_bwd bwd)
+        [ 2; 4 ])
+    [ "c17"; "add32"; "mult8"; "rand1200" ]
+
+let test_parallel_analyze_frozen_memo () =
+  (* with a frozen memo the delay-derivation stage parallelizes too, and
+     must still agree with the memo-free sequential analysis *)
+  let circuit = Generators.random_dag ~seed:5 ~gates:400 ~inputs:30 ~outputs:10 in
+  let d, m = setup circuit in
+  let memo = Sl_tech.Memo.create (Cell_lib.default ()) in
+  Sl_tech.Memo.prefill memo d;
+  Sl_tech.Memo.freeze memo;
+  let base = Ssta.analyze ~memo ~jobs:1 d m in
+  let res = Ssta.analyze ~memo ~jobs:4 ~par_threshold:2 d m in
+  check_canon_array_identical "frozen-memo arrival" base.Ssta.arrival
+    res.Ssta.arrival;
+  if not (canon_bits_equal base.Ssta.circuit_delay res.Ssta.circuit_delay) then
+    Alcotest.fail "frozen-memo circuit delay differs"
+
+let test_parallel_stats_counters () =
+  let circuit = Generators.random_dag ~seed:5 ~gates:400 ~inputs:30 ~outputs:10 in
+  let d, m = setup circuit in
+  let stats = Ssta.par_stats () in
+  ignore (Ssta.analyze ~jobs:2 ~par_threshold:8 ~stats d m);
+  let forward_batches = stats.Ssta.par_levels + stats.Ssta.seq_levels in
+  Alcotest.(check bool) "some batches recorded" true (forward_batches > 0);
+  Alcotest.(check bool) "some level cleared the threshold" true
+    (stats.Ssta.par_levels > 0);
+  Alcotest.(check bool) "max width sane" true
+    (stats.Ssta.max_level_width >= 8
+    && stats.Ssta.max_level_width <= Circuit.num_gates circuit);
+  (* jobs=1 runs everything inline regardless of width *)
+  let seq_stats = Ssta.par_stats () in
+  ignore (Ssta.analyze ~jobs:1 ~par_threshold:8 ~stats:seq_stats d m);
+  Alcotest.(check int) "jobs=1 never uses domains" 0 seq_stats.Ssta.par_levels
+
 let test_ssta_mean_exceeds_nominal () =
   (* max of random variables: E[max] >= max of means *)
   let d, m = setup (Generators.array_multiplier 8) in
@@ -277,6 +360,14 @@ let suite =
         Alcotest.test_case "yield monotone" `Quick test_ssta_yield_monotone_in_tmax;
         Alcotest.test_case "tmax_for_yield roundtrip" `Quick test_tmax_for_yield_roundtrip;
         Alcotest.test_case "SSTA vs Monte Carlo" `Slow test_ssta_vs_monte_carlo;
+      ] );
+    ( "ssta.parallel",
+      [
+        Alcotest.test_case "analyze bit-identical across jobs" `Quick
+          test_parallel_analyze_bit_identical;
+        Alcotest.test_case "frozen memo parallel delay fill" `Quick
+          test_parallel_analyze_frozen_memo;
+        Alcotest.test_case "par_stats counters" `Quick test_parallel_stats_counters;
       ] );
     ( "ssta.criticality",
       [

@@ -497,9 +497,125 @@ let prop_clark_mean_dominates =
       let mean, _, _ = Special.clark_max_moments ~mu1 ~sigma1 ~mu2 ~sigma2 ~rho:0.3 in
       mean >= Float.max mu1 mu2 -. 1e-9)
 
+(* ---------- Parallel ---------- *)
+
+exception Boom of int
+
+let test_parallel_run_covers () =
+  List.iter
+    (fun jobs ->
+      let hits = Array.make 100 0 in
+      let states =
+        Parallel.run ~jobs ~tasks:100
+          ~init:(fun () -> ref 0)
+          (fun st i ->
+            hits.(i) <- hits.(i) + 1;
+            incr st)
+      in
+      Array.iteri
+        (fun i h -> if h <> 1 then Alcotest.failf "index %d hit %d times" i h)
+        hits;
+      let total = Array.fold_left (fun a st -> a + !st) 0 states in
+      Alcotest.(check int) "worker states account for every task" 100 total)
+    [ 1; 2; 4; 7 ]
+
+let test_parallel_run_worker_exn () =
+  (* a task raising mid-run must surface Parallel.Worker after all
+     domains joined — not hang the join, not escape unwrapped *)
+  List.iter
+    (fun jobs ->
+      match
+        Parallel.run ~jobs ~tasks:32 ~init:(fun () -> ()) (fun () i ->
+            if i = 13 then raise (Boom i))
+      with
+      | _ -> Alcotest.fail "expected Parallel.Worker"
+      | exception Parallel.Worker (Boom 13) -> ()
+      | exception Parallel.Worker e ->
+        Alcotest.failf "wrapped wrong exception: %s" (Printexc.to_string e))
+    [ 2; 4 ];
+  (* jobs=1 runs inline: same wrapping contract would be surprising —
+     the exception escapes as raised, pin that too *)
+  match
+    Parallel.run ~jobs:1 ~tasks:4 ~init:(fun () -> ()) (fun () i ->
+        if i = 2 then raise (Boom i))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 2 -> ()
+  | exception Parallel.Worker (Boom 2) -> ()
+  | exception e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e)
+
+let test_parallel_run_chunks_covers () =
+  List.iter
+    (fun (jobs, threshold, n) ->
+      let hits = Array.make (Stdlib.max n 1) 0 in
+      Parallel.run_chunks ~jobs ~threshold ~n
+        ~init:(fun () -> ())
+        (fun () lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      for i = 0 to n - 1 do
+        if hits.(i) <> 1 then Alcotest.failf "index %d hit %d times" i hits.(i)
+      done)
+    [ (1, 1, 100); (2, 8, 100); (4, 8, 3); (4, 8, 8); (4, 8, 1000); (3, 1, 7) ]
+
+let test_parallel_run_chunks_worker_exn () =
+  match
+    Parallel.run_chunks ~jobs:4 ~threshold:1 ~n:64
+      ~init:(fun () -> ())
+      (fun () lo _hi -> if lo > 0 then raise (Boom lo))
+  with
+  | () -> Alcotest.fail "expected Parallel.Worker"
+  | exception Parallel.Worker (Boom _) -> ()
+  | exception e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e)
+
+let test_pool_on_error_once_per_failure () =
+  let errors = Atomic.make 0 in
+  let ok = Atomic.make 0 in
+  let pool =
+    Parallel.Pool.create
+      ~on_error:(fun e ->
+        match e with
+        | Boom _ -> Atomic.incr errors
+        | e -> raise e)
+      ~jobs:2 ()
+  in
+  for i = 0 to 19 do
+    Parallel.Pool.submit pool (fun () ->
+        if i mod 5 = 0 then raise (Boom i) else Atomic.incr ok)
+  done;
+  Parallel.Pool.shutdown pool;
+  (* a failing task must invoke on_error exactly once and must not kill
+     its worker: every other task still ran *)
+  Alcotest.(check int) "on_error once per failed task" 4 (Atomic.get errors);
+  Alcotest.(check int) "non-failing tasks all ran" 16 (Atomic.get ok)
+
+let test_pool_submit_after_shutdown () =
+  let pool = Parallel.Pool.create ~jobs:1 () in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *);
+  match Parallel.Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   let qc = List.map QCheck_alcotest.to_alcotest in
   [
+    ( "util.parallel",
+      [
+        Alcotest.test_case "run covers every index once" `Quick
+          test_parallel_run_covers;
+        Alcotest.test_case "worker exception surfaces" `Quick
+          test_parallel_run_worker_exn;
+        Alcotest.test_case "run_chunks covers every index once" `Quick
+          test_parallel_run_chunks_covers;
+        Alcotest.test_case "run_chunks worker exception surfaces" `Quick
+          test_parallel_run_chunks_worker_exn;
+        Alcotest.test_case "pool on_error once per failed task" `Quick
+          test_pool_on_error_once_per_failure;
+        Alcotest.test_case "pool submit after shutdown" `Quick
+          test_pool_submit_after_shutdown;
+      ] );
     ( "util.rng",
       [
         Alcotest.test_case "determinism" `Quick test_rng_determinism;

@@ -34,13 +34,22 @@
    sequential vs parallel; full mode additionally runs the batched
    optimizer to completion at each size and requires it to end feasible.
 
+   Part 7 bounds the observability layer's cost: analyze on rand30k is
+   timed with the trace sink Disabled (the production default: one atomic
+   load per span) and with Discard (the full recording path, events
+   dropped), and the Discard/Disabled overhead must stay under 2%.  A
+   short Memory-sink run then collects per-span totals (ssta.forward /
+   ssta.backward / opt.rank) for the JSON report.
+
    "--quick" shrinks part 1 to a smoke run, parts 3-5 to the small
    circuits and part 6 to rand30k without the optimizer run;
    "--no-bechamel" skips part 2; "--assert-par-speedup" (for multi-core
    CI) fails part 6 unless parallel analyze is >= 1.5x faster than
    sequential; "--json PATH" additionally writes a machine-readable
-   BENCH_results.json (schema statleak-bench/3, with the host core count)
-   with per-experiment wall-clock and the key metrics of parts 2-6. *)
+   BENCH_results.json (schema statleak-bench/4, with the host core count)
+   with per-experiment wall-clock, the key metrics of parts 2-7 and a
+   snapshot of the process metrics registry; "--trace PATH" records every
+   span of the whole bench run as Chrome trace-event JSON. *)
 
 module Experiments = Statleak.Experiments
 module Setup = Statleak.Setup
@@ -59,6 +68,9 @@ module Batch_opt = Sl_opt.Batch_opt
 module Anneal = Sl_opt.Anneal
 module Seq = Sl_yield.Seq
 module Estimate = Sl_yield.Estimate
+module Trace = Sl_obs.Trace
+module Metrics = Sl_obs.Metrics
+module Json = Sl_util.Json
 
 let print_experiments ~quick ~jobs =
   let t0 = Unix.gettimeofday () in
@@ -495,6 +507,102 @@ let run_scale ~quick ~jobs ~assert_par_speedup =
   print_newline ();
   rows
 
+(* ---------- observability overhead (part 7) ---------- *)
+
+type obs_row = {
+  ob_circuit : string;
+  ob_t_disabled : float;
+  ob_t_discard : float;
+  ob_overhead_pct : float;
+  ob_span_totals : (string * int * float) list;  (* name, count, total us *)
+}
+
+(* The <2% bound is asserted against the Discard sink — the FULL
+   recording path (per-domain buffer lookup, two clock reads, event
+   construction) minus only the final store.  The production default
+   (Disabled) is strictly cheaper: one atomic load and a branch per
+   span.  So passing here bounds both configurations. *)
+let run_obs_overhead ~quick ~tracing =
+  let name = "rand30k" in
+  let s = Setup.of_benchmark name in
+  let d = Setup.fresh_design s in
+  let reps = if quick then 5 else 7 in
+  let best f =
+    ignore (f ());  (* warm-up: caches, allocator *)
+    let t = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      t := Float.min !t (Unix.gettimeofday () -. t0)
+    done;
+    !t
+  in
+  Printf.printf
+    "=== Observability overhead: %s analyze, trace sink Disabled vs Discard \
+     ===\n%!"
+    name;
+  let saved_sink = Trace.sink () in
+  Trace.set_sink Trace.Disabled;
+  let t_disabled = best (fun () -> Ssta.analyze d s.Setup.model) in
+  Trace.set_sink Trace.Discard;
+  let t_discard = best (fun () -> Ssta.analyze d s.Setup.model) in
+  let overhead_pct = 100.0 *. ((t_discard /. t_disabled) -. 1.0) in
+  Printf.printf
+    "disabled %6.4f s   discard %6.4f s   overhead %+.2f%% (bound: < 2%%)\n%!"
+    t_disabled t_discard overhead_pct;
+  if overhead_pct >= 2.0 then
+    failwith
+      (Printf.sprintf "obs overhead: %.2f%% >= 2%% on %s analyze" overhead_pct
+         name);
+  (* span totals for the report: a short Memory-sink run over the three
+     span families the report keys on.  When the whole bench is being
+     traced (--trace) the events just join the big trace; otherwise they
+     live in a scratch buffer we drop afterwards. *)
+  if not tracing then Trace.clear ();
+  Trace.set_sink Trace.Memory;
+  let res = Ssta.analyze d s.Setup.model in
+  ignore (Ssta.backward s.Setup.circuit res);
+  let s_small = Setup.of_benchmark "add32" in
+  let d_small = Setup.fresh_design s_small in
+  let tmax = Setup.tmax s_small ~factor:1.25 in
+  ignore
+    (Stat_opt.optimize (Stat_opt.default_config ~tmax ~eta:0.95) d_small
+       s_small.Setup.model);
+  let totals = Hashtbl.create 8 in
+  (match Json.list "traceEvents" (Trace.export ()) with
+  | None -> ()
+  | Some evs ->
+    List.iter
+      (fun ev ->
+        match (Json.str "name" ev, Json.num "dur" ev) with
+        | Some n, Some dur ->
+          let c, t = Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals n) in
+          Hashtbl.replace totals n (c + 1, t +. dur)
+        | _ -> ())
+      evs);
+  let span_totals =
+    List.filter_map
+      (fun n ->
+        Option.map (fun (c, t) -> (n, c, t)) (Hashtbl.find_opt totals n))
+      [ "ssta.forward"; "ssta.backward"; "opt.rank" ]
+  in
+  List.iter
+    (fun (n, c, t) ->
+      Printf.printf "span %-14s %5d events  %10.1f us total\n%!" n c t)
+    span_totals;
+  print_newline ();
+  if not tracing then begin
+    Trace.clear ();
+    Trace.set_sink saved_sink
+  end;
+  {
+    ob_circuit = name;
+    ob_t_disabled = t_disabled;
+    ob_t_discard = t_discard;
+    ob_overhead_pct = overhead_pct;
+    ob_span_totals = span_totals;
+  }
+
 (* ---------- bechamel kernels, one per experiment ---------- *)
 
 let kernels () =
@@ -672,7 +780,7 @@ let git_rev () =
 
 let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
     ~(osp : opt_speedup list) ~(bsp : batch_speedup list)
-    ~(scale : scale_row list) ~kernels =
+    ~(scale : scale_row list) ~(obs : obs_row) ~kernels =
   let cores = Sl_util.Parallel.default_jobs () in
   (* speedup numbers measured with fewer than 2 cores (or 1 worker) say
      nothing about the parallel engines — annotate instead of asserting *)
@@ -680,8 +788,8 @@ let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"statleak-bench/3\",\n";
-  add "  \"schema_version\": 3,\n";
+  add "  \"schema\": \"statleak-bench/4\",\n";
+  add "  \"schema_version\": 4,\n";
   add "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
@@ -757,6 +865,43 @@ let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
         (if i = List.length scale - 1 then "" else ","))
     scale;
   add "  ],\n";
+  (* schema v4: the observability section — the asserted overhead bound,
+     per-span totals, and a snapshot of the whole metrics registry
+     (propagation counters, level-batch tallies, MC throughput, ...) *)
+  add "  \"obs\": {\n";
+  add
+    "    \"overhead\": {\"circuit\": \"%s\", \"seconds_disabled\": %s, \
+     \"seconds_discard\": %s, \"overhead_pct\": %s, \"asserted_max_pct\": 2.0},\n"
+    (json_escape obs.ob_circuit)
+    (json_float obs.ob_t_disabled)
+    (json_float obs.ob_t_discard)
+    (json_float obs.ob_overhead_pct);
+  add "    \"span_totals_us\": [\n";
+  List.iteri
+    (fun i (n, c, t) ->
+      add "      {\"name\": \"%s\", \"events\": %d, \"total_us\": %s}%s\n"
+        (json_escape n) c (json_float t)
+        (if i = List.length obs.ob_span_totals - 1 then "" else ","))
+    obs.ob_span_totals;
+  add "    ],\n";
+  add "    \"metrics\": [\n";
+  let samples = Metrics.snapshot () in
+  List.iteri
+    (fun i (s : Metrics.sample) ->
+      let labels =
+        String.concat ", "
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+             s.Metrics.labels)
+      in
+      add "      {\"name\": \"%s\", \"labels\": {%s}, \"value\": %s}%s\n"
+        (json_escape s.Metrics.name) labels
+        (json_float s.Metrics.value)
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  add "    ]\n";
+  add "  },\n";
   add "  \"bechamel_ns_per_run\": {\n";
   (match kernels with
   | None -> ()
@@ -794,14 +939,29 @@ let () =
     in
     find args
   in
+  let trace_path =
+    let rec find = function
+      | "--trace" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if trace_path <> None then Trace.set_sink Trace.Memory;
   let times = print_experiments ~quick ~jobs in
   let sp = run_speedup ~quick ~jobs in
   let yc = run_yield_checks ~quick ~jobs in
   let osp = run_opt_speedup ~quick in
   let bsp = run_batch_speedup ~quick in
   let scale = run_scale ~quick ~jobs ~assert_par_speedup in
+  let obs = run_obs_overhead ~quick ~tracing:(trace_path <> None) in
   let kernels = if no_bechamel then None else Some (run_bechamel ()) in
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+    let n = Trace.write path in
+    Printf.printf "trace: %d events written to %s\n%!" n path);
   match json_path with
   | None -> ()
   | Some path ->
-    write_json path ~quick ~jobs ~times ~sp ~yc ~osp ~bsp ~scale ~kernels
+    write_json path ~quick ~jobs ~times ~sp ~yc ~osp ~bsp ~scale ~obs ~kernels

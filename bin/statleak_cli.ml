@@ -20,6 +20,10 @@ module Yield_est = Sl_yield.Estimate
 module Setup = Statleak.Setup
 module Evaluate = Statleak.Evaluate
 module Experiments = Statleak.Experiments
+module Json = Sl_util.Json
+module Trace = Sl_obs.Trace
+module Metrics = Sl_obs.Metrics
+module Obs_log = Sl_obs.Log
 
 open Cmdliner
 
@@ -72,6 +76,26 @@ let jobs_arg =
    for a caller who didn't ask), unlike Monte-Carlo's all-cores default —
    both are safe, bit-identity holds either way. *)
 let ssta_jobs = function Some j -> j | None -> 1
+
+let trace_arg =
+  let doc =
+    "Record the run's internal spans (SSTA forward/backward passes, \
+     optimizer passes and bands, Monte-Carlo sweeps) and write them as \
+     Chrome trace-event JSON to $(docv), loadable in chrome://tracing or \
+     Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Trace.set_sink Trace.Memory;
+    Fun.protect
+      ~finally:(fun () ->
+        let n = Trace.write path in
+        Printf.printf "trace: %d events written to %s\n" n path)
+      f
 
 let load_circuit spec =
   if Sys.file_exists spec && not (Sys.is_directory spec) then begin
@@ -146,7 +170,8 @@ let sta circuit_spec lib_file size_idx =
         res.Sta.arrival.(id))
     path
 
-let ssta circuit_spec lib_file sigma_scale size_idx factor critical jobs =
+let ssta circuit_spec lib_file sigma_scale size_idx factor critical jobs trace =
+  with_trace trace @@ fun () ->
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let d = Setup.fresh_design s in
   let jobs = ssta_jobs jobs in
@@ -214,7 +239,8 @@ let mc circuit_spec lib_file sigma_scale size_idx factor seed samples jobs =
     (Mc.leak_quantile r 0.99 /. 1000.0)
 
 let yield circuit_spec lib_file sigma_scale size_idx factor method_s ci halfwidth
-    max_samples seed jobs =
+    max_samples seed jobs trace =
+  with_trace trace @@ fun () ->
   let method_ =
     match Yield_seq.method_of_string method_s with
     | Some m -> m
@@ -264,8 +290,111 @@ let print_metrics tag tmax (m : Evaluate.metrics) =
     m.Evaluate.total_width;
   ignore tmax
 
+(* --profile is a formatted view of the metrics registry: the optimizers
+   publish their stats records there (see DESIGN.md §14), so this table,
+   --profile-json and `client metrics` always agree. *)
+let print_profile ~mode ~jobs =
+  let m ?(labels = [ ("mode", mode) ]) name =
+    Option.value ~default:0.0 (Metrics.value_of ~labels name)
+  in
+  let i ?labels name = int_of_float (m ?labels name) in
+  let level_batches =
+    Printf.sprintf "%d on %d domains, %d inline (widest level %d gates)"
+      (i "statleak_opt_par_levels_total")
+      jobs
+      (i "statleak_opt_seq_levels_total")
+      (i "statleak_opt_max_level_width")
+  in
+  let moves = i "statleak_opt_vth_moves_total" + i "statleak_opt_size_moves_total" in
+  let rows =
+    match mode with
+    | "stat" ->
+      [
+        ( "refresh points",
+          Printf.sprintf "%d (%d full analyses, rest incremental)"
+            (i "statleak_opt_refreshes_total")
+            (i "statleak_opt_full_refreshes_total") );
+        ( "incremental updates",
+          Printf.sprintf "%d single-gate delay updates"
+            (i "statleak_opt_incr_updates_total") );
+        ( "dirty cone",
+          Printf.sprintf "%.1f gates/update mean, %d max, %d recomputed total"
+            (m "statleak_opt_mean_cone")
+            (i "statleak_opt_max_cone")
+            (i "statleak_opt_propagated_gates_total") );
+        ( "exact-equality cutoffs",
+          Printf.sprintf "%d" (i "statleak_opt_cutoffs_total") );
+      ]
+      @ (if moves > 0 then
+           [
+             ( "propagations/move",
+               Printf.sprintf "%.1f per committed move"
+                 (m "statleak_opt_propagated_gates_total" /. float_of_int moves) );
+           ]
+         else [])
+      @ [
+          ( "time in refresh/sync",
+            Printf.sprintf "%.3f s" (m "statleak_opt_time_refresh_seconds") );
+          ( "time collecting candidates",
+            Printf.sprintf "%.3f s" (m "statleak_opt_time_candidates_seconds") );
+          ("level batches", level_batches);
+        ]
+    | "batch" ->
+      [
+        ( "syncs",
+          Printf.sprintf "%d (%d full analyses, rest incremental)"
+            (i "statleak_batch_syncs_total")
+            (i "statleak_opt_full_refreshes_total") );
+        ( "incremental updates",
+          Printf.sprintf "%d single-gate delay updates"
+            (i "statleak_opt_incr_updates_total") );
+        ( "propagations",
+          Printf.sprintf "%d arrival+required recomputations"
+            (i "statleak_opt_propagated_gates_total") );
+        ( "propagations/move",
+          Printf.sprintf "%.1f per committed move"
+            (m "statleak_batch_props_per_move") );
+        ( "bands rolled back",
+          Printf.sprintf "%d (%d moves undone)"
+            (i ~labels:[] "statleak_batch_bands_rolled_back_total")
+            (i "statleak_opt_rollbacks_total") );
+        ( "time total",
+          Printf.sprintf "%.3f s" (m "statleak_batch_time_total_seconds") );
+        ("level batches", level_batches);
+      ]
+    | _ -> []
+  in
+  if rows <> [] then begin
+    Printf.printf "profile: timing engine (metrics registry, mode=%s)\n" mode;
+    let w =
+      1 + List.fold_left (fun acc (k, _) -> Stdlib.max acc (String.length k)) 0 rows
+    in
+    List.iter (fun (k, v) -> Printf.printf "  %-*s  %s\n" w (k ^ ":") v) rows
+  end
+
+let profile_json_value () =
+  let kind_str = function
+    | `Counter -> "counter"
+    | `Gauge -> "gauge"
+    | `Histogram -> "histogram"
+  in
+  Json.List
+    (List.map
+       (fun (s : Metrics.sample) ->
+         Json.Obj
+           [
+             ("name", Json.Str s.Metrics.name);
+             ( "labels",
+               Json.Obj
+                 (List.map (fun (k, v) -> (k, Json.Str v)) s.Metrics.labels) );
+             ("kind", Json.Str (kind_str s.Metrics.kind));
+             ("value", Json.Num s.Metrics.value);
+           ])
+       (Metrics.snapshot ()))
+
 let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples jobs profile
-    dump =
+    profile_json trace dump =
+  with_trace trace @@ fun () ->
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let tmax = Setup.tmax s ~factor in
   Printf.printf "%s: D0 = %.1f ps, Tmax = %.1f ps (%.2fx), eta = %.2f, mode = %s\n"
@@ -298,29 +427,7 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
       st.Sl_opt.Stat_opt.size_moves st.Sl_opt.Stat_opt.trials
       st.Sl_opt.Stat_opt.refreshes st.Sl_opt.Stat_opt.rollbacks
       st.Sl_opt.Stat_opt.final_yield;
-    if profile then begin
-      Printf.printf "profile: timing engine\n";
-      Printf.printf "  refresh points:       %d (%d full analyses, rest incremental)\n"
-        st.Sl_opt.Stat_opt.refreshes st.Sl_opt.Stat_opt.full_refreshes;
-      Printf.printf "  incremental updates:  %d single-gate delay updates\n"
-        st.Sl_opt.Stat_opt.incr_updates;
-      Printf.printf
-        "  dirty cone:           %.1f gates/update mean, %d max, %d recomputed total\n"
-        st.Sl_opt.Stat_opt.mean_cone st.Sl_opt.Stat_opt.max_cone
-        st.Sl_opt.Stat_opt.propagated_gates;
-      Printf.printf "  exact-equality cutoffs: %d\n" st.Sl_opt.Stat_opt.cutoffs;
-      let moves = st.Sl_opt.Stat_opt.vth_moves + st.Sl_opt.Stat_opt.size_moves in
-      if moves > 0 then
-        Printf.printf "  propagations/move:    %.1f per committed move\n"
-          (float_of_int st.Sl_opt.Stat_opt.propagated_gates /. float_of_int moves);
-      Printf.printf "  time in refresh/sync: %.3f s\n" st.Sl_opt.Stat_opt.time_refresh;
-      Printf.printf "  time collecting candidates: %.3f s\n"
-        st.Sl_opt.Stat_opt.time_candidates;
-      Printf.printf
-        "  level batches:        %d on %d domains, %d inline (widest level %d gates)\n"
-        st.Sl_opt.Stat_opt.par_levels (ssta_jobs jobs)
-        st.Sl_opt.Stat_opt.seq_levels st.Sl_opt.Stat_opt.max_level_width
-    end
+    if profile then print_profile ~mode:"stat" ~jobs:(ssta_jobs jobs)
   | "batch" ->
     let st =
       Sl_opt.Batch_opt.optimize
@@ -336,27 +443,11 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
       st.Sl_opt.Batch_opt.passes st.Sl_opt.Batch_opt.bands_committed
       st.Sl_opt.Batch_opt.bands_tried st.Sl_opt.Batch_opt.bisections
       st.Sl_opt.Batch_opt.rollbacks st.Sl_opt.Batch_opt.final_yield;
-    if profile then begin
-      Printf.printf "profile: timing engine\n";
-      Printf.printf "  syncs:                %d (%d full analyses, rest incremental)\n"
-        st.Sl_opt.Batch_opt.syncs st.Sl_opt.Batch_opt.full_refreshes;
-      Printf.printf "  incremental updates:  %d single-gate delay updates\n"
-        st.Sl_opt.Batch_opt.incr_updates;
-      Printf.printf "  propagations:         %d arrival+required recomputations\n"
-        st.Sl_opt.Batch_opt.propagated_gates;
-      Printf.printf "  propagations/move:    %.1f per committed move\n"
-        st.Sl_opt.Batch_opt.props_per_move;
-      Printf.printf "  bands rolled back:    %d (%d moves undone)\n"
-        st.Sl_opt.Batch_opt.bands_rolled_back st.Sl_opt.Batch_opt.rollbacks;
-      Printf.printf "  time total:           %.3f s\n" st.Sl_opt.Batch_opt.time_total;
-      Printf.printf
-        "  level batches:        %d on %d domains, %d inline (widest level %d gates)\n"
-        st.Sl_opt.Batch_opt.par_levels (ssta_jobs jobs)
-        st.Sl_opt.Batch_opt.seq_levels st.Sl_opt.Batch_opt.max_level_width
-    end
+    if profile then print_profile ~mode:"batch" ~jobs:(ssta_jobs jobs)
   | other ->
     Printf.eprintf "error: unknown mode %S (use det, lr, stat or batch)\n" other;
     exit 2);
+  if profile_json then print_endline (Json.to_string (profile_json_value ()));
   print_metrics "final" tmax (Evaluate.design ~mc_samples:samples ?jobs s ~tmax d);
   match dump with
   | None -> ()
@@ -437,19 +528,28 @@ let experiments quick jobs ids =
 
 (* ---------- serve / client ---------- *)
 
-module Json = Sl_util.Json
 module Frame = Sl_util.Frame
 module Server = Sl_serve.Server
 module Serve_client = Sl_serve.Client
 
-let serve socket jobs max_sessions quiet =
+let serve socket jobs max_sessions log_level quiet =
+  let level =
+    if quiet then Obs_log.Error
+    else
+      match Obs_log.level_of_string log_level with
+      | Some l -> l
+      | None ->
+        Printf.eprintf "error: unknown log level %S (use debug, info, warn or error)\n"
+          log_level;
+        exit 2
+  in
   let cfg =
     {
       Server.socket_path = socket;
       jobs;
       max_sessions;
       snapshot_dir = None;
-      log = not quiet;
+      log_level = level;
     }
   in
   let t =
@@ -586,11 +686,12 @@ let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
     | [ "close"; session ] ->
       Json.obj [ ("type", Json.Str "close"); ("session", Json.Str session) ]
     | [ "stats" ] -> Json.obj [ ("type", Json.Str "stats") ]
+    | [ "metrics" ] -> Json.obj [ ("type", Json.Str "metrics") ]
     | [ "shutdown" ] -> Json.obj [ ("type", Json.Str "shutdown") ]
     | [] ->
       Printf.eprintf
         "error: client needs a command (ping, load, edit, analyze, yield, optimize, \
-         checkpoint, rollback, sessions, close, stats, shutdown)\n";
+         checkpoint, rollback, sessions, close, stats, metrics, shutdown)\n";
       exit 2
     | cmd :: _ ->
       Printf.eprintf "error: bad client command or argument count for %S\n" cmd;
@@ -607,7 +708,11 @@ let client socket lib sigma_scale size_idx factor eta mode method_ halfwidth
       Serve_client.with_connection ~socket (fun c ->
           Serve_client.request ~on_progress:print_progress c req)
     in
-    print_fields resp
+    (* `client metrics` prints the exposition text raw, so the output can
+       be scraped or diffed directly *)
+    (match (args, Json.str "metrics" resp) with
+    | [ "metrics" ], Some text -> print_string text
+    | _ -> print_fields resp)
   with
   | Serve_client.Server_error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -647,7 +752,7 @@ let ssta_cmd =
           & opt int 0
           & info [ "critical" ] ~docv:"N"
               ~doc:"Also list the N most statistically critical gates.")
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg)
 
 let leakage_cmd =
   Cmd.v (Cmd.info "leakage" ~doc:"Statistical leakage: mean, std, percentiles.")
@@ -687,7 +792,7 @@ let yield_cmd =
     Term.(
       const yield $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
       $ factor_arg $ method_arg $ ci_arg $ halfwidth_arg $ max_samples_arg
-      $ seed_arg $ jobs_arg)
+      $ seed_arg $ jobs_arg $ trace_arg)
 
 let optimize_cmd =
   let mode_arg =
@@ -706,16 +811,24 @@ let optimize_cmd =
     let doc =
       "Print a timing-engine breakdown after a $(b,stat) or $(b,batch) run: \
        full refreshes vs. incremental updates, dirty-cone statistics, timing \
-       propagations per committed move, and time spent in the engine."
+       propagations per committed move, and time spent in the engine.  The \
+       table is rendered from the process metrics registry (DESIGN.md §14)."
     in
     Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let profile_json_arg =
+    let doc =
+      "Dump the full metrics registry as a JSON array of \
+       {name, labels, kind, value} samples after the run."
+    in
+    Arg.(value & flag & info [ "profile-json" ] ~doc)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run a leakage optimizer and report before/after metrics.")
     Term.(
       const optimize $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
       $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ jobs_arg $ profile_arg
-      $ dump_arg)
+      $ profile_json_arg $ trace_arg $ dump_arg)
 
 let paths_cmd =
   let k_arg =
@@ -779,8 +892,16 @@ let serve_cmd =
     in
     Arg.(value & opt int 8 & info [ "max-sessions" ] ~docv:"N" ~doc)
   in
+  let log_level_arg =
+    let doc =
+      "Log threshold: $(b,debug) (per-request lines), $(b,info) (lifecycle \
+       events), $(b,warn) or $(b,error).  Lines carry a timestamp, the level \
+       and the session name."
+    in
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
   let quiet_arg =
-    let doc = "Suppress the per-event log lines on stderr." in
+    let doc = "Shorthand for $(b,--log-level) $(b,error)." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
   Cmd.v
@@ -788,7 +909,9 @@ let serve_cmd =
        ~doc:
          "Run the optimization daemon: persistent incremental-SSTA sessions \
           behind a Unix-socket protocol (see DESIGN.md §12).")
-    Term.(const serve $ socket_arg $ jobs_arg $ max_sessions_arg $ quiet_arg)
+    Term.(
+      const serve $ socket_arg $ jobs_arg $ max_sessions_arg $ log_level_arg
+      $ quiet_arg)
 
 let client_cmd =
   let detail_arg =
@@ -821,7 +944,8 @@ let client_cmd =
        SESSION resize|reassign-vth|set-load GATE VALUE | $(b,analyze) SESSION | \
        $(b,yield) SESSION | $(b,optimize) SESSION | $(b,checkpoint) SESSION NAME \
        | $(b,rollback) SESSION NAME | $(b,sessions) | $(b,close) SESSION | \
-       $(b,stats) | $(b,shutdown)"
+       $(b,stats) | $(b,metrics) (Prometheus-style text exposition) | \
+       $(b,shutdown)"
     in
     Arg.(value & pos_all string [] & info [] ~docv:"CMD" ~doc)
   in

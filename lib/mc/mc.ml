@@ -5,6 +5,39 @@ module Cell_lib = Sl_tech.Cell_lib
 module Model = Sl_variation.Model
 module Rng = Sl_util.Rng
 module Stats = Sl_util.Stats
+module Trace = Sl_obs.Trace
+module Metrics = Sl_obs.Metrics
+
+(* Published once per run from the coordinating domain — worker domains
+   never touch the registry, so the chunk loops stay contention-free. *)
+let m_chunks =
+  Metrics.counter ~help:"Monte-Carlo chunks evaluated" "statleak_mc_chunks_total"
+
+let m_dies =
+  Metrics.counter ~help:"Monte-Carlo dies evaluated" "statleak_mc_dies_total"
+
+let m_run_seconds =
+  Metrics.gauge ~help:"Wall-clock seconds of the last MC sweep"
+    "statleak_mc_last_run_seconds"
+
+let m_throughput =
+  Metrics.gauge ~help:"Dies per second of the last MC sweep"
+    "statleak_mc_chunk_throughput_dies_per_second"
+
+let observed_sweep ~name ~jobs ~chunks ~dies f =
+  let jobs_str = match jobs with Some j -> string_of_int j | None -> "auto" in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Trace.span name
+      ~attrs:[ ("dies", string_of_int dies); ("jobs", jobs_str) ]
+      f
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Metrics.add m_chunks chunks;
+  Metrics.add m_dies dies;
+  Metrics.set m_run_seconds dt;
+  if dt > 0.0 then Metrics.set m_throughput (float_of_int dies /. dt);
+  r
 
 type result = { delay : float array; leak : float array }
 
@@ -107,9 +140,11 @@ let sweep ~sampling ~jobs ~seed ~samples (d : Design.t) model ~consume =
 let run ?(sampling = `Naive) ?jobs ~seed ~samples (d : Design.t) model =
   if samples < 1 then invalid_arg "Mc.run: samples < 1";
   let delay = Array.make samples 0.0 and leak = Array.make samples 0.0 in
-  sweep ~sampling ~jobs ~seed ~samples d model ~consume:(fun _ i dm lk ->
-      delay.(i) <- dm;
-      leak.(i) <- lk);
+  observed_sweep ~name:"mc.run" ~jobs ~chunks:(num_chunks samples) ~dies:samples
+    (fun () ->
+      sweep ~sampling ~jobs ~seed ~samples d model ~consume:(fun _ i dm lk ->
+          delay.(i) <- dm;
+          leak.(i) <- lk));
   { delay; leak }
 
 let run_stats ?(sampling = `Naive) ?jobs ~seed ~samples (d : Design.t) model =
@@ -120,10 +155,12 @@ let run_stats ?(sampling = `Naive) ?jobs ~seed ~samples (d : Design.t) model =
   let accs =
     Array.init (num_chunks samples) (fun _ -> (Stats.Acc.create (), Stats.Acc.create ()))
   in
-  sweep ~sampling ~jobs ~seed ~samples d model ~consume:(fun c _ dm lk ->
-      let da, la = accs.(c) in
-      Stats.Acc.add da dm;
-      Stats.Acc.add la lk);
+  observed_sweep ~name:"mc.run" ~jobs ~chunks:(num_chunks samples) ~dies:samples
+    (fun () ->
+      sweep ~sampling ~jobs ~seed ~samples d model ~consume:(fun c _ dm lk ->
+          let da, la = accs.(c) in
+          Stats.Acc.add da dm;
+          Stats.Acc.add la lk));
   Array.fold_left
     (fun (da, la) (dc, lc) -> (Stats.Acc.merge da dc, Stats.Acc.merge la lc))
     (Stats.Acc.create (), Stats.Acc.create ())
@@ -196,5 +233,6 @@ let run_dies ?jobs ?z_of ?shift ~seed ~first ~count (d : Design.t) model =
       out.(i - first) <- { z = raw; delay = dm; leak = lk }
     done
   in
-  ignore (Sl_util.Parallel.run ~jobs ~tasks:chunks ~init work);
+  observed_sweep ~name:"mc.run_dies" ~jobs:(Some jobs) ~chunks ~dies:count
+    (fun () -> ignore (Sl_util.Parallel.run ~jobs ~tasks:chunks ~init work));
   out

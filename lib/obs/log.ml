@@ -1,0 +1,62 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* The gate is read on every call site, possibly from several domains at
+   once; an Atomic keeps the read race-free without a lock. *)
+let gate = Atomic.make (severity Info)
+let level_ref = Atomic.make Info
+
+let set_level l =
+  Atomic.set level_ref l;
+  Atomic.set gate (severity l)
+
+let level () = Atomic.get level_ref
+let would_log l = severity l >= Atomic.get gate
+
+let sink : (string -> unit) option ref = ref None
+let set_sink s = sink := s
+
+(* One mutex serializes emission: concurrent domains (serve pool workers)
+   must not interleave half-lines on stderr. *)
+let emit_mutex = Mutex.create ()
+
+let emit lvl ctx msg =
+  let t = Unix.gettimeofday () in
+  let tm = Unix.localtime t in
+  let ms = int_of_float ((t -. Float.of_int (int_of_float t)) *. 1000.0) in
+  let ms = if ms < 0 then 0 else if ms > 999 then 999 else ms in
+  let tag = match ctx with None -> "" | Some c -> c ^ ": " in
+  let line =
+    Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d.%03d [%s] %s%s"
+      (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+      tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec ms
+      (level_to_string lvl) tag msg
+  in
+  Mutex.lock emit_mutex;
+  (match !sink with
+  | None -> Printf.eprintf "%s\n%!" line
+  | Some f -> ( try f line with _ -> ()));
+  Mutex.unlock emit_mutex
+
+let logf lvl ?ctx fmt =
+  if would_log lvl then Printf.ksprintf (fun s -> emit lvl ctx s) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
+
+let debugf ?ctx fmt = logf Debug ?ctx fmt
+let infof ?ctx fmt = logf Info ?ctx fmt
+let warnf ?ctx fmt = logf Warn ?ctx fmt
+let errorf ?ctx fmt = logf Error ?ctx fmt

@@ -1,0 +1,42 @@
+(** Leveled structured logging.
+
+    One process-global level gate and sink.  Every emitted line carries a
+    wall-clock timestamp with millisecond precision, the level, and an
+    optional context tag (the serve daemon passes the session name), so
+    interleaved output from concurrent domains stays attributable:
+
+    {v 2026-08-08 14:03:21.407 [info] serve/alu32: optimize done v}
+
+    Calls below the active level cost one branch — the format arguments
+    are never materialized ([Printf.ikfprintf]). *)
+
+type level = Debug | Info | Warn | Error
+
+val set_level : level -> unit
+(** Messages strictly below this level are dropped.  Default: [Info]. *)
+
+val level : unit -> level
+
+val level_to_string : level -> string
+(** ["debug"] / ["info"] / ["warn"] / ["error"]. *)
+
+val level_of_string : string -> level option
+(** Inverse of {!level_to_string}; [None] on anything else. *)
+
+val would_log : level -> bool
+(** [true] iff a message at this level would be emitted — guard for
+    expensive payload construction. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Redirect formatted lines (no trailing newline) to a custom consumer;
+    [None] restores the default stderr writer.  Used by tests. *)
+
+val logf : level -> ?ctx:string -> ('a, unit, string, unit) format4 -> 'a
+(** Format and emit one line at [level]; [ctx] becomes the tag between
+    the level and the message.  A single mutex serializes emission so
+    lines from concurrent domains never interleave. *)
+
+val debugf : ?ctx:string -> ('a, unit, string, unit) format4 -> 'a
+val infof : ?ctx:string -> ('a, unit, string, unit) format4 -> 'a
+val warnf : ?ctx:string -> ('a, unit, string, unit) format4 -> 'a
+val errorf : ?ctx:string -> ('a, unit, string, unit) format4 -> 'a

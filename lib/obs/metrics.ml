@@ -1,0 +1,302 @@
+module Histogram = Sl_util.Histogram
+
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+type hist_state = {
+  mu : Mutex.t;
+  hist : Histogram.t;
+  mutable sum : float;
+  h_bins : int;
+  h_lo : float;
+  h_hi : float;
+}
+
+type value =
+  | VCounter of int Atomic.t
+  | VGauge of float Atomic.t
+  | VHist of hist_state
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+type histogram = hist_state
+
+type metric = {
+  name : string;
+  labels : (string * string) list; (* sorted by key *)
+  help : string;
+  value : value;
+}
+
+(* identity = family name + sorted label set *)
+let table : (string * (string * string) list, metric) Hashtbl.t =
+  Hashtbl.create 64
+
+let table_mutex = Mutex.create ()
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let norm_labels labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) then
+        invalid_arg (Printf.sprintf "Metrics: malformed label name %S" k))
+    labels;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let register ~name ~labels ~help make check =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: malformed metric name %S" name);
+  let labels = norm_labels labels in
+  Mutex.lock table_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock table_mutex)
+    (fun () ->
+      match Hashtbl.find_opt table (name, labels) with
+      | Some m -> check m
+      | None ->
+        let v = make () in
+        Hashtbl.replace table (name, labels) { name; labels; help; value = v };
+        v)
+
+let kind_mismatch name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered with a different kind" name)
+
+let counter ?(help = "") ?(labels = []) name =
+  match
+    register ~name ~labels ~help
+      (fun () -> VCounter (Atomic.make 0))
+      (fun m -> m.value)
+  with
+  | VCounter c -> c
+  | _ -> kind_mismatch name
+
+let gauge ?(help = "") ?(labels = []) name =
+  match
+    register ~name ~labels ~help
+      (fun () -> VGauge (Atomic.make 0.0))
+      (fun m -> m.value)
+  with
+  | VGauge g -> g
+  | _ -> kind_mismatch name
+
+let histogram ?(help = "") ?(labels = []) ~bins ~lo ~hi name =
+  match
+    register ~name ~labels ~help
+      (fun () ->
+        VHist
+          {
+            mu = Mutex.create ();
+            hist = Histogram.create ~bins ~lo ~hi;
+            sum = 0.0;
+            h_bins = bins;
+            h_lo = lo;
+            h_hi = hi;
+          })
+      (fun m -> m.value)
+  with
+  | VHist h ->
+    if h.h_bins <> bins || h.h_lo <> lo || h.h_hi <> hi then
+      invalid_arg
+        (Printf.sprintf "Metrics: %S already registered with other binning" name);
+    h
+  | _ -> kind_mismatch name
+
+(* mutation — one flag load, then one atomic op *)
+
+let incr c = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c 1)
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c n)
+let set_counter c n = if Atomic.get enabled_flag then Atomic.set c n
+let set g x = if Atomic.get enabled_flag then Atomic.set g x
+
+let observe h x =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock h.mu;
+    Histogram.observe h.hist x;
+    h.sum <- h.sum +. x;
+    Mutex.unlock h.mu
+  end
+
+let counter_value = Atomic.get
+let gauge_value = Atomic.get
+
+let histogram_snapshot h =
+  Mutex.lock h.mu;
+  let copy =
+    {
+      h.hist with
+      Histogram.counts = Array.copy h.hist.Histogram.counts;
+      total = h.hist.Histogram.total;
+    }
+  in
+  let sum = h.sum in
+  Mutex.unlock h.mu;
+  (copy, sum)
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  kind : [ `Counter | `Gauge | `Histogram ];
+  value : float;
+}
+
+let all_metrics () =
+  Mutex.lock table_mutex;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) table [] in
+  Mutex.unlock table_mutex;
+  List.sort
+    (fun (a : metric) (b : metric) ->
+      match String.compare a.name b.name with
+      | 0 ->
+        List.compare
+          (fun (k1, v1) (k2, v2) ->
+            match String.compare k1 k2 with
+            | 0 -> String.compare v1 v2
+            | c -> c)
+          a.labels b.labels
+      | c -> c)
+    ms
+
+let snapshot () =
+  all_metrics ()
+  |> List.concat_map (fun (m : metric) ->
+         match m.value with
+         | VCounter c ->
+           [ { name = m.name; labels = m.labels; kind = `Counter;
+               value = float_of_int (Atomic.get c) } ]
+         | VGauge g ->
+           [ { name = m.name; labels = m.labels; kind = `Gauge;
+               value = Atomic.get g } ]
+         | VHist h ->
+           let hist, sum = histogram_snapshot h in
+           [ { name = m.name ^ "_count"; labels = m.labels; kind = `Histogram;
+               value = float_of_int hist.Histogram.total };
+             { name = m.name ^ "_sum"; labels = m.labels; kind = `Histogram;
+               value = sum } ])
+
+let value_of ?(labels = []) name =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  Mutex.lock table_mutex;
+  let m = Hashtbl.find_opt table (name, labels) in
+  Mutex.unlock table_mutex;
+  Option.map
+    (fun (m : metric) ->
+      match m.value with
+      | VCounter c -> float_of_int (Atomic.get c)
+      | VGauge g -> Atomic.get g
+      | VHist h ->
+        let hist, _ = histogram_snapshot h in
+        float_of_int hist.Histogram.total)
+    m
+
+(* ---------------- Prometheus text exposition ---------------- *)
+
+let float_str x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels buf labels extra =
+  let all = labels @ extra in
+  if all <> [] then begin
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      all;
+    Buffer.add_char buf '}'
+  end
+
+let render () =
+  let buf = Buffer.create 4096 in
+  let seen_family = Hashtbl.create 16 in
+  List.iter
+    (fun (m : metric) ->
+      let kind_str =
+        match m.value with
+        | VCounter _ -> "counter"
+        | VGauge _ -> "gauge"
+        | VHist _ -> "histogram"
+      in
+      if not (Hashtbl.mem seen_family m.name) then begin
+        Hashtbl.add seen_family m.name ();
+        if m.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.name kind_str)
+      end;
+      let scalar_line name value =
+        Buffer.add_string buf name;
+        render_labels buf m.labels [];
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (float_str value);
+        Buffer.add_char buf '\n'
+      in
+      match m.value with
+      | VCounter c -> scalar_line m.name (float_of_int (Atomic.get c))
+      | VGauge g -> scalar_line m.name (Atomic.get g)
+      | VHist h ->
+        let hist, sum = histogram_snapshot h in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              hist.Histogram.lo
+              +. (float_of_int (i + 1) *. hist.Histogram.width)
+            in
+            Buffer.add_string buf (m.name ^ "_bucket");
+            render_labels buf m.labels [ ("le", float_str le) ];
+            Buffer.add_string buf
+              (Printf.sprintf " %d\n" !cum))
+          hist.Histogram.counts;
+        Buffer.add_string buf (m.name ^ "_bucket");
+        render_labels buf m.labels [ ("le", "+Inf") ];
+        Buffer.add_string buf
+          (Printf.sprintf " %d\n" hist.Histogram.total);
+        scalar_line (m.name ^ "_sum") sum;
+        scalar_line (m.name ^ "_count")
+          (float_of_int hist.Histogram.total))
+    (all_metrics ());
+  Buffer.contents buf
+
+let reset () =
+  List.iter
+    (fun (m : metric) ->
+      match m.value with
+      | VCounter c -> Atomic.set c 0
+      | VGauge g -> Atomic.set g 0.0
+      | VHist h ->
+        Mutex.lock h.mu;
+        Array.fill h.hist.Histogram.counts 0
+          (Array.length h.hist.Histogram.counts)
+          0;
+        h.hist.Histogram.total <- 0;
+        h.sum <- 0.0;
+        Mutex.unlock h.mu)
+    (all_metrics ())

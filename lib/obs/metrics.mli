@@ -1,0 +1,83 @@
+(** Process-global metrics registry: typed counters, gauges and
+    histograms with Prometheus-style text exposition.
+
+    One registry per process.  A metric is identified by its family name
+    plus a (sorted) label set; registering the same identity twice
+    returns the same handle, so engines can re-register at every run and
+    keep accumulating.  Handles own their storage — increments are O(1)
+    ([Atomic] for counters/gauges, a mutex only on histogram observe) and
+    never touch the registry table, so the hot path is a flag check plus
+    one atomic op.
+
+    When the registry is disabled ({!set_enabled} [false]) every mutation
+    is a single load-and-branch; values freeze at whatever they were.
+
+    Family names must match [[a-zA-Z_][a-zA-Z0-9_]*] (Prometheus
+    exposition syntax).  The convention in this tree is
+    [statleak_<subsystem>_<what>[_total]] — see DESIGN.md §14. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Default: enabled. *)
+
+val enabled : unit -> bool
+
+(** {2 Registration} *)
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Monotonic by convention; {!set_counter} exists so an engine can
+    publish a precomputed absolute total at end of run.
+    @raise Invalid_argument on a malformed name, or if the identity is
+    already registered with a different kind. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  ?help:string -> ?labels:(string * string) list ->
+  bins:int -> lo:float -> hi:float -> string -> histogram
+(** Fixed uniform bins over [lo, hi) backed by {!Sl_util.Histogram}
+    (outliers clamp into the edge bins); tracks the running sum for the
+    [_sum] exposition line.  Re-registration must agree on the binning.
+    @raise Invalid_argument as {!counter}, or on invalid binning. *)
+
+(** {2 Mutation — no-ops while disabled} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_counter : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {2 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_snapshot : histogram -> Sl_util.Histogram.t * float
+(** Copy of the bucket state plus the running sum. *)
+
+type sample = {
+  name : string;  (** family name, suffixed [_count]/[_sum] for histograms *)
+  labels : (string * string) list;  (** sorted by key *)
+  kind : [ `Counter | `Gauge | `Histogram ];
+  value : float;
+}
+
+val snapshot : unit -> sample list
+(** Every scalar reading, sorted by (name, labels); a histogram
+    contributes its [_count] and [_sum]. *)
+
+val value_of : ?labels:(string * string) list -> string -> float option
+(** Scalar value of one registered metric ([None] if absent).  For a
+    histogram identity, returns its observation count. *)
+
+val render : unit -> string
+(** Prometheus text exposition: [# HELP]/[# TYPE] per family, one sample
+    line per metric, histograms as cumulative [_bucket{le=...}] series
+    plus [_sum]/[_count]. *)
+
+val reset : unit -> unit
+(** Zero every registered value (registrations and handles survive).
+    Test isolation only. *)

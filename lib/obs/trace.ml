@@ -1,0 +1,157 @@
+module Json = Sl_util.Json
+
+type sink = Disabled | Discard | Memory
+
+(* 0 = Disabled, 1 = Discard, 2 = Memory: the hot-path check is a single
+   atomic load compared against 0. *)
+let state = Atomic.make 0
+
+let set_sink s =
+  Atomic.set state (match s with Disabled -> 0 | Discard -> 1 | Memory -> 2)
+
+let sink () =
+  match Atomic.get state with 0 -> Disabled | 1 -> Discard | _ -> Memory
+
+let enabled () = Atomic.get state <> 0
+
+type ev = {
+  name : string;
+  ph : string; (* "X" complete, "i" instant *)
+  ts : float; (* µs since origin *)
+  dur : float; (* µs; 0 for instants *)
+  tid : int;
+  attrs : (string * string) list;
+}
+
+(* Guards against a runaway span site flooding memory; crossing it
+   increments [dropped] instead of growing the buffer. *)
+let max_events_per_buffer = 1_000_000
+
+type buf = {
+  tid : int;
+  mutable evs : ev list; (* newest first *)
+  mutable n : int;
+  mutable last_ts : float; (* monotonic clamp *)
+  mutable dropped : int;
+}
+
+let bufs : buf list ref = ref []
+let bufs_mutex = Mutex.create ()
+
+(* µs origin; re-zeroed by [clear] so separate traced runs in one
+   process start near t=0 *)
+let origin = Atomic.make (Unix.gettimeofday ())
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          evs = [];
+          n = 0;
+          last_ts = 0.0;
+          dropped = 0;
+        }
+      in
+      Mutex.lock bufs_mutex;
+      bufs := b :: !bufs;
+      Mutex.unlock bufs_mutex;
+      b)
+
+let buffer () = Domain.DLS.get key
+
+let now_us b =
+  let t = (Unix.gettimeofday () -. Atomic.get origin) *. 1e6 in
+  let t = if t < b.last_ts then b.last_ts else t in
+  b.last_ts <- t;
+  t
+
+let record b e =
+  if b.n >= max_events_per_buffer then b.dropped <- b.dropped + 1
+  else begin
+    b.evs <- e :: b.evs;
+    b.n <- b.n + 1
+  end
+
+let span ?(attrs = []) name f =
+  if Atomic.get state = 0 then f ()
+  else begin
+    let b = buffer () in
+    let t0 = now_us b in
+    let finish () =
+      let t1 = now_us b in
+      let e = { name; ph = "X"; ts = t0; dur = t1 -. t0; tid = b.tid; attrs } in
+      if Atomic.get state = 2 then record b e
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception exn ->
+      finish ();
+      raise exn
+  end
+
+let instant ?(attrs = []) name =
+  if Atomic.get state <> 0 then begin
+    let b = buffer () in
+    let ts = now_us b in
+    let e = { name; ph = "i"; ts; dur = 0.0; tid = b.tid; attrs } in
+    if Atomic.get state = 2 then record b e
+  end
+
+let with_bufs f =
+  Mutex.lock bufs_mutex;
+  let r = f !bufs in
+  Mutex.unlock bufs_mutex;
+  r
+
+let clear () =
+  with_bufs
+    (List.iter (fun b ->
+         b.evs <- [];
+         b.n <- 0;
+         b.last_ts <- 0.0;
+         b.dropped <- 0));
+  Atomic.set origin (Unix.gettimeofday ())
+
+let event_count () = with_bufs (List.fold_left (fun acc b -> acc + b.n) 0)
+let dropped_count () = with_bufs (List.fold_left (fun acc b -> acc + b.dropped) 0)
+
+let ev_json e =
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str "statleak");
+      ("ph", Json.Str e.ph);
+      ("ts", Json.Num e.ts);
+      ("dur", Json.Num e.dur);
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int e.tid));
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs));
+    ]
+
+let export () =
+  let evs = with_bufs (List.concat_map (fun b -> b.evs)) in
+  let evs =
+    List.sort
+      (fun a b ->
+        match Float.compare a.ts b.ts with
+        | 0 -> Float.compare b.dur a.dur (* parents before children *)
+        | c -> c)
+      evs
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map ev_json evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write path =
+  let n = event_count () in
+  let json = export () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string json));
+  n

@@ -5,6 +5,31 @@ module Cell_lib = Sl_tech.Cell_lib
 module Memo = Sl_tech.Memo
 module Incremental = Sl_ssta.Incremental
 module Leak_ssta = Sl_leakage.Leak_ssta
+module Trace = Sl_obs.Trace
+module Metrics = Sl_obs.Metrics
+
+(* Band events are counted live — a serve metrics scrape mid-run sees
+   them move — while the scalar run totals are published once at the end
+   of [optimize] from the same stats record the caller gets. *)
+let m_bands_tried =
+  Metrics.counter ~help:"Bands applied under a checkpoint"
+    "statleak_batch_bands_tried_total"
+
+let m_bands_committed =
+  Metrics.counter ~help:"Bands whose sync kept the yield constraint"
+    "statleak_batch_bands_committed_total"
+
+let m_bands_rolled_back =
+  Metrics.counter ~help:"Bands rolled back through their checkpoint"
+    "statleak_batch_bands_rolled_back_total"
+
+let m_bisections =
+  Metrics.counter ~help:"Failed bands retried at half size"
+    "statleak_batch_bisections_total"
+
+let m_band_size =
+  Metrics.histogram ~help:"Moves per attempted band" ~bins:16 ~lo:0.0 ~hi:512.0
+    "statleak_batch_band_size"
 
 type config = {
   tmax : float;
@@ -158,13 +183,19 @@ let undo st m =
    move is simply dropped — the greedy degenerate case — so from a
    feasible state this can only ever keep or improve the greedy result. *)
 let rec try_band st (moves : Stat_opt.candidate list) =
+  Trace.span "opt.band"
+    ~attrs:[ ("moves", string_of_int (List.length moves)) ]
+  @@ fun () ->
   st.bands_tried <- st.bands_tried + 1;
+  Metrics.incr m_bands_tried;
+  Metrics.observe m_band_size (float_of_int (List.length moves));
   let cp = Incremental.checkpoint st.inc in
   let applied = List.map (fun (c : Stat_opt.candidate) -> apply st c.Stat_opt.kind c.Stat_opt.gate) moves in
   yield_sync st;
   if yield_now st >= st.cfg.eta then begin
     Incremental.commit st.inc cp;
     st.bands_committed <- st.bands_committed + 1;
+    Metrics.incr m_bands_committed;
     List.iter
       (fun m ->
         match m.kind with
@@ -178,6 +209,7 @@ let rec try_band st (moves : Stat_opt.candidate list) =
     List.iter (undo st) (List.rev applied);
     Incremental.rollback st.inc cp;
     st.bands_rolled_back <- st.bands_rolled_back + 1;
+    Metrics.incr m_bands_rolled_back;
     st.rollbacks <- st.rollbacks + List.length applied;
     match moves with
     | [] -> 0
@@ -192,6 +224,7 @@ let rec try_band st (moves : Stat_opt.candidate list) =
          exactly the part whose estimates the committed prefix has made
          stale, so it is better re-ranked on the next pass. *)
       st.bisections <- st.bisections + 1;
+      Metrics.incr m_bisections;
       let rec take i l =
         if i = 0 then []
         else match l with [] -> [] | x :: tl -> x :: take (i - 1) tl
@@ -237,6 +270,8 @@ let form_band st ~num_vth rest =
    eligible move is ranked once, and the ranking is consumed band by
    band.  Returns the number of committed moves. *)
 let run_pass st =
+  Trace.span "opt.pass" ~attrs:[ ("pass", string_of_int st.passes) ]
+  @@ fun () ->
   let cfg = st.cfg in
   let num_vth = Cell_lib.num_vth st.design.Design.lib in
   full_sync st;
@@ -314,6 +349,7 @@ let reduce st =
    violation probability and trial-apply a shortlist, each trial measured
    by one yield-only sync and undone by a checkpoint rollback. *)
 let fix_yield st =
+  Trace.span "opt.fix_yield" @@ fun () ->
   let cfg = st.cfg in
   let d = st.design in
   let num_sizes = Cell_lib.num_sizes d.Design.lib in
@@ -431,7 +467,30 @@ let alternate st =
     end
   done
 
+let publish_stats (s : stats) =
+  let labels = [ ("mode", "batch") ] in
+  let c name v = Metrics.add (Metrics.counter ~labels name) v in
+  let g name v = Metrics.set (Metrics.gauge ~labels name) v in
+  g "statleak_opt_feasible" (if s.feasible then 1.0 else 0.0);
+  c "statleak_opt_vth_moves_total" s.vth_moves;
+  c "statleak_opt_size_moves_total" s.size_moves;
+  c "statleak_opt_trials_total" s.trials;
+  c "statleak_opt_rollbacks_total" s.rollbacks;
+  g "statleak_opt_final_yield" s.final_yield;
+  c "statleak_opt_full_refreshes_total" s.full_refreshes;
+  c "statleak_opt_incr_updates_total" s.incr_updates;
+  c "statleak_opt_propagated_gates_total" s.propagated_gates;
+  c "statleak_opt_par_levels_total" s.par_levels;
+  c "statleak_opt_seq_levels_total" s.seq_levels;
+  g "statleak_opt_max_level_width" (float_of_int s.max_level_width);
+  c "statleak_batch_passes_total" s.passes;
+  c "statleak_batch_syncs_total" s.syncs;
+  g "statleak_batch_props_per_move" s.props_per_move;
+  g "statleak_batch_time_total_seconds" s.time_total
+
 let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) model =
+  Trace.span "opt.optimize" ~attrs:[ ("mode", "batch") ]
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
@@ -468,7 +527,7 @@ let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) 
   let istats = Incremental.stats st.inc in
   let moves = st.vth_moves + st.size_moves in
   let props = istats.Incremental.propagated + istats.Incremental.bwd_propagated in
-  {
+  let result_stats = {
     feasible = yield_now st >= cfg.eta;
     vth_moves = st.vth_moves;
     size_moves = st.size_moves;
@@ -491,3 +550,6 @@ let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) 
     seq_levels = istats.Incremental.seq_levels;
     max_level_width = istats.Incremental.max_level_width;
   }
+  in
+  publish_stats result_stats;
+  result_stats

@@ -9,6 +9,8 @@ module Canonical = Sl_ssta.Canonical
 module Incremental = Sl_ssta.Incremental
 module Leak_ssta = Sl_leakage.Leak_ssta
 module Special = Sl_util.Special
+module Trace = Sl_obs.Trace
+module Metrics = Sl_obs.Metrics
 
 type sensitivity =
   | Stat_leak_per_yield
@@ -213,6 +215,9 @@ let compare_candidates a b =
    moves by the exact same formula. *)
 let rank_candidates ~sensitivity ~allow_vth ~allow_size ~tmax ~memo ~leak
     ~path_mu ~path_sigma ?(eligible = fun _ _ -> true) (d : Design.t) =
+  Trace.span "opt.rank"
+    ~attrs:[ ("gates", string_of_int (Circuit.num_gates d.Design.circuit)) ]
+  @@ fun () ->
   let num_vth = Cell_lib.num_vth d.Design.lib in
   let leak_mean_now = Leak_ssta.mean leak in
   let leak_p99_now =
@@ -317,6 +322,7 @@ let undo_move st m =
    mode a rejected trial rolls the dirty-cone snapshot back instead of
    paying a second full refresh. *)
 let fix_yield cfg st trials size_moves =
+  Trace.span "opt.fix_yield" @@ fun () ->
   let d = st.design in
   let num_sizes = Cell_lib.num_sizes d.Design.lib in
   let n = Circuit.num_gates d.Design.circuit in
@@ -384,7 +390,37 @@ let fix_yield cfg st trials size_moves =
     if not (try_candidates 0 ranked) then stuck := true
   done
 
+(* End-of-run publication into the process-global registry: every number
+   the profile view prints comes from here, so `--profile` is a read of
+   one source of truth.  Count-like fields accumulate ([add]) — under
+   serve, repeated optimizes keep proper counter semantics — while
+   per-run figures (yield, cone shape, times) are gauges. *)
+let publish_stats ~mode (s : stats) =
+  let labels = [ ("mode", mode) ] in
+  let c name v = Metrics.add (Metrics.counter ~labels name) v in
+  let g name v = Metrics.set (Metrics.gauge ~labels name) v in
+  g "statleak_opt_feasible" (if s.feasible then 1.0 else 0.0);
+  c "statleak_opt_vth_moves_total" s.vth_moves;
+  c "statleak_opt_size_moves_total" s.size_moves;
+  c "statleak_opt_trials_total" s.trials;
+  c "statleak_opt_refreshes_total" s.refreshes;
+  c "statleak_opt_rollbacks_total" s.rollbacks;
+  g "statleak_opt_final_yield" s.final_yield;
+  c "statleak_opt_full_refreshes_total" s.full_refreshes;
+  c "statleak_opt_incr_updates_total" s.incr_updates;
+  c "statleak_opt_propagated_gates_total" s.propagated_gates;
+  g "statleak_opt_mean_cone" s.mean_cone;
+  g "statleak_opt_max_cone" (float_of_int s.max_cone);
+  c "statleak_opt_cutoffs_total" s.cutoffs;
+  g "statleak_opt_time_refresh_seconds" s.time_refresh;
+  g "statleak_opt_time_candidates_seconds" s.time_candidates;
+  c "statleak_opt_par_levels_total" s.par_levels;
+  c "statleak_opt_seq_levels_total" s.seq_levels;
+  g "statleak_opt_max_level_width" (float_of_int s.max_level_width)
+
 let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
+  Trace.span "opt.optimize" ~attrs:[ ("mode", "stat") ]
+  @@ fun () ->
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
   let engine =
@@ -440,6 +476,8 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
     let go = ref true in
     while !go && !pass < cfg.max_passes do
       incr pass;
+      Trace.span "opt.pass" ~attrs:[ ("pass", string_of_int !pass) ]
+      @@ fun () ->
       let accepted_this_pass = ref 0 in
       let candidates = collect_candidates cfg st in
       trials := !trials + List.length candidates;
@@ -564,7 +602,7 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
     | Inc inc -> Some (Incremental.stats inc)
     | Full -> None
   in
-  {
+  let result_stats = {
     feasible = st.yield_ >= cfg.eta;
     vth_moves = !vth_moves;
     size_moves = !size_moves;
@@ -600,6 +638,9 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
       | Some s -> s.Incremental.max_level_width
       | None -> st.pstats.Ssta.max_level_width);
   }
+  in
+  publish_stats ~mode:"stat" result_stats;
+  result_stats
 
 (**/**)
 

@@ -13,17 +13,70 @@ module Stat_opt = Sl_opt.Stat_opt
 module Batch_opt = Sl_opt.Batch_opt
 module Yield_seq = Sl_yield.Seq
 module Estimate = Sl_yield.Estimate
+module Log = Sl_obs.Log
+module Metrics = Sl_obs.Metrics
 
 type config = {
   socket_path : string;
   jobs : int;
   max_sessions : int;
   snapshot_dir : string option;
-  log : bool;
+  log_level : Log.level;
 }
 
 let default_config ~socket_path =
-  { socket_path; jobs = 4; max_sessions = 8; snapshot_dir = None; log = false }
+  {
+    socket_path;
+    jobs = 4;
+    max_sessions = 8;
+    snapshot_dir = None;
+    log_level = Log.Warn;
+  }
+
+(* Daemon-global families, live-incremented from whichever pool domain
+   handles the request; the [metrics] endpoint renders them plus every
+   engine family the sessions feed (SSTA, incremental, optimizer, MC). *)
+let m_requests =
+  Metrics.counter ~help:"Protocol requests handled" "statleak_serve_requests_total"
+
+let m_connections =
+  Metrics.counter ~help:"Client connections accepted"
+    "statleak_serve_connections_total"
+
+let m_evictions =
+  Metrics.counter ~help:"Sessions evicted to disk snapshots"
+    "statleak_serve_evictions_total"
+
+let m_restores =
+  Metrics.counter ~help:"Sessions restored from disk snapshots"
+    "statleak_serve_restores_total"
+
+let g_live_sessions =
+  Metrics.gauge ~help:"Sessions currently live in memory"
+    "statleak_serve_live_sessions"
+
+let g_evicted_sessions =
+  Metrics.gauge ~help:"Sessions currently evicted to disk"
+    "statleak_serve_evicted_sessions"
+
+let g_queue_depth =
+  Metrics.gauge ~help:"Connections queued for a free pool worker"
+    "statleak_serve_pool_queue_depth"
+
+let session_requests name =
+  Metrics.counter ~help:"Requests touching this session"
+    ~labels:[ ("session", name) ]
+    "statleak_session_requests_total"
+
+let session_edits name =
+  Metrics.counter ~help:"Gate edits applied to this session"
+    ~labels:[ ("session", name) ]
+    "statleak_session_edits_total"
+
+let session_optimizes name =
+  Metrics.counter ~help:"Optimize runs on this session"
+    ~labels:[ ("session", name) ]
+    "statleak_session_optimizes_total"
 
 type entry =
   | Live of Session.t
@@ -58,9 +111,10 @@ type counters = {
   connections : int;
 }
 
-let logf t fmt =
-  if t.cfg.log then Printf.eprintf ("statleak-serve: " ^^ fmt ^^ "\n%!")
-  else Printf.ifprintf stderr fmt
+(* Leveled, timestamped logging; session-scoped lines carry the session
+   name in the context tag (serve/<session>). *)
+let ctx = "serve"
+let sctx name = "serve/" ^ name
 
 (* The shared memo covers every library kind up to this fanin width; a
    session whose circuit is wider silently gets a private memo. *)
@@ -69,6 +123,7 @@ let shared_memo_arity = 12
 let create cfg =
   if cfg.jobs < 1 then invalid_arg "Server.create: jobs < 1";
   if cfg.max_sessions < 1 then invalid_arg "Server.create: max_sessions < 1";
+  Log.set_level cfg.log_level;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let snapshot_dir =
     match cfg.snapshot_dir with
@@ -182,7 +237,8 @@ let evict_excess t =
         write_file path blob;
         Hashtbl.replace t.registry name (Evicted path);
         t.evictions <- t.evictions + 1;
-        logf t "evicted session %S to %s" name path
+        Metrics.incr m_evictions;
+        Log.infof ~ctx:(sctx name) "evicted to %s" path
       end
       else
         (* the LRU candidate is busy; don't scan for the next-oldest —
@@ -216,15 +272,17 @@ let rec with_session t name f =
     Mutex.lock t.reg;
     Hashtbl.replace t.registry name (Live s);
     t.restores <- t.restores + 1;
+    Metrics.incr m_restores;
     touch t name;
     (try Sys.remove path with Sys_error _ -> ());
     evict_excess t;
     Mutex.unlock t.reg;
-    logf t "restored session %S" name;
+    Log.infof ~ctx:(sctx name) "restored from snapshot";
     with_session t name f
   | Some (Live s) ->
     if Mutex.try_lock s.Session.lock then begin
       touch t name;
+      Metrics.incr (session_requests name);
       Mutex.unlock t.reg;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock s.Session.lock)
@@ -306,7 +364,8 @@ let op_load t req =
   touch t name;
   evict_excess t;
   Mutex.unlock t.reg;
-  logf t "loaded session %S (%s)" name s.Session.setup.Setup.name;
+  Metrics.incr (session_requests name);
+  Log.infof ~ctx:(sctx name) "loaded (%s)" s.Session.setup.Setup.name;
   Protocol.ok (session_fields s @ analysis_fields a)
 
 let parse_edit op =
@@ -318,10 +377,12 @@ let parse_edit op =
   | other -> failwith (Printf.sprintf "unknown edit op %S" other)
 
 let op_edit t req =
-  with_session t (req_session req) (fun s ->
+  let name = req_session req in
+  with_session t name (fun s ->
       let ops = require "ops" (Json.list "ops" req) in
       let edits = List.map parse_edit ops in
       List.iter (Session.apply_edit s) edits;
+      Metrics.add (session_edits name) (List.length edits);
       Protocol.ok [ ("applied", Json.Num (float_of_int (List.length edits))) ])
 
 let op_analyze t req =
@@ -360,7 +421,9 @@ let assignment_fields (d : Design.t) =
   ]
 
 let op_optimize t fd req =
-  with_session t (req_session req) (fun s ->
+  let name = req_session req in
+  Metrics.incr (session_optimizes name);
+  with_session t name (fun s ->
       let mode =
         match Option.get (Json.str ~default:"stat" "mode" req) with
         | "stat" -> `Stat
@@ -518,6 +581,15 @@ let op_stats t =
       ("protocol_version", Json.Num (float_of_int Protocol.version));
     ]
 
+(* Gauges are sampled at scrape time — everything else in the registry
+   is live, so the rendered text is a consistent point-in-time view. *)
+let op_metrics t =
+  let c = counters t in
+  Metrics.set g_live_sessions (float_of_int c.live_sessions);
+  Metrics.set g_evicted_sessions (float_of_int c.evicted_sessions);
+  Metrics.set g_queue_depth (float_of_int (Pool.pending t.pool));
+  Protocol.ok [ ("metrics", Json.Str (Metrics.render ())) ]
+
 let stop t =
   Mutex.lock t.reg;
   if not t.stopping then begin
@@ -541,6 +613,7 @@ let dispatch t fd req =
   | "sessions" -> (op_sessions t, `Continue)
   | "close" -> (op_close t (req_session req), `Continue)
   | "stats" -> (op_stats t, `Continue)
+  | "metrics" -> (op_metrics t, `Continue)
   | "shutdown" -> (Protocol.ok [ ("stopping", Json.Bool true) ], `Shutdown)
   | other -> (Protocol.error (Printf.sprintf "unknown request type %S" other), `Continue)
 
@@ -593,13 +666,15 @@ let handle_conn t fd =
               Mutex.lock t.reg;
               t.requests <- t.requests + 1;
               Mutex.unlock t.reg;
+              Metrics.incr m_requests;
+              Log.debugf ~ctx "request %s" (Protocol.frame_type req);
               let resp, next = handle_request t fd req in
               Protocol.send fd resp;
               (match next with
               | `Continue -> ()
               | `Shutdown ->
                 quit := true;
-                logf t "shutdown requested";
+                Log.infof ~ctx "shutdown requested";
                 stop t)
           done
         end
@@ -629,6 +704,7 @@ let serve t =
             t.conns <- fd :: t.conns;
             t.connections <- t.connections + 1;
             Mutex.unlock t.reg;
+            Metrics.incr m_connections;
             Pool.submit t.pool (fun () -> handle_conn t fd)
           end
         | exception Unix.Unix_error _ -> ())
@@ -637,8 +713,8 @@ let serve t =
       loop ()
     end
   in
-  logf t "listening on %s (%d workers, %d live sessions max)" t.cfg.socket_path
-    t.cfg.jobs t.cfg.max_sessions;
+  Log.infof ~ctx "listening on %s (%d workers, %d live sessions max)"
+    t.cfg.socket_path t.cfg.jobs t.cfg.max_sessions;
   loop ();
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
@@ -649,4 +725,4 @@ let serve t =
       | Live _ | Restoring -> ())
     t.registry;
   (try Unix.rmdir t.snapshot_dir with Unix.Unix_error _ -> ());
-  logf t "stopped"
+  Log.infof ~ctx "stopped"

@@ -22,11 +22,15 @@ type config = {
   snapshot_dir : string option;
       (** eviction snapshot directory; default [socket_path ^ ".sessions"].
           Created at startup, emptied and removed at shutdown. *)
-  log : bool;  (** one stderr line per lifecycle event *)
+  log_level : Sl_obs.Log.level;
+      (** threshold for the daemon's leveled stderr log ({!Sl_obs.Log});
+          lifecycle events (load/evict/restore/listen/stop) log at Info,
+          per-request lines at Debug *)
 }
 
 val default_config : socket_path:string -> config
-(** 4 workers, 8 live sessions, default snapshot dir, logging off. *)
+(** 4 workers, 8 live sessions, default snapshot dir, log level [Warn]
+    (lifecycle lines suppressed). *)
 
 type t
 

@@ -4,6 +4,35 @@ module Design = Sl_tech.Design
 module Memo = Sl_tech.Memo
 module Model = Sl_variation.Model
 module Parallel = Sl_util.Parallel
+module Trace = Sl_obs.Trace
+module Metrics = Sl_obs.Metrics
+
+(* Process-global mirrors of the per-engine counters below: every live
+   engine (CLI run or serve session) feeds the same families, read by the
+   serve [metrics] endpoint.  Deltas are published once per sync, never
+   per gate, so the hot propagation loops stay atomic-free. *)
+let m_updates =
+  Metrics.counter ~help:"Incremental gate delay updates"
+    "statleak_incr_updates_total"
+
+let m_syncs =
+  Metrics.counter ~help:"Incremental sync passes" "statleak_incr_syncs_total"
+
+let m_rebuilds =
+  Metrics.counter ~help:"Full from-scratch rebuilds"
+    "statleak_incr_rebuilds_total"
+
+let m_propagated =
+  Metrics.counter ~help:"Arrival recomputations during incremental syncs"
+    "statleak_incr_propagated_total"
+
+let m_bwd_propagated =
+  Metrics.counter ~help:"Required-time recomputations during incremental syncs"
+    "statleak_incr_bwd_propagated_total"
+
+let m_cutoffs =
+  Metrics.counter ~help:"Propagations cut off by bit-identical recomputes"
+    "statleak_incr_cutoffs_total"
 
 (* Bitwise float/canonical equality: the early-termination test.  Plain
    (=) would call NaN <> NaN and -0.0 = 0.0; comparing the IEEE bits makes
@@ -287,12 +316,14 @@ let rebuild t =
   | Some _ -> invalid_arg "Incremental.rebuild: a checkpoint is active"
   | None -> ());
   t.n_rebuilds <- t.n_rebuilds + 1;
+  Metrics.incr m_rebuilds;
   recompute_all t
 
 (* ---------------- incremental delay update ---------------- *)
 
 let update_gate t id =
   t.n_updates <- t.n_updates + 1;
+  Metrics.incr m_updates;
   let c = t.design.Design.circuit in
   let g = Circuit.gate c id in
   (* A threshold move changes only this gate's delay; a size move also
@@ -365,7 +396,7 @@ let run_level_batch t ~wn compute =
     done
   end
 
-let sync ?(paths = true) t =
+let sync_impl ~paths t =
   t.n_syncs <- t.n_syncs + 1;
   (match t.pending_delay with
   | [] -> ()
@@ -518,6 +549,16 @@ let sync ?(paths = true) t =
       t.path_dirty;
     t.path_dirty <- []
   end
+
+let sync ?(paths = true) t =
+  let p0 = t.n_propagated
+  and b0 = t.n_bwd_propagated
+  and c0 = t.n_cutoffs in
+  Trace.span "ssta.sync" (fun () -> sync_impl ~paths t);
+  Metrics.incr m_syncs;
+  Metrics.add m_propagated (t.n_propagated - p0);
+  Metrics.add m_bwd_propagated (t.n_bwd_propagated - b0);
+  Metrics.add m_cutoffs (t.n_cutoffs - c0)
 
 (* ---------------- checkpoint / commit / rollback ---------------- *)
 

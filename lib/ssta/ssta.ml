@@ -3,6 +3,25 @@ module Cell_kind = Sl_netlist.Cell_kind
 module Design = Sl_tech.Design
 module Model = Sl_variation.Model
 module Parallel = Sl_util.Parallel
+module Trace = Sl_obs.Trace
+module Metrics = Sl_obs.Metrics
+
+(* Registered once at library load; serve sessions running on pool
+   domains all feed the same process-global families. *)
+let m_analyses =
+  Metrics.counter ~help:"Forward SSTA analyses" "statleak_ssta_analyses_total"
+
+let m_backwards =
+  Metrics.counter ~help:"Backward (required-time) SSTA sweeps"
+    "statleak_ssta_backwards_total"
+
+let m_par_levels =
+  Metrics.counter ~help:"Level batches run across worker domains"
+    "statleak_ssta_par_levels_total"
+
+let m_seq_levels =
+  Metrics.counter ~help:"Level batches run inline (below par threshold)"
+    "statleak_ssta_seq_levels_total"
 
 type result = {
   gate_delay : Canonical.t array;
@@ -41,11 +60,13 @@ let gate_delay_canonical ?memo (d : Design.t) model id =
 (* Count whether a level batch of [width] gates will run on domains or
    inline, mirroring the Parallel.run_chunks decision. *)
 let tally stats ~jobs ~threshold width =
+  let par = jobs > 1 && width >= threshold in
+  if par then Metrics.incr m_par_levels else Metrics.incr m_seq_levels;
   match stats with
   | None -> ()
   | Some st ->
     if width > st.max_level_width then st.max_level_width <- width;
-    if jobs > 1 && width >= threshold then st.par_levels <- st.par_levels + 1
+    if par then st.par_levels <- st.par_levels + 1
     else st.seq_levels <- st.seq_levels + 1
 
 (* Levelized forward propagation through a flat arena.  Gates of one
@@ -58,6 +79,10 @@ let analyze ?memo ?(jobs = 1) ?(par_threshold = default_par_threshold) ?stats
     (d : Design.t) model =
   let circuit = d.Design.circuit in
   let n = Circuit.num_gates circuit in
+  Metrics.incr m_analyses;
+  Trace.span "ssta.forward"
+    ~attrs:[ ("gates", string_of_int n); ("jobs", string_of_int jobs) ]
+  @@ fun () ->
   let num_pcs = Model.num_pcs model in
   let zero = Canonical.constant ~num_pcs 0.0 in
   (* Canonical per-gate delays are pure per id, so chunked domains fill
@@ -137,6 +162,10 @@ let tmax_for_yield res ~p = Canonical.quantile res.circuit_delay p
 let backward ?(jobs = 1) ?(par_threshold = default_par_threshold) ?stats circuit
     res =
   let n = Circuit.num_gates circuit in
+  Metrics.incr m_backwards;
+  Trace.span "ssta.backward"
+    ~attrs:[ ("gates", string_of_int n); ("jobs", string_of_int jobs) ]
+  @@ fun () ->
   let num_pcs = Canonical.num_pcs res.circuit_delay in
   let zero = Canonical.constant ~num_pcs 0.0 in
   let po = Array.make n false in

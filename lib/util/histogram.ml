@@ -1,17 +1,70 @@
-type t = { lo : float; width : float; counts : int array; total : int }
+type t = { lo : float; width : float; counts : int array; mutable total : int }
+
+let create ~bins ~lo ~hi =
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  let width = (hi -. lo) /. float_of_int bins in
+  { lo; width; counts = Array.make bins 0; total = 0 }
+
+let bin_of t x =
+  let bins = Array.length t.counts in
+  let i = int_of_float (floor ((x -. t.lo) /. t.width)) in
+  Stdlib.max 0 (Stdlib.min (bins - 1) i)
+
+let observe t x =
+  let i = bin_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let same_binning a b =
+  a.lo = b.lo && a.width = b.width && Array.length a.counts = Array.length b.counts
+
+let merge a b =
+  if not (same_binning a b) then
+    invalid_arg "Histogram.merge: binning mismatch";
+  {
+    lo = a.lo;
+    width = a.width;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+  }
+
+let quantile t p =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Histogram.quantile: p outside [0, 1]";
+  (* target rank in (0, total]; p = 0 resolves to the left edge of the
+     first occupied bin, p = 1 to the right edge of the last *)
+  let target = p *. float_of_int t.total in
+  let bins = Array.length t.counts in
+  if target <= 0.0 then begin
+    let i = ref 0 in
+    while t.counts.(!i) = 0 do incr i done;
+    t.lo +. (float_of_int !i *. t.width)
+  end
+  else begin
+    let cum = ref 0 and i = ref 0 and res = ref nan in
+    while Float.is_nan !res && !i < bins do
+      let c = t.counts.(!i) in
+      if c > 0 && float_of_int (!cum + c) >= target then begin
+        (* linear interpolation within the bin *)
+        let frac = (target -. float_of_int !cum) /. float_of_int c in
+        res := t.lo +. ((float_of_int !i +. frac) *. t.width)
+      end
+      else begin
+        cum := !cum + c;
+        incr i
+      end
+    done;
+    !res
+  end
 
 let build_range ~bins ~lo ~hi xs =
   if bins < 1 then invalid_arg "Histogram.build_range: bins < 1";
   if not (hi > lo) then invalid_arg "Histogram.build_range: hi must exceed lo";
-  let width = (hi -. lo) /. float_of_int bins in
-  let counts = Array.make bins 0 in
-  let clamp i = Stdlib.max 0 (Stdlib.min (bins - 1) i) in
-  Array.iter
-    (fun x ->
-      let i = clamp (int_of_float (floor ((x -. lo) /. width))) in
-      counts.(i) <- counts.(i) + 1)
-    xs;
-  { lo; width; counts; total = Array.length xs }
+  let t = create ~bins ~lo ~hi in
+  Array.iter (observe t) xs;
+  t
 
 let build ~bins xs =
   if Array.length xs = 0 then invalid_arg "Histogram.build: empty sample";

@@ -1,12 +1,32 @@
-(** Fixed-width-bin histograms, used to render distribution figures as
-    text/CSV series. *)
+(** Fixed-width-bin histograms: distribution figures rendered as
+    text/CSV series, and the bucket store behind observability
+    histogram metrics (incremental {!observe} + {!merge}). *)
 
 type t = {
   lo : float;          (** left edge of the first bin *)
   width : float;       (** bin width *)
   counts : int array;  (** per-bin counts *)
-  total : int;         (** number of samples binned (outliers clamped) *)
+  mutable total : int; (** number of samples binned (outliers clamped) *)
 }
+
+val create : bins:int -> lo:float -> hi:float -> t
+(** Empty histogram with [bins] equal bins spanning [lo, hi).
+    @raise Invalid_argument if [bins] < 1 or [hi] ≤ [lo]. *)
+
+val observe : t -> float -> unit
+(** Bin one sample in place; values outside the span clamp into the
+    first/last bin.  Not thread-safe — callers synchronize. *)
+
+val merge : t -> t -> t
+(** Fresh histogram with per-bin sums.  Associative and commutative, so
+    per-domain histograms reduce in any tree order to the same result.
+    @raise Invalid_argument unless both share lo/width/bin count. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [0, 1], linearly interpolated within the
+    containing bin ([p = 0]/[p = 1] resolve to the edges of the
+    first/last occupied bin).  Resolution is limited to the bin width.
+    @raise Invalid_argument on an empty histogram or [p] outside [0, 1]. *)
 
 val build : bins:int -> float array -> t
 (** [build ~bins xs] spans [min xs, max xs] with [bins] equal bins.

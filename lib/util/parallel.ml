@@ -125,6 +125,12 @@ module Pool = struct
 
   let jobs t = Array.length t.workers
 
+  let pending t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.queue in
+    Mutex.unlock t.mutex;
+    n
+
   let submit t f =
     Mutex.lock t.mutex;
     if t.stopping then begin

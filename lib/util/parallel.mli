@@ -69,6 +69,10 @@ module Pool : sig
 
   val jobs : t -> int
 
+  val pending : t -> int
+  (** Tasks currently queued and not yet picked up by a worker — the
+      queue-depth signal exported as a serve gauge. *)
+
   val submit : t -> (unit -> unit) -> unit
   (** Enqueue a task; returns immediately.
       @raise Invalid_argument after {!shutdown}. *)

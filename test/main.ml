@@ -19,6 +19,7 @@ let () =
          Test_activity.suite;
          Test_golden.suite;
          Test_printers.suite;
+         Test_obs.suite;
          Test_serve.suite;
          Test_cli.suite;
        ])

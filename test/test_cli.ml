@@ -114,6 +114,59 @@ let test_unparsable_lib_file () =
   Sys.remove path;
   check_clean_error "garbage library" r path
 
+let test_profile_json () =
+  let code, out =
+    run "optimize c17 --mode stat --samples 0 --profile-json"
+  in
+  if code <> 0 then Alcotest.failf "profile-json: exit %d\n%s" code out;
+  (* one line of the output is the JSON registry snapshot; it must parse
+     and carry the optimizer families *)
+  let json_line =
+    match
+      List.find_opt
+        (fun l -> String.length l > 0 && l.[0] = '[')
+        (String.split_on_char '\n' out)
+    with
+    | Some l -> l
+    | None -> Alcotest.failf "no JSON array line in output\n%s" out
+  in
+  (match Sl_util.Json.of_string json_line with
+  | Sl_util.Json.List _ -> ()
+  | _ -> Alcotest.fail "profile-json is not a JSON array"
+  | exception Sl_util.Json.Parse_error m ->
+    Alcotest.failf "profile-json unparsable: %s\n%s" m json_line);
+  if not (contains json_line "statleak_opt_vth_moves_total") then
+    Alcotest.failf "missing optimizer family\n%s" json_line
+
+let test_trace_export () =
+  let path = Filename.temp_file "cli_trace" ".json" in
+  let r =
+    run (Printf.sprintf "optimize c17 --mode stat --samples 0 --trace %s" path)
+  in
+  check_ok "optimize --trace" r "trace:";
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Sl_util.Json.of_string text with
+  | o ->
+    let evs = Option.value ~default:[] (Sl_util.Json.list "traceEvents" o) in
+    let complete =
+      List.filter
+        (fun e -> Sl_util.Json.str "ph" e = Some "X")
+        evs
+    in
+    Alcotest.(check bool) "has complete events" true (List.length complete > 0);
+    let names =
+      List.filter_map (fun e -> Sl_util.Json.str "name" e) complete
+    in
+    Alcotest.(check bool) "optimizer spans present" true
+      (List.exists (String.equal "opt.optimize") names);
+    Alcotest.(check bool) "ssta spans present" true
+      (List.exists (String.equal "ssta.forward") names)
+  | exception Sl_util.Json.Parse_error m ->
+    Alcotest.failf "trace file unparsable: %s" m
+
 let test_client_no_server () =
   check_clean_error "client without server"
     (run "client --socket /tmp/definitely-no-statleak-daemon.sock ping")
@@ -139,6 +192,8 @@ let suite =
           test_structurally_bad_bench_file;
         Alcotest.test_case "missing lib file" `Quick test_missing_lib_file;
         Alcotest.test_case "unparsable lib file" `Quick test_unparsable_lib_file;
+        Alcotest.test_case "profile json" `Quick test_profile_json;
+        Alcotest.test_case "trace export" `Quick test_trace_export;
         Alcotest.test_case "client without server" `Quick test_client_no_server;
       ] );
   ]

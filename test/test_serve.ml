@@ -169,7 +169,13 @@ let with_server ?(jobs = 4) ?(max_sessions = 8) f =
       (Printf.sprintf "sl-test-%d-%d.sock" (Unix.getpid ()) !sock_seq)
   in
   let cfg =
-    { Server.socket_path = sock; jobs; max_sessions; snapshot_dir = None; log = false }
+    {
+      Server.socket_path = sock;
+      jobs;
+      max_sessions;
+      snapshot_dir = None;
+      log_level = Sl_obs.Log.Error;
+    }
   in
   let t = Server.create cfg in
   let srv = Domain.spawn (fun () -> Server.serve t) in
@@ -384,6 +390,29 @@ let test_serve_error_paths () =
           (* after all that, the session is still intact and usable *)
           ignore (analyze c ~session:"x")))
 
+let test_serve_metrics () =
+  with_server (fun sock _ ->
+      Client.with_connection ~socket:sock (fun c ->
+          ignore (load c ~session:"m1" ~bench:"c17");
+          ignore (analyze c ~session:"m1");
+          let resp = rpc c [ ("type", s "metrics") ] in
+          let text = get_str "metrics" resp in
+          let expect needle =
+            let n = String.length needle and h = String.length text in
+            let rec loop i =
+              i + n <= h && (String.sub text i n = needle || loop (i + 1))
+            in
+            if not (loop 0) then
+              Alcotest.failf "metrics exposition missing %S\n%s" needle text
+          in
+          (* global serve families *)
+          expect "# TYPE statleak_serve_requests_total counter";
+          expect "statleak_serve_requests_total ";
+          expect "statleak_serve_connections_total ";
+          expect "statleak_serve_live_sessions 1";
+          (* per-session families carry the session label *)
+          expect "statleak_session_requests_total{session=\"m1\"}"))
+
 let test_serve_handshake_version () =
   with_server (fun sock _ ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -427,6 +456,7 @@ let suite =
         Alcotest.test_case "eviction and restore" `Quick test_serve_eviction_restore;
         Alcotest.test_case "concurrent sessions" `Quick test_serve_concurrent_sessions;
         Alcotest.test_case "error paths" `Quick test_serve_error_paths;
+        Alcotest.test_case "metrics exposition" `Quick test_serve_metrics;
         Alcotest.test_case "handshake version" `Quick test_serve_handshake_version;
       ] );
   ]

@@ -347,6 +347,83 @@ let test_histogram_density_integrates () =
   in
   check_float ~eps:1e-9 "densities integrate to 1" 1.0 sum
 
+let test_histogram_merge_associative () =
+  let mk xs = Histogram.build_range ~bins:6 ~lo:0.0 ~hi:3.0 xs in
+  let a = mk [| 0.1; 0.6; 2.9 |]
+  and b = mk [| 1.1; 1.2; -5.0 (* clamps *) |]
+  and c = mk [| 2.0; 2.1; 2.2; 99.0 (* clamps *) |] in
+  let l = Histogram.merge (Histogram.merge a b) c in
+  let r = Histogram.merge a (Histogram.merge b c) in
+  Alcotest.(check (array int)) "counts agree" l.Histogram.counts r.Histogram.counts;
+  Alcotest.(check int) "totals agree" l.Histogram.total r.Histogram.total;
+  Alcotest.(check int) "total = sum of inputs" 10 l.Histogram.total;
+  (* commutativity rides along *)
+  let s = Histogram.merge b a in
+  Alcotest.(check (array int)) "commutes"
+    (Histogram.merge a b).Histogram.counts s.Histogram.counts
+
+let test_histogram_merge_mismatch_raises () =
+  let a = Histogram.create ~bins:4 ~lo:0.0 ~hi:4.0 in
+  let b = Histogram.create ~bins:8 ~lo:0.0 ~hi:4.0 in
+  match Histogram.merge a b with
+  | _ -> Alcotest.fail "expected Invalid_argument on binning mismatch"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_quantile_edges () =
+  (* empty *)
+  let empty = Histogram.create ~bins:4 ~lo:0.0 ~hi:4.0 in
+  (match Histogram.quantile empty 0.5 with
+  | _ -> Alcotest.fail "empty histogram must raise"
+  | exception Invalid_argument _ -> ());
+  (* p outside [0,1] *)
+  let h = Histogram.build_range ~bins:4 ~lo:0.0 ~hi:4.0 [| 1.0; 2.0 |] in
+  (match Histogram.quantile h 1.5 with
+  | _ -> Alcotest.fail "p > 1 must raise"
+  | exception Invalid_argument _ -> ());
+  (* single bucket: everything resolves within that bin *)
+  let one = Histogram.build_range ~bins:1 ~lo:0.0 ~hi:2.0 [| 0.3; 1.1; 1.9 |] in
+  List.iter
+    (fun p ->
+      let q = Histogram.quantile one p in
+      if q < 0.0 || q > 2.0 then Alcotest.failf "q(%g) = %g outside bin" p q)
+    [ 0.0; 0.25; 0.5; 1.0 ];
+  (* all-equal samples: every quantile lands in the containing bin *)
+  let flat = Histogram.build_range ~bins:10 ~lo:0.0 ~hi:10.0 (Array.make 50 4.5) in
+  List.iter
+    (fun p ->
+      let q = Histogram.quantile flat p in
+      if q < 4.0 || q > 5.0 then
+        Alcotest.failf "all-equal q(%g) = %g escaped the bin" p q)
+    [ 0.0; 0.5; 1.0 ];
+  check_float "p0 is bin left edge" 4.0 (Histogram.quantile flat 0.0);
+  check_float "p1 is bin right edge" 5.0 (Histogram.quantile flat 1.0)
+
+(* cross-domain merge: per-domain histograms reduced pairwise must match
+   one histogram fed everything — the same contract Stats.Acc.merge pins,
+   exercised through Parallel worker states *)
+let prop_histogram_merge_matches_single =
+  QCheck.Test.make ~name:"Histogram.merge = single histogram" ~count:200
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 0 80) (float_range (-2.0) 12.0))
+        (int_range 1 4))
+    (fun (xs, jobs) ->
+      let feed h xs = Array.iter (Histogram.observe h) xs in
+      let whole = Histogram.create ~bins:8 ~lo:0.0 ~hi:10.0 in
+      feed whole xs;
+      let states =
+        Parallel.run ~jobs ~tasks:(Array.length xs)
+          ~init:(fun () -> Histogram.create ~bins:8 ~lo:0.0 ~hi:10.0)
+          (fun h i -> Histogram.observe h xs.(i))
+      in
+      let merged =
+        Array.fold_left Histogram.merge
+          (Histogram.create ~bins:8 ~lo:0.0 ~hi:10.0)
+          states
+      in
+      merged.Histogram.counts = whole.Histogram.counts
+      && merged.Histogram.total = whole.Histogram.total)
+
 (* ---------- Matrix ---------- *)
 
 let test_matrix_mul_identity () =
@@ -664,7 +741,12 @@ let suite =
       [
         Alcotest.test_case "counts" `Quick test_histogram_counts;
         Alcotest.test_case "density integrates" `Quick test_histogram_density_integrates;
-      ] );
+        Alcotest.test_case "merge associative" `Quick test_histogram_merge_associative;
+        Alcotest.test_case "merge mismatch raises" `Quick
+          test_histogram_merge_mismatch_raises;
+        Alcotest.test_case "quantile edge cases" `Quick test_histogram_quantile_edges;
+      ]
+      @ qc [ prop_histogram_merge_matches_single ] );
     ( "util.matrix",
       [
         Alcotest.test_case "mul identity" `Quick test_matrix_mul_identity;

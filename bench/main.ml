@@ -41,15 +41,25 @@
    short Memory-sink run then collects per-span totals (ssta.forward /
    ssta.backward / opt.rank) for the JSON report.
 
+   Part 8 races the flat SSTA engine against the partition-parallel
+   hierarchical one on spipe30k, the register-cut pipeline workload: on
+   every run the hier engine must be bit-identical to flat for jobs in
+   {1,2,4}, and full mode additionally races the batched optimizer in
+   flat vs partition mode, requiring move-for-move identical
+   trajectories (same assignment, bitwise-equal leakage and yield).
+
    "--quick" shrinks part 1 to a smoke run, parts 3-5 to the small
-   circuits and part 6 to rand30k without the optimizer run;
-   "--no-bechamel" skips part 2; "--assert-par-speedup" (for multi-core
-   CI) fails part 6 unless parallel analyze is >= 1.5x faster than
-   sequential; "--json PATH" additionally writes a machine-readable
-   BENCH_results.json (schema statleak-bench/4, with the host core count)
-   with per-experiment wall-clock, the key metrics of parts 2-7 and a
-   snapshot of the process metrics registry; "--trace PATH" records every
-   span of the whole bench run as Chrome trace-event JSON. *)
+   circuits, part 6 to rand30k without the optimizer run and part 8 to
+   the analyze race; "--no-bechamel" skips part 2;
+   "--assert-par-speedup" (for multi-core CI) fails part 6 unless
+   parallel analyze is >= 1.5x faster than sequential, and part 8 unless
+   hier analyze is >= 2x faster than flat (and, full mode, hier batch
+   optimize >= 1.5x); "--json PATH" additionally writes a
+   machine-readable BENCH_results.json (schema statleak-bench/5, with
+   the host core count) with per-experiment wall-clock, the key metrics
+   of parts 2-8 and a snapshot of the process metrics registry;
+   "--trace PATH" records every span of the whole bench run as Chrome
+   trace-event JSON. *)
 
 module Experiments = Statleak.Experiments
 module Setup = Statleak.Setup
@@ -59,6 +69,7 @@ module Design = Sl_tech.Design
 module Spec = Sl_variation.Spec
 module Model = Sl_variation.Model
 module Ssta = Sl_ssta.Ssta
+module Hier = Sl_ssta.Hier
 module Canonical = Sl_ssta.Canonical
 module Leak_ssta = Sl_leakage.Leak_ssta
 module Mc = Sl_mc.Mc
@@ -603,6 +614,147 @@ let run_obs_overhead ~quick ~tracing =
     ob_span_totals = span_totals;
   }
 
+(* ---------- partition-parallel hier engine (part 8) ---------- *)
+
+type hier_row = {
+  hr_circuit : string;
+  hr_cells : int;
+  hr_partitions : int;      (* register-boundary cones *)
+  hr_t_flat : float;        (* flat analyze, jobs=1, best of 3 *)
+  hr_t_hier : float;        (* hier analyze, jobs=N, best of 3 *)
+  hr_opt_t_flat : float;    (* batch optimize, flat engine; nan in quick mode *)
+  hr_opt_t_hier : float;    (* batch optimize, partition mode, jobs=N *)
+  hr_opt_moves : int;
+  hr_opt_yield : float;
+}
+
+(* The workload part 6 cannot credit to partitioning: spipe30k's levels
+   are wide enough for the level-parallel engine, but its register cut
+   also decomposes it into 10 independent cones the hier engine can
+   re-time concurrently end to end.  Every run asserts the hier engine
+   bit-identical to flat for jobs in {1,2,4} — the cones are a schedule,
+   never a model change.  Full mode additionally races the batched
+   optimizer flat vs partition mode and requires move-for-move identical
+   trajectories: same final assignment, bitwise-equal leakage and yield.
+   [--assert-par-speedup] gates >= 2x hier analyze and >= 1.5x hier
+   batch optimize — meaningless on a 1-core host, hence opt-in. *)
+let run_hier ~quick ~jobs ~assert_par_speedup =
+  let name = "spipe30k" in
+  let cores = Sl_util.Parallel.default_jobs () in
+  Printf.printf
+    "=== Partition-parallel SSTA over register cones: %s (jobs=%d, %d \
+     cores) ===\n%!"
+    name jobs cores;
+  let s = Setup.of_benchmark name in
+  let c = s.Setup.circuit in
+  let d = Setup.fresh_design s in
+  let partitions =
+    match Circuit.partition_at_registers c with
+    | Some p -> Array.length p.Circuit.parts
+    | None -> failwith "hier: spipe30k did not partition at its register cut"
+  in
+  let flat = Ssta.analyze ~jobs:1 d s.Setup.model in
+  let base =
+    (canon_digest flat.Ssta.arrival, canon_digest [| flat.Ssta.circuit_delay |])
+  in
+  List.iter
+    (fun j ->
+      match Hier.analyze ~jobs:j d s.Setup.model with
+      | None ->
+        failwith (Printf.sprintf "hier: %s fell back to flat at jobs=%d" name j)
+      | Some res ->
+        let dig =
+          ( canon_digest res.Ssta.arrival,
+            canon_digest [| res.Ssta.circuit_delay |] )
+        in
+        if dig <> base then
+          failwith
+            (Printf.sprintf "hier: %s diverged from flat at jobs=%d" name j))
+    [ 1; 2; 4 ];
+  let best f =
+    let t = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      t := Float.min !t (Unix.gettimeofday () -. t0)
+    done;
+    !t
+  in
+  let t_flat = best (fun () -> Ssta.analyze ~jobs:1 d s.Setup.model) in
+  let t_hier = best (fun () -> Hier.analyze ~jobs d s.Setup.model) in
+  Printf.printf
+    "%-10s %6d cells %3d cones   analyze flat %6.3f s  hier jobs=%d %6.3f s  \
+     speedup %.2fx\n%!"
+    name (Circuit.num_cells c) partitions t_flat jobs t_hier (t_flat /. t_hier);
+  (* ten ~3k-gate cones: at jobs=4 anything under 2x means the pool is
+     not actually running cones concurrently; at jobs=2 the ideal is 2x
+     so the gate relaxes to the same 1.5x bar part 6 uses *)
+  let bar = if jobs >= 4 then 2.0 else 1.5 in
+  if assert_par_speedup && t_flat /. t_hier < bar then
+    failwith
+      (Printf.sprintf
+         "hier: %s analyze speedup %.2fx < %.1fx at jobs=%d (%d cores)" name
+         (t_flat /. t_hier) bar jobs cores);
+  let opt_t_flat, opt_t_hier, opt_moves, opt_yield =
+    if quick then (Float.nan, Float.nan, 0, Float.nan)
+    else begin
+      let tmax = Setup.tmax s ~factor:1.25 in
+      let run partition jobs =
+        let d_o = Setup.fresh_design s in
+        let t0 = Unix.gettimeofday () in
+        let st =
+          Batch_opt.optimize
+            { (Batch_opt.default_config ~tmax ~eta:0.95) with
+              Batch_opt.jobs; partition }
+            d_o s.Setup.model
+        in
+        (Unix.gettimeofday () -. t0, st, d_o)
+      in
+      let t_f, st_f, d_f = run false 1 in
+      let t_h, st_h, d_h = run true jobs in
+      (* partition mode accelerates the sync, never the decisions: the
+         two runs must walk the same trajectory to the same design *)
+      let moves (st : Batch_opt.stats) = st.Batch_opt.vth_moves + st.Batch_opt.size_moves in
+      if
+        moves st_f <> moves st_h
+        || d_f.Design.vth_idx <> d_h.Design.vth_idx
+        || d_f.Design.size_idx <> d_h.Design.size_idx
+      then failwith "hier: partition-mode optimizer diverged from flat";
+      let bits = Int64.bits_of_float in
+      if not (Int64.equal (bits st_f.Batch_opt.final_yield) (bits st_h.Batch_opt.final_yield))
+      then failwith "hier: partition-mode final yield not bit-identical";
+      let leak d_done = Leak_ssta.mean (Leak_ssta.create d_done s.Setup.model) in
+      if not (Int64.equal (bits (leak d_f)) (bits (leak d_h))) then
+        failwith "hier: partition-mode final leakage not bit-identical";
+      Printf.printf
+        "%-10s batch optimize: flat %7.1f s  partition jobs=%d %7.1f s  \
+         speedup %.2fx  %d moves  yield %.4f  (bit-identical)\n%!"
+        name t_f jobs t_h (t_f /. t_h) (moves st_h)
+        st_h.Batch_opt.final_yield;
+      if not st_h.Batch_opt.feasible then
+        failwith (Printf.sprintf "hier: %s optimize ended infeasible" name);
+      if assert_par_speedup && t_f /. t_h < 1.5 then
+        failwith
+          (Printf.sprintf
+             "hier: %s batch optimize speedup %.2fx < 1.5x at jobs=%d (%d \
+              cores)"
+             name (t_f /. t_h) jobs cores);
+      (t_f, t_h, moves st_h, st_h.Batch_opt.final_yield)
+    end
+  in
+  print_newline ();
+  {
+    hr_circuit = name;
+    hr_cells = Circuit.num_cells c;
+    hr_partitions = partitions;
+    hr_t_flat = t_flat;
+    hr_t_hier = t_hier;
+    hr_opt_t_flat = opt_t_flat;
+    hr_opt_t_hier = opt_t_hier;
+    hr_opt_moves = opt_moves;
+    hr_opt_yield = opt_yield;
+  }
+
 (* ---------- bechamel kernels, one per experiment ---------- *)
 
 let kernels () =
@@ -780,7 +932,7 @@ let git_rev () =
 
 let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
     ~(osp : opt_speedup list) ~(bsp : batch_speedup list)
-    ~(scale : scale_row list) ~(obs : obs_row) ~kernels =
+    ~(scale : scale_row list) ~(hier : hier_row) ~(obs : obs_row) ~kernels =
   let cores = Sl_util.Parallel.default_jobs () in
   (* speedup numbers measured with fewer than 2 cores (or 1 worker) say
      nothing about the parallel engines — annotate instead of asserting *)
@@ -788,8 +940,8 @@ let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"statleak-bench/4\",\n";
-  add "  \"schema_version\": 4,\n";
+  add "  \"schema\": \"statleak-bench/5\",\n";
+  add "  \"schema_version\": 5,\n";
   add "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
@@ -865,6 +1017,27 @@ let write_json path ~quick ~jobs ~times ~(sp : speedup) ~(yc : yield_check)
         (if i = List.length scale - 1 then "" else ","))
     scale;
   add "  ],\n";
+  (* schema v5: the partition-parallel hier engine race — flat vs
+     register-cone analyze, and (full mode) flat vs partition-mode batch
+     optimize, both bit-identity-asserted before any timing is kept *)
+  add
+    "  \"hier\": {\"circuit\": \"%s\", \"cells\": %d, \"partitions\": %d, \
+     \"analyze_seconds_flat\": %s, \"analyze_seconds_hier\": %s, \
+     \"analyze_speedup\": %s, \"meaningful\": %b, \
+     \"jobs_bit_identical\": true, \"optimize_seconds_flat\": %s, \
+     \"optimize_seconds_hier\": %s, \"optimize_speedup\": %s, \
+     \"optimize_moves\": %d, \"optimize_yield\": %s, \
+     \"optimize_bit_identical\": %b},\n"
+    (json_escape hier.hr_circuit) hier.hr_cells hier.hr_partitions
+    (json_float hier.hr_t_flat) (json_float hier.hr_t_hier)
+    (json_float (hier.hr_t_flat /. hier.hr_t_hier))
+    meaningful
+    (json_float hier.hr_opt_t_flat)
+    (json_float hier.hr_opt_t_hier)
+    (json_float (hier.hr_opt_t_flat /. hier.hr_opt_t_hier))
+    hier.hr_opt_moves
+    (json_float hier.hr_opt_yield)
+    (not quick);
   (* schema v4: the observability section — the asserted overhead bound,
      per-span totals, and a snapshot of the whole metrics registry
      (propagation counters, level-batch tallies, MC throughput, ...) *)
@@ -954,6 +1127,7 @@ let () =
   let osp = run_opt_speedup ~quick in
   let bsp = run_batch_speedup ~quick in
   let scale = run_scale ~quick ~jobs ~assert_par_speedup in
+  let hier = run_hier ~quick ~jobs ~assert_par_speedup in
   let obs = run_obs_overhead ~quick ~tracing:(trace_path <> None) in
   let kernels = if no_bechamel then None else Some (run_bechamel ()) in
   (match trace_path with
@@ -964,4 +1138,5 @@ let () =
   match json_path with
   | None -> ()
   | Some path ->
-    write_json path ~quick ~jobs ~times ~sp ~yc ~osp ~bsp ~scale ~obs ~kernels
+    write_json path ~quick ~jobs ~times ~sp ~yc ~osp ~bsp ~scale ~hier ~obs
+      ~kernels

@@ -77,6 +77,16 @@ let jobs_arg =
    both are safe, bit-identity holds either way. *)
 let ssta_jobs = function Some j -> j | None -> 1
 
+let partition_arg =
+  let doc =
+    "Partition the design at register boundaries and run one timing engine \
+     per combinational cone, cones scheduled on the $(b,--jobs) domains \
+     (see DESIGN.md §15).  Needs a sequential netlist (registers cut at \
+     parse time); falls back to the flat engine with a notice otherwise.  \
+     Results are bit-identical either way."
+  in
+  Arg.(value & flag & info [ "partition" ] ~doc)
+
 let trace_arg =
   let doc =
     "Record the run's internal spans (SSTA forward/backward passes, \
@@ -170,12 +180,28 @@ let sta circuit_spec lib_file size_idx =
         res.Sta.arrival.(id))
     path
 
-let ssta circuit_spec lib_file sigma_scale size_idx factor critical jobs trace =
+let ssta circuit_spec lib_file sigma_scale size_idx factor critical partition jobs trace =
   with_trace trace @@ fun () ->
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let d = Setup.fresh_design s in
   let jobs = ssta_jobs jobs in
-  let res = Ssta.analyze ~jobs d s.Setup.model in
+  let res =
+    if partition then
+      match Sl_ssta.Hier.analyze ~jobs d s.Setup.model with
+      | Some r ->
+        (match Circuit.partition_at_registers s.Setup.circuit with
+        | Some p ->
+          Printf.printf "partitions: %d register-boundary cones (jobs=%d)\n"
+            (Array.length p.Circuit.parts) jobs
+        | None -> ());
+        r
+      | None ->
+        Printf.printf
+          "partition: netlist does not decompose at register boundaries; \
+           using the flat engine\n";
+        Ssta.analyze ~jobs d s.Setup.model
+    else Ssta.analyze ~jobs d s.Setup.model
+  in
   let cd = res.Ssta.circuit_delay in
   let tmax = Setup.tmax s ~factor in
   Printf.printf "circuit delay: mean %.1f ps, sigma %.1f ps (%.1f%%)\n"
@@ -306,6 +332,19 @@ let print_profile ~mode ~jobs =
       (i "statleak_opt_max_level_width")
   in
   let moves = i "statleak_opt_vth_moves_total" + i "statleak_opt_size_moves_total" in
+  (* partition-parallel evidence: cones driven by the hier engine and the
+     domain count the candidate scan actually fanned out on *)
+  let engine_rows =
+    let parts = i "statleak_opt_partitions" in
+    let rank_jobs = i ~labels:[] "statleak_opt_rank_jobs" in
+    (if parts > 1 then
+       [ ("partitions", Printf.sprintf "%d register-boundary cones (hier engine)" parts) ]
+     else [])
+    @
+    if rank_jobs > 1 then
+      [ ("candidate ranking", Printf.sprintf "parallel scan on %d domains" rank_jobs) ]
+    else []
+  in
   let rows =
     match mode with
     | "stat" ->
@@ -339,6 +378,7 @@ let print_profile ~mode ~jobs =
             Printf.sprintf "%.3f s" (m "statleak_opt_time_candidates_seconds") );
           ("level batches", level_batches);
         ]
+      @ engine_rows
     | "batch" ->
       [
         ( "syncs",
@@ -362,6 +402,7 @@ let print_profile ~mode ~jobs =
           Printf.sprintf "%.3f s" (m "statleak_batch_time_total_seconds") );
         ("level batches", level_batches);
       ]
+      @ engine_rows
     | _ -> []
   in
   if rows <> [] then begin
@@ -392,8 +433,8 @@ let profile_json_value () =
            ])
        (Metrics.snapshot ()))
 
-let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples jobs profile
-    profile_json trace dump =
+let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples partition
+    jobs profile profile_json trace dump =
   with_trace trace @@ fun () ->
   let s = make_setup circuit_spec lib_file sigma_scale size_idx in
   let tmax = Setup.tmax s ~factor in
@@ -417,7 +458,8 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
     let st =
       Sl_opt.Stat_opt.optimize
         { (Sl_opt.Stat_opt.default_config ~tmax ~eta) with
-          Sl_opt.Stat_opt.jobs = ssta_jobs jobs }
+          Sl_opt.Stat_opt.jobs = ssta_jobs jobs;
+          Sl_opt.Stat_opt.partition }
         d s.Setup.model
     in
     Printf.printf
@@ -432,7 +474,8 @@ let optimize circuit_spec lib_file sigma_scale size_idx factor eta mode samples 
     let st =
       Sl_opt.Batch_opt.optimize
         { (Sl_opt.Batch_opt.default_config ~tmax ~eta) with
-          Sl_opt.Batch_opt.jobs = ssta_jobs jobs }
+          Sl_opt.Batch_opt.jobs = ssta_jobs jobs;
+          Sl_opt.Batch_opt.partition }
         d s.Setup.model
     in
     Printf.printf
@@ -596,7 +639,7 @@ let print_progress frame =
   | _ -> ()
 
 let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
-    max_samples seed ci detail jobs args =
+    max_samples seed ci detail partition jobs args =
   let circuit_field spec =
     (* a path is read client-side and shipped as netlist text, so the
        daemon never depends on the client's filesystem *)
@@ -666,6 +709,7 @@ let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
           ("mode", Json.Str mode);
           ("eta", num eta);
           ("jobs", int_ (ssta_jobs jobs));
+          ("partition", Json.Bool partition);
           ("detail", Json.Bool detail);
         ]
     | [ "checkpoint"; session; name ] ->
@@ -698,10 +742,10 @@ let client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
       exit 2
 
 let client socket lib sigma_scale size_idx factor eta mode method_ halfwidth
-    max_samples seed ci detail jobs args =
+    max_samples seed ci detail partition jobs args =
   let req =
     client_request lib sigma_scale size_idx factor eta mode method_ halfwidth
-      max_samples seed ci detail jobs args
+      max_samples seed ci detail partition jobs args
   in
   try
     let resp =
@@ -752,7 +796,7 @@ let ssta_cmd =
           & opt int 0
           & info [ "critical" ] ~docv:"N"
               ~doc:"Also list the N most statistically critical gates.")
-      $ jobs_arg $ trace_arg)
+      $ partition_arg $ jobs_arg $ trace_arg)
 
 let leakage_cmd =
   Cmd.v (Cmd.info "leakage" ~doc:"Statistical leakage: mean, std, percentiles.")
@@ -827,8 +871,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run a leakage optimizer and report before/after metrics.")
     Term.(
       const optimize $ circuit_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
-      $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ jobs_arg $ profile_arg
-      $ profile_json_arg $ trace_arg $ dump_arg)
+      $ factor_arg $ eta_arg $ mode_arg $ mc_arg $ partition_arg $ jobs_arg
+      $ profile_arg $ profile_json_arg $ trace_arg $ dump_arg)
 
 let paths_cmd =
   let k_arg =
@@ -955,7 +999,8 @@ let client_cmd =
     Term.(
       const client $ socket_arg $ lib_arg $ sigma_scale_arg $ size_idx_arg
       $ factor_arg $ eta_arg $ mode_arg $ method_arg $ halfwidth_arg
-      $ max_samples_arg $ seed_arg $ ci_arg $ detail_arg $ jobs_arg $ args_arg)
+      $ max_samples_arg $ seed_arg $ ci_arg $ detail_arg $ partition_arg
+      $ jobs_arg $ args_arg)
 
 let () =
   let doc = "statistical leakage optimization under process variation (DAC 2004 reproduction)" in

@@ -29,8 +29,11 @@ let parse_call line s =
     in
     (head, args)
 
-let parse_string ?(sequential = `Reject) ~name text =
+type register = { q : string; d : string }
+
+let parse_with_registers ~sequential ~name text =
   let b = Circuit.Builder.create name in
+  let regs = ref [] in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i raw ->
@@ -61,9 +64,12 @@ let parse_string ?(sequential = `Reject) ~name text =
                 "sequential element DFF not supported here (parse with \
                  ~sequential:`Cut to cut at register boundaries)"
             | `Cut, [ data ] ->
-              (* register cut: Q is a fresh launch point, D a capture point *)
+              (* register cut: Q is a fresh launch point, D a capture
+                 point; the pairing itself is kept so partitioners can
+                 stitch a D-side arrival to its next-cycle Q launch *)
               ignore (Circuit.Builder.add_input b lhs);
-              Circuit.Builder.mark_output b data
+              Circuit.Builder.mark_output b data;
+              regs := { q = lhs; d = data } :: !regs
             | `Cut, _ -> error lineno "DFF takes exactly one net"
           end
           else
@@ -75,15 +81,28 @@ let parse_string ?(sequential = `Reject) ~name text =
             end
       end)
     lines;
-  Circuit.Builder.build b
+  (Circuit.Builder.build b, List.rev !regs)
 
-let parse_file ?sequential path =
+let parse_string ?(sequential = `Reject) ~name text =
+  fst (parse_with_registers ~sequential ~name text)
+
+let parse_string_cut ~name text =
+  parse_with_registers ~sequential:`Cut ~name text
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  let name = Filename.remove_extension (Filename.basename path) in
+  (Filename.remove_extension (Filename.basename path), text)
+
+let parse_file ?sequential path =
+  let name, text = read_file path in
   parse_string ?sequential ~name text
+
+let parse_file_cut path =
+  let name, text = read_file path in
+  parse_string_cut ~name text
 
 let to_string (c : Circuit.t) =
   let buf = Buffer.create 4096 in

@@ -30,6 +30,20 @@ val parse_string :
 val parse_file : ?sequential:[ `Reject | `Cut ] -> string -> Circuit.t
 (** Circuit name is the file's basename without extension. *)
 
+type register = { q : string; d : string }
+(** One flip-flop of a register-cut netlist: [q] is the flop output net
+    (a pseudo primary input after the cut), [d] the data net it captures
+    (a pseudo primary output).  The pairing is what lets a partitioner
+    relate a cone's D-side arrival to the next stage's Q-side launch. *)
+
+val parse_string_cut : name:string -> string -> Circuit.t * register list
+(** [parse_string ~sequential:`Cut] plus the flip-flops in file order —
+    the D->Q bookkeeping the plain parser discards.
+    @raise Parse_error / Failure as {!parse_string}. *)
+
+val parse_file_cut : string -> Circuit.t * register list
+(** File variant of {!parse_string_cut}. *)
+
 val to_string : Circuit.t -> string
 (** Render back to ".bench" text; [parse_string] of the result
     reconstructs an isomorphic circuit. *)

@@ -83,6 +83,130 @@ let cone next c id =
 let fanout_cone c id = cone (fun g -> g.fanout) c id
 let fanin_cone c id = cone (fun g -> g.fanin) c id
 
+(* ---------- register-boundary partitioning ---------- *)
+
+type partition = {
+  parts : t array;
+  part_of : int array;
+  local_of : int array;
+  part_ids : int array array;
+}
+
+(* Connected components of the undirected fanin/fanout graph.  After a
+   register cut every flip-flop boundary becomes a PI (Q side) plus a PO
+   (D side), so the components are exactly the combinational cones
+   between register boundaries.  Local ids are a monotone remap of the
+   global ids: each sub-circuit keeps the global topological order, the
+   global level values (components are fanin-closed, so the inductive
+   level computation agrees), pin-ordered fanins and sorted fanouts —
+   which is what makes per-partition analysis bit-identical to flat. *)
+let partition_at_registers c =
+  let n = Array.length c.gates in
+  if n = 0 then None
+  else begin
+    let comp = Array.make n (-1) in
+    let ncomp = ref 0 in
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      if comp.(i) < 0 then begin
+        let k = !ncomp in
+        incr ncomp;
+        comp.(i) <- k;
+        Queue.add i queue;
+        while not (Queue.is_empty queue) do
+          let g = Queue.pop queue in
+          let visit j =
+            if comp.(j) < 0 then begin
+              comp.(j) <- k;
+              Queue.add j queue
+            end
+          in
+          Array.iter visit c.gates.(g).fanin;
+          Array.iter visit c.gates.(g).fanout
+        done
+      end
+    done;
+    let k = !ncomp in
+    let has_output = Array.make k false in
+    Array.iter (fun o -> has_output.(comp.(o)) <- true) c.outputs;
+    let has_cell = Array.make k false in
+    Array.iter
+      (fun g -> if g.kind <> Cell_kind.Pi then has_cell.(comp.(g.id)) <- true)
+      c.gates;
+    (* a component with real cells but no primary output has no timing
+       sink to stitch through — leave such netlists to the flat engine *)
+    let dead_logic = ref false in
+    for i = 0 to k - 1 do
+      if has_cell.(i) && not has_output.(i) then dead_logic := true
+    done;
+    (* deterministic part order: components numbered by smallest global
+       gate id; dangling-PI components (no cells, no outputs) ride along
+       in the first real part so every gate lands in exactly one cone *)
+    let part_index = Array.make k (-1) in
+    let nparts = ref 0 in
+    for i = 0 to k - 1 do
+      if has_output.(i) then begin
+        part_index.(i) <- !nparts;
+        incr nparts
+      end
+    done;
+    if !dead_logic || !nparts < 2 then None
+    else begin
+      for i = 0 to k - 1 do
+        if part_index.(i) < 0 then part_index.(i) <- 0
+      done;
+      let nparts = !nparts in
+      let part_of = Array.map (fun ci -> part_index.(ci)) comp in
+      let counts = Array.make nparts 0 in
+      Array.iter (fun p -> counts.(p) <- counts.(p) + 1) part_of;
+      let part_ids = Array.init nparts (fun p -> Array.make counts.(p) 0) in
+      let fill = Array.make nparts 0 in
+      for gid = 0 to n - 1 do
+        let p = part_of.(gid) in
+        part_ids.(p).(fill.(p)) <- gid;
+        fill.(p) <- fill.(p) + 1
+      done;
+      let local_of = Array.make n (-1) in
+      Array.iter
+        (fun ids -> Array.iteri (fun l gid -> local_of.(gid) <- l) ids)
+        part_ids;
+      let parts =
+        Array.mapi
+          (fun p ids ->
+            let gates =
+              Array.mapi
+                (fun l gid ->
+                  let g = c.gates.(gid) in
+                  {
+                    g with
+                    id = l;
+                    fanin = Array.map (fun j -> local_of.(j)) g.fanin;
+                    fanout = Array.map (fun j -> local_of.(j)) g.fanout;
+                  })
+                ids
+            in
+            let inputs =
+              Array.of_seq
+                (Seq.filter_map
+                   (fun g -> if g.kind = Cell_kind.Pi then Some g.id else None)
+                   (Array.to_seq gates))
+            in
+            let outputs =
+              Array.of_seq
+                (Seq.filter_map
+                   (fun o -> if part_of.(o) = p then Some local_of.(o) else None)
+                   (Array.to_seq c.outputs))
+            in
+            let depth =
+              Array.fold_left (fun acc g -> Stdlib.max acc g.level) 0 gates
+            in
+            { name = Printf.sprintf "%s#%d" c.name p; gates; inputs; outputs; depth })
+          part_ids
+      in
+      Some { parts; part_of; local_of; part_ids }
+    end
+  end
+
 let stats c =
   let cells = num_cells c in
   let fanouts =

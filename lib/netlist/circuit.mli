@@ -55,6 +55,30 @@ val fanout_cone : t -> int -> int array
 val fanin_cone : t -> int -> int array
 (** Transitive fanin of [id] (excluding [id]), topological order. *)
 
+(** A register-boundary decomposition of a circuit into independently
+    timeable combinational cones.  See {!partition_at_registers}. *)
+type partition = {
+  parts : t array;
+      (** the cones, as self-contained sub-circuits; part order is
+          deterministic (numbered by smallest global gate id) *)
+  part_of : int array;  (** global gate id -> index into [parts] *)
+  local_of : int array; (** global gate id -> gate id inside its part *)
+  part_ids : int array array;
+      (** part -> ascending global gate ids; the inverse of [local_of] *)
+}
+
+val partition_at_registers : t -> partition option
+(** Split a register-cut circuit (parsed with [~sequential:`Cut]) into
+    its connected combinational components.  Every gate lands in exactly
+    one part; local ids are a monotone remap of global ids, so each part
+    keeps the global topological order, level values, fanin pin order
+    and sorted fanouts — per-part analysis is bit-identical to analyzing
+    the flat circuit.  Dangling primary inputs with no readers ride
+    along in the first part.  Returns [None] when the decomposition
+    would not help: fewer than two components (e.g. a purely
+    combinational netlist) or a component with cells but no primary
+    output (no timing sink to stitch through). *)
+
 val stats : t -> string
 (** Human-readable one-line summary (gate count, depth, avg fanout). *)
 

@@ -4,6 +4,7 @@ module Design = Sl_tech.Design
 module Cell_lib = Sl_tech.Cell_lib
 module Memo = Sl_tech.Memo
 module Incremental = Sl_ssta.Incremental
+module Engine = Sl_ssta.Engine
 module Leak_ssta = Sl_leakage.Leak_ssta
 module Trace = Sl_obs.Trace
 module Metrics = Sl_obs.Metrics
@@ -41,6 +42,7 @@ type config = {
   band_size : int;
   yield_margin : float;
   min_pass_moves : int;
+  partition : bool;
   audit : bool;
   jobs : int;
 }
@@ -56,6 +58,7 @@ let default_config ~tmax ~eta =
     band_size = 512;
     yield_margin = 1.0;
     min_pass_moves = 4;
+    partition = false;
     audit = false;
     jobs = 1;
   }
@@ -85,15 +88,16 @@ type stats = {
 
 type move = { gate : int; kind : [ `Vth | `Size ]; prev : int }
 
-(* The optimizer always drives the incremental engine: the whole point of
-   banding is that a band pays one merged-cone sync, and the engine's
-   checkpoints are the undo dictionary for rolled-back bands. *)
+(* The optimizer always drives an incremental engine (flat or
+   partition-parallel behind {!Engine}): the whole point of banding is
+   that a band pays one merged-cone sync, and the engine's checkpoints
+   are the undo dictionary for rolled-back bands. *)
 type st = {
   cfg : config;
   design : Design.t;
   leak : Leak_ssta.t;
   memo : Memo.t;
-  inc : Incremental.t;
+  inc : Engine.t;
   mutable vth_moves : int;
   mutable size_moves : int;
   mutable trials : int;
@@ -131,7 +135,7 @@ let is_blocked st gate kind = Bytes.get st.blocked (slot gate kind) <> '\000'
 let block st gate kind = Bytes.set st.blocked (slot gate kind) '\001'
 let unblock_all st = Bytes.fill st.blocked 0 (Bytes.length st.blocked) '\000'
 
-let yield_now st = Incremental.yield st.inc
+let yield_now st = Engine.yield st.inc
 
 let report st stage =
   st.progress
@@ -143,13 +147,13 @@ let report st stage =
     }
 
 let full_sync st =
-  Incremental.sync st.inc;
+  Engine.sync st.inc;
   st.syncs <- st.syncs + 1
 
 (* Yield-only re-measure: arrivals and the circuit delay; backward/path
    repair stays deferred until the next ranking needs it. *)
 let yield_sync st =
-  Incremental.sync ~paths:false st.inc;
+  Engine.sync ~paths:false st.inc;
   st.syncs <- st.syncs + 1
 
 let apply st kind gate =
@@ -165,7 +169,7 @@ let apply st kind gate =
       Design.set_size d gate (s - 1);
       s
   in
-  Incremental.update_gate st.inc gate;
+  Engine.update_gate st.inc gate;
   Leak_ssta.update_gate st.leak gate;
   { gate; kind; prev }
 
@@ -189,11 +193,11 @@ let rec try_band st (moves : Stat_opt.candidate list) =
   st.bands_tried <- st.bands_tried + 1;
   Metrics.incr m_bands_tried;
   Metrics.observe m_band_size (float_of_int (List.length moves));
-  let cp = Incremental.checkpoint st.inc in
+  let cp = Engine.checkpoint st.inc in
   let applied = List.map (fun (c : Stat_opt.candidate) -> apply st c.Stat_opt.kind c.Stat_opt.gate) moves in
   yield_sync st;
   if yield_now st >= st.cfg.eta then begin
-    Incremental.commit st.inc cp;
+    Engine.commit st.inc cp;
     st.bands_committed <- st.bands_committed + 1;
     Metrics.incr m_bands_committed;
     List.iter
@@ -207,7 +211,7 @@ let rec try_band st (moves : Stat_opt.candidate list) =
   else begin
     (* newest first, so shared-gate (vth, size) pairs unwind correctly *)
     List.iter (undo st) (List.rev applied);
-    Incremental.rollback st.inc cp;
+    Engine.rollback st.inc cp;
     st.bands_rolled_back <- st.bands_rolled_back + 1;
     Metrics.incr m_bands_rolled_back;
     st.rollbacks <- st.rollbacks + List.length applied;
@@ -275,14 +279,14 @@ let run_pass st =
   let cfg = st.cfg in
   let num_vth = Cell_lib.num_vth st.design.Design.lib in
   full_sync st;
-  if cfg.audit then assert (Incremental.audit st.inc);
+  if cfg.audit then assert (Engine.audit st.inc);
   let cands =
     Stat_opt.rank_candidates ~sensitivity:cfg.sensitivity
       ~allow_vth:cfg.allow_vth ~allow_size:cfg.allow_size ~tmax:cfg.tmax
-      ~memo:st.memo ~leak:st.leak ~path_mu:(Incremental.path_mu st.inc)
-      ~path_sigma:(Incremental.path_sigma st.inc)
+      ~memo:st.memo ~leak:st.leak ~path_mu:(Engine.path_mu st.inc)
+      ~path_sigma:(Engine.path_sigma st.inc)
       ~eligible:(fun gate kind -> not (is_blocked st gate kind))
-      st.design
+      ~jobs:cfg.jobs st.design
   in
   st.trials <- st.trials + List.length cands;
   let committed = ref 0 in
@@ -345,14 +349,15 @@ let reduce st =
     if committed < cutoff then go := false
   done
 
-(* Initial yield repair, as in Stat_opt.fix_yield: rank upsizable gates by
-   violation probability and trial-apply a shortlist, each trial measured
-   by one yield-only sync and undone by a checkpoint rollback. *)
+(* Initial yield repair, as in Stat_opt.fix_yield: rank upsizable gates
+   through {!Stat_opt.rank_candidates} in [`Repair] direction (violation
+   probability, the shared scoring path) and trial-apply a shortlist,
+   each trial measured by one yield-only sync and undone by a checkpoint
+   rollback. *)
 let fix_yield st =
   Trace.span "opt.fix_yield" @@ fun () ->
   let cfg = st.cfg in
   let d = st.design in
-  let num_sizes = Cell_lib.num_sizes d.Design.lib in
   let n = Circuit.num_gates d.Design.circuit in
   let shortlist = 16 in
   let stuck = ref false in
@@ -360,49 +365,36 @@ let fix_yield st =
   while yield_now st < cfg.eta && (not !stuck) && !steps < 4 * n do
     incr steps;
     full_sync st;
-    let path_mu = Incremental.path_mu st.inc in
-    let path_sigma = Incremental.path_sigma st.inc in
     let ranked =
-      let all = ref [] in
-      for id = 0 to n - 1 do
-        if
-          (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi
-          && d.Design.size_idx.(id) + 1 < num_sizes
-        then begin
-          let v =
-            Stat_opt.Private.violation ~path_mu ~path_sigma ~tmax:cfg.tmax id
-              ~delta:0.0
-          in
-          if v > 0.0 then all := (v, id) :: !all
-        end
-      done;
-      List.sort
-        (fun (a, ia) (b, ib) ->
-          let c = Float.compare b a in
-          if c <> 0 then c else Int.compare ib ia)
-        !all
+      Stat_opt.rank_candidates ~sensitivity:cfg.sensitivity
+        ~allow_vth:cfg.allow_vth ~allow_size:cfg.allow_size
+        ~direction:`Repair ~tmax:cfg.tmax ~memo:st.memo ~leak:st.leak
+        ~path_mu:(Engine.path_mu st.inc)
+        ~path_sigma:(Engine.path_sigma st.inc)
+        ~jobs:cfg.jobs st.design
     in
     let rec try_candidates k = function
       | [] -> false
       | _ when k >= shortlist -> false
-      | (_, id) :: rest ->
+      | (c : Stat_opt.candidate) :: rest ->
+        let id = c.Stat_opt.gate in
         let s = d.Design.size_idx.(id) in
-        let cp = Incremental.checkpoint st.inc in
+        let cp = Engine.checkpoint st.inc in
         Design.set_size d id (s + 1);
-        Incremental.update_gate st.inc id;
+        Engine.update_gate st.inc id;
         Leak_ssta.update_gate st.leak id;
         st.trials <- st.trials + 1;
         let y_before = yield_now st in
         yield_sync st;
         if yield_now st > y_before then begin
-          Incremental.commit st.inc cp;
+          Engine.commit st.inc cp;
           st.size_moves <- st.size_moves + 1;
           true
         end
         else begin
           Design.set_size d id s;
           Leak_ssta.update_gate st.leak id;
-          Incremental.rollback st.inc cp;
+          Engine.rollback st.inc cp;
           try_candidates (k + 1) rest
         end
     in
@@ -426,8 +418,8 @@ let alternate st =
     let best_leak = Leak_ssta.mean st.leak in
     let saved_vth = Array.copy d.Design.vth_idx in
     let saved_size = Array.copy d.Design.size_idx in
-    let path_mu = Incremental.path_mu st.inc in
-    let path_sigma = Incremental.path_sigma st.inc in
+    let path_mu = Engine.path_mu st.inc in
+    let path_sigma = Engine.path_sigma st.inc in
     let target = ref (-1) and worst = ref (-1.0) in
     for id = 0 to n - 1 do
       if
@@ -447,7 +439,7 @@ let alternate st =
     if !target < 0 then continue_ := false
     else begin
       Design.set_size d !target (d.Design.size_idx.(!target) + 1);
-      Incremental.update_gate st.inc !target;
+      Engine.update_gate st.inc !target;
       Leak_ssta.update_gate st.leak !target;
       st.size_moves <- st.size_moves + 1;
       st.trials <- st.trials + 1;
@@ -460,7 +452,7 @@ let alternate st =
         Array.blit saved_vth 0 d.Design.vth_idx 0 n;
         Array.blit saved_size 0 d.Design.size_idx 0 n;
         Leak_ssta.refresh st.leak;
-        Incremental.rebuild st.inc;
+        Engine.rebuild st.inc;
         continue_ := false
       end;
       report st "alternation"
@@ -494,7 +486,22 @@ let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) 
   let t0 = Unix.gettimeofday () in
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
-  let inc = Incremental.create ~memo ~jobs:cfg.jobs d model ~tmax:cfg.tmax in
+  (* freeze the memo up front whenever worker domains may read it —
+     partition mode (one engine per cone on the pool) and parallel
+     ranking; prefilled first, so lookups stay bit-identical *)
+  if cfg.partition || cfg.jobs > 1 then begin
+    Memo.prefill memo d;
+    Memo.freeze memo
+  end;
+  let inc =
+    Engine.create ~memo ~jobs:cfg.jobs ~partition:cfg.partition d model
+      ~tmax:cfg.tmax
+  in
+  Metrics.set
+    (Metrics.gauge ~labels:[ ("mode", "batch") ]
+       ~help:"Register-boundary cones driven by the optimizer"
+       "statleak_opt_partitions")
+    (float_of_int (Engine.num_partitions inc));
   let st =
     {
       cfg;
@@ -524,7 +531,7 @@ let optimize ?(progress = fun (_ : Stat_opt.progress) -> ()) cfg (d : Design.t) 
     reduce st;
     if cfg.allow_size then alternate st
   end;
-  let istats = Incremental.stats st.inc in
+  let istats = Engine.stats st.inc in
   let moves = st.vth_moves + st.size_moves in
   let props = istats.Incremental.propagated + istats.Incremental.bwd_propagated in
   let result_stats = {

@@ -82,6 +82,15 @@ type config = {
                                   run to exhaustion; 1 reproduces the
                                   greedy run-to-exhaustion rule
                                   everywhere *)
+  partition : bool;           (** drive timing through the
+                                  partition-parallel {!Sl_ssta.Hier}
+                                  engine: register-boundary cones
+                                  re-timed concurrently on [jobs]
+                                  domains.  Bit-identical to the flat
+                                  engine at every sync point — move
+                                  trajectories, leakage and yield do not
+                                  change; falls back to the flat engine
+                                  when the netlist does not decompose *)
   audit : bool;               (** debug: assert bit-agreement with a
                                   from-scratch analysis at every pass
                                   boundary (compiled out under
@@ -94,7 +103,7 @@ type config = {
 
 val default_config : tmax:float -> eta:float -> config
 (** Paper metric, both knobs, 25 passes, bands of ≤ 512 moves, margin
-    1.0, trickle cutoff at 4 moves/pass, audit off. *)
+    1.0, trickle cutoff at 4 moves/pass, partition off, audit off. *)
 
 type stats = {
   feasible : bool;            (** η met at exit (SSTA-verified) *)

@@ -7,8 +7,10 @@ module Model = Sl_variation.Model
 module Ssta = Sl_ssta.Ssta
 module Canonical = Sl_ssta.Canonical
 module Incremental = Sl_ssta.Incremental
+module Engine = Sl_ssta.Engine
 module Leak_ssta = Sl_leakage.Leak_ssta
 module Special = Sl_util.Special
+module Parallel = Sl_util.Parallel
 module Trace = Sl_obs.Trace
 module Metrics = Sl_obs.Metrics
 
@@ -28,6 +30,7 @@ type config = {
   refresh_every : int;
   yield_margin : float;
   incremental : bool;
+  partition : bool;
   audit : bool;
   jobs : int;
 }
@@ -43,6 +46,7 @@ let default_config ~tmax ~eta =
     refresh_every = 25;
     yield_margin = 0.5;
     incremental = true;
+    partition = false;
     audit = false;
     jobs = 1;
   }
@@ -77,7 +81,7 @@ type progress = {
 
 type move = { id : int; prev : [ `Vth of int | `Size of int ] }
 
-type engine = Full | Inc of Incremental.t
+type engine = Full | Inc of Engine.t
 
 (* Mutable optimizer state refreshed by each exact SSTA (full mode) or
    kept consistent by the incremental engine (Inc mode: path_mu/path_sigma
@@ -130,11 +134,11 @@ let refresh ?(rebuild = false) ?(paths = true) st ~tmax =
     st.full_refreshes <- st.full_refreshes + 1
   | Inc inc ->
     if rebuild then begin
-      Incremental.rebuild inc;
+      Engine.rebuild inc;
       st.full_refreshes <- st.full_refreshes + 1
     end
-    else Incremental.sync ~paths inc;
-    st.yield_ <- Incremental.yield inc);
+    else Engine.sync ~paths inc;
+    st.yield_ <- Engine.yield inc);
   st.refreshes <- st.refreshes + 1;
   st.time_refresh <- st.time_refresh +. (now () -. t0)
 
@@ -148,12 +152,12 @@ let ensure_paths st =
   | Full -> ()
   | Inc inc ->
     let t0 = now () in
-    Incremental.sync inc;
+    Engine.sync inc;
     st.time_refresh <- st.time_refresh +. (now () -. t0)
 
 (* Notify the timing engine that gate [id]'s assignment changed. *)
 let touch st id =
-  match st.engine with Full -> () | Inc inc -> Incremental.update_gate inc id
+  match st.engine with Full -> () | Inc inc -> Engine.update_gate inc id
 
 (* P(T_g + delta > tmax) with T_g Gaussian(mu, sigma). *)
 let violation_ ~path_mu ~path_sigma ~tmax id ~delta =
@@ -208,67 +212,93 @@ let compare_candidates a b =
     let c = Int.compare b.gate a.gate in
     if c <> 0 then c else Int.compare (kind_rank a.kind) (kind_rank b.kind)
 
-(* Score every eligible single-gate move (raise threshold / downsize) of
-   the design against the given worst-path view.  Shared by the greedy
-   optimizer (one list per pass, budgeted acceptance) and the batched
-   optimizer (one list per pass, slack-band application) so both rank
-   moves by the exact same formula. *)
+(* Worker domains used by the most recent candidate ranking — `--profile`
+   evidence that the parallel scan actually engaged. *)
+let m_rank_jobs =
+  Metrics.gauge ~help:"Worker domains used by the last candidate ranking"
+    "statleak_opt_rank_jobs"
+
+(* Score every eligible single-gate move of the design against the given
+   worst-path view.  [`Reduce] (the default) ranks leakage reductions
+   (raise threshold / downsize); [`Repair] ranks yield repairs (upsize)
+   by violation probability — the one scoring path behind both the
+   optimizers' reduction passes and their fix_yield phases, so every
+   ranking in the system comes from this function.
+
+   The scan writes into two fixed slots per gate (vth then size), so it
+   fans out over gate-id chunks when [jobs] > 1 {e and} the memo is
+   frozen (worker domains must never fill the table).  Each slot depends
+   only on its gate id and [compare_candidates] is total on distinct
+   (gate, kind) pairs, so the sorted result is identical for every
+   [jobs] value. *)
 let rank_candidates ~sensitivity ~allow_vth ~allow_size ~tmax ~memo ~leak
-    ~path_mu ~path_sigma ?(eligible = fun _ _ -> true) (d : Design.t) =
+    ~path_mu ~path_sigma ?(eligible = fun _ _ -> true) ?(jobs = 1)
+    ?(direction = `Reduce) (d : Design.t) =
   Trace.span "opt.rank"
     ~attrs:[ ("gates", string_of_int (Circuit.num_gates d.Design.circuit)) ]
   @@ fun () ->
+  let n = Circuit.num_gates d.Design.circuit in
   let num_vth = Cell_lib.num_vth d.Design.lib in
+  let num_sizes = Cell_lib.num_sizes d.Design.lib in
   let leak_mean_now = Leak_ssta.mean leak in
   let leak_p99_now =
     match sensitivity with
     | P99_leak_per_yield -> Leak_ssta.quantile leak 0.99
     | _ -> 0.0
   in
-  let candidates = ref [] in
+  let slots = Array.make (2 * n) None in
   let consider gate kind ~vth_idx ~size_idx ~delta =
     if delta <> 0.0 then begin
       let dleak_stat = leak_mean_now -. Leak_ssta.mean_if leak gate ~vth_idx ~size_idx in
-      if delta > 0.0 then begin
-        if dleak_stat > 0.0 then begin
-          let est_cost = est_yield_cost_ ~path_mu ~path_sigma ~tmax gate ~delta in
-          let score =
-            match sensitivity with
-            | Stat_leak_per_yield -> dleak_stat /. (est_cost +. 1e-12)
-            | Stat_leak_per_delay -> dleak_stat /. Float.max 1e-9 delta
-            | Nominal_leak_per_yield ->
-              let dleak_nom =
-                nominal_leak d gate ~vth_idx:d.Design.vth_idx.(gate)
-                  ~size_idx:d.Design.size_idx.(gate)
-                -. nominal_leak d gate ~vth_idx ~size_idx
-              in
-              dleak_nom /. (est_cost +. 1e-12)
-            | P99_leak_per_yield ->
-              let dp99 =
-                leak_p99_now -. Leak_ssta.quantile_if leak gate ~vth_idx ~size_idx ~p:0.99
-              in
-              dp99 /. (est_cost +. 1e-12)
-          in
-          candidates := { score; kind; gate; est_cost } :: !candidates
-        end
+      if dleak_stat <= 0.0 then None
+      else if delta > 0.0 then begin
+        let est_cost = est_yield_cost_ ~path_mu ~path_sigma ~tmax gate ~delta in
+        let score =
+          match sensitivity with
+          | Stat_leak_per_yield -> dleak_stat /. (est_cost +. 1e-12)
+          | Stat_leak_per_delay -> dleak_stat /. Float.max 1e-9 delta
+          | Nominal_leak_per_yield ->
+            let dleak_nom =
+              nominal_leak d gate ~vth_idx:d.Design.vth_idx.(gate)
+                ~size_idx:d.Design.size_idx.(gate)
+              -. nominal_leak d gate ~vth_idx ~size_idx
+            in
+            dleak_nom /. (est_cost +. 1e-12)
+          | P99_leak_per_yield ->
+            let dp99 =
+              leak_p99_now -. Leak_ssta.quantile_if leak gate ~vth_idx ~size_idx ~p:0.99
+            in
+            dp99 /. (est_cost +. 1e-12)
+        in
+        Some { score; kind; gate; est_cost }
       end
-      else if
+      else
         (* a move that saves leakage AND delay is a free win; top rank *)
-        dleak_stat > 0.0
-      then candidates := { score = infinity; kind; gate; est_cost = 0.0 } :: !candidates
+        Some { score = infinity; kind; gate; est_cost = 0.0 }
     end
+    else None
   in
-  Array.iter
-    (fun (g : Circuit.gate) ->
-      if g.Circuit.kind <> Cell_kind.Pi then begin
-        let id = g.Circuit.id in
+  let scan_gate id =
+    if (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi then
+      match direction with
+      | `Repair ->
+        (* upsize the gate to pull its worst path in; scored by the
+           violation probability so the sort order equals the historical
+           fix_yield ranking (probability desc, gate id desc) *)
+        if d.Design.size_idx.(id) + 1 < num_sizes && eligible id `Size then begin
+          let v = violation_ ~path_mu ~path_sigma ~tmax id ~delta:0.0 in
+          if v > 0.0 then
+            slots.(2 * id) <- Some { score = v; kind = `Size; gate = id; est_cost = 0.0 }
+        end
+      | `Reduce ->
         if allow_vth && d.Design.vth_idx.(id) + 1 < num_vth && eligible id `Vth then begin
           let v = d.Design.vth_idx.(id) in
           let delta =
             Memo.delay_delta memo d id ~vth_idx:(v + 1)
               ~size_idx:d.Design.size_idx.(id)
           in
-          consider id `Vth ~vth_idx:(v + 1) ~size_idx:d.Design.size_idx.(id) ~delta
+          slots.(2 * id) <-
+            consider id `Vth ~vth_idx:(v + 1) ~size_idx:d.Design.size_idx.(id) ~delta
         end;
         if allow_size && d.Design.size_idx.(id) > 0 && eligible id `Size then begin
           let s = d.Design.size_idx.(id) in
@@ -276,10 +306,21 @@ let rank_candidates ~sensitivity ~allow_vth ~allow_size ~tmax ~memo ~leak
             Memo.delay_delta memo d id ~vth_idx:d.Design.vth_idx.(id)
               ~size_idx:(s - 1)
           in
-          consider id `Size ~vth_idx:d.Design.vth_idx.(id) ~size_idx:(s - 1) ~delta
+          slots.(2 * id + 1) <-
+            consider id `Size ~vth_idx:d.Design.vth_idx.(id) ~size_idx:(s - 1) ~delta
         end
-      end)
-    d.Design.circuit.Circuit.gates;
+  in
+  let eff_jobs = if jobs > 1 && Memo.frozen memo then jobs else 1 in
+  Metrics.set m_rank_jobs (float_of_int eff_jobs);
+  Parallel.run_chunks ~jobs:eff_jobs ~threshold:1024 ~n ~init:(fun () -> ())
+    (fun () lo hi ->
+      for id = lo to hi - 1 do
+        scan_gate id
+      done);
+  let candidates = ref [] in
+  for i = (2 * n) - 1 downto 0 do
+    match slots.(i) with Some c -> candidates := c :: !candidates | None -> ()
+  done;
   List.sort compare_candidates !candidates
 
 let collect_candidates cfg st =
@@ -288,7 +329,7 @@ let collect_candidates cfg st =
   let sorted =
     rank_candidates ~sensitivity:cfg.sensitivity ~allow_vth:cfg.allow_vth
       ~allow_size:cfg.allow_size ~tmax:cfg.tmax ~memo:st.memo ~leak:st.leak
-      ~path_mu:st.path_mu ~path_sigma:st.path_sigma st.design
+      ~path_mu:st.path_mu ~path_sigma:st.path_sigma ~jobs:st.jobs st.design
   in
   st.time_candidates <- st.time_candidates +. (now () -. t0);
   sorted
@@ -316,15 +357,16 @@ let undo_move st m =
   touch st m.id
 
 (* Initial yield repair: upsize statistically critical gates.  Each step
-   ranks upsizable gates by violation probability and trial-applies the
-   top few with an exact SSTA, keeping the first that improves yield; the
-   phase ends when no candidate in the shortlist helps.  In incremental
-   mode a rejected trial rolls the dirty-cone snapshot back instead of
-   paying a second full refresh. *)
+   ranks upsizable gates through {!rank_candidates} in [`Repair]
+   direction — the same scoring path as every other ranking, ordered by
+   violation probability — and trial-applies the top few with an exact
+   SSTA, keeping the first that improves yield; the phase ends when no
+   candidate in the shortlist helps.  In incremental mode a rejected
+   trial rolls the dirty-cone snapshot back instead of paying a second
+   full refresh. *)
 let fix_yield cfg st trials size_moves =
   Trace.span "opt.fix_yield" @@ fun () ->
   let d = st.design in
-  let num_sizes = Cell_lib.num_sizes d.Design.lib in
   let n = Circuit.num_gates d.Design.circuit in
   let shortlist = 16 in
   let stuck = ref false in
@@ -333,32 +375,20 @@ let fix_yield cfg st trials size_moves =
     incr steps;
     ensure_paths st;
     let ranked =
-      let all = ref [] in
-      for id = 0 to n - 1 do
-        if
-          (Circuit.gate d.Design.circuit id).Circuit.kind <> Cell_kind.Pi
-          && d.Design.size_idx.(id) + 1 < num_sizes
-        then begin
-          let v = violation st ~tmax:cfg.tmax id ~delta:0.0 in
-          if v > 0.0 then all := (v, id) :: !all
-        end
-      done;
-      (* descending-id tie-break: deterministic under equal violation
-         probabilities, matching the historical stable-sort order *)
-      List.sort
-        (fun (a, ia) (b, ib) ->
-          let c = Float.compare b a in
-          if c <> 0 then c else Int.compare ib ia)
-        !all
+      rank_candidates ~sensitivity:cfg.sensitivity ~allow_vth:cfg.allow_vth
+        ~allow_size:cfg.allow_size ~direction:`Repair ~tmax:cfg.tmax
+        ~memo:st.memo ~leak:st.leak ~path_mu:st.path_mu
+        ~path_sigma:st.path_sigma ~jobs:st.jobs st.design
     in
     let rec try_candidates k = function
       | [] -> false
       | _ when k >= shortlist -> false
-      | (_, id) :: rest ->
+      | (c : candidate) :: rest ->
+        let id = c.gate in
         let s = d.Design.size_idx.(id) in
         let cp =
           match st.engine with
-          | Inc inc -> Some (inc, Incremental.checkpoint inc)
+          | Inc inc -> Some (inc, Engine.checkpoint inc)
           | Full -> None
         in
         Design.set_size d id (s + 1);
@@ -369,7 +399,7 @@ let fix_yield cfg st trials size_moves =
         (* only the yield is read before the next path sync *)
         refresh st ~tmax:cfg.tmax ~paths:false;
         if st.yield_ > y_before then begin
-          (match cp with Some (inc, c) -> Incremental.commit inc c | None -> ());
+          (match cp with Some (inc, c) -> Engine.commit inc c | None -> ());
           incr size_moves;
           true
         end
@@ -380,8 +410,8 @@ let fix_yield cfg st trials size_moves =
           | Some (inc, c) ->
             (* snapshot rollback replaces the second full refresh of the
                reject path; count it as a refresh so stats line up *)
-            Incremental.rollback inc c;
-            st.yield_ <- Incremental.yield inc;
+            Engine.rollback inc c;
+            st.yield_ <- Engine.yield inc;
             st.refreshes <- st.refreshes + 1
           | None -> refresh st ~tmax:cfg.tmax);
           try_candidates (k + 1) rest
@@ -423,9 +453,19 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
   @@ fun () ->
   let leak = Leak_ssta.create d model in
   let memo = Memo.create d.Design.lib in
+  (* Freeze the memo up front whenever worker domains may read it —
+     partition mode runs one engine per cone on the pool, and parallel
+     ranking scans gates on the pool.  Prefilled first, so frozen lookups
+     stay bit-identical to lazy filling. *)
+  if cfg.partition || cfg.jobs > 1 then begin
+    Memo.prefill memo d;
+    Memo.freeze memo
+  end;
   let engine =
     if cfg.incremental then
-      Inc (Incremental.create ~memo ~jobs:cfg.jobs d model ~tmax:cfg.tmax)
+      Inc
+        (Engine.create ~memo ~jobs:cfg.jobs ~partition:cfg.partition d model
+           ~tmax:cfg.tmax)
     else Full
   in
   let st =
@@ -450,9 +490,14 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
   (match engine with
   | Inc inc ->
     (* the build above was the one full analysis; alias its live arrays *)
-    st.path_mu <- Incremental.path_mu inc;
-    st.path_sigma <- Incremental.path_sigma inc;
-    st.full_refreshes <- 1
+    st.path_mu <- Engine.path_mu inc;
+    st.path_sigma <- Engine.path_sigma inc;
+    st.full_refreshes <- 1;
+    Metrics.set
+      (Metrics.gauge ~labels:[ ("mode", "stat") ]
+         ~help:"Register-boundary cones driven by the optimizer"
+         "statleak_opt_partitions")
+      (float_of_int (Engine.num_partitions inc))
   | Full -> ());
   refresh st ~tmax:cfg.tmax;
   let trials = ref 0 and vth_moves = ref 0 and size_moves = ref 0 in
@@ -514,7 +559,7 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
           (* debug-build agreement check against a from-scratch analysis;
              compiled out under -noassert *)
           ensure_paths st;
-          assert (Incremental.audit inc)
+          assert (Engine.audit inc)
         | _ -> ()
       in
       List.iter
@@ -599,7 +644,7 @@ let optimize ?(progress = fun (_ : progress) -> ()) cfg (d : Design.t) model =
   end;
   let istats =
     match st.engine with
-    | Inc inc -> Some (Incremental.stats inc)
+    | Inc inc -> Some (Engine.stats inc)
     | Full -> None
   in
   let result_stats = {

@@ -53,6 +53,16 @@ type config = {
                               bit-identical to full analysis at every
                               refresh point, so results (moves, yield,
                               leakage) do not change — only wall-clock *)
+  partition : bool;       (** drive refreshes through the partition-parallel
+                              {!Sl_ssta.Hier} engine: register-boundary
+                              cones re-timed concurrently on [jobs]
+                              domains, stitched through canonical boundary
+                              macromodels.  Bit-identical to the flat
+                              engine at every refresh point — trajectories,
+                              leakage and yield do not change.  Falls back
+                              to the flat engine transparently when the
+                              netlist does not decompose
+                              ({!Sl_ssta.Engine.create}) *)
   audit : bool;           (** debug: every [refresh_every] batch settles,
                               [assert] that the incremental state agrees
                               bit-for-bit with a from-scratch analysis
@@ -65,7 +75,7 @@ type config = {
 
 val default_config : tmax:float -> eta:float -> config
 (** Paper metric, both knobs, 25 passes, refresh every 25 moves,
-    margin 0.5, incremental engine on, audit off. *)
+    margin 0.5, incremental engine on, partition off, audit off. *)
 
 type stats = {
   feasible : bool;        (** η met at exit (SSTA-verified) *)
@@ -111,7 +121,8 @@ val optimize :
 (** {2 Candidate ranking}
 
     The scoring core, shared with {!Batch_opt} so both optimizers rank
-    moves by the exact same formula. *)
+    moves by the exact same formula — in both directions: leakage
+    reduction and yield repair. *)
 
 type candidate = {
   score : float;              (** sensitivity value; [infinity] = free win *)
@@ -130,13 +141,23 @@ val rank_candidates :
   path_mu:float array ->
   path_sigma:float array ->
   ?eligible:(int -> [ `Vth | `Size ] -> bool) ->
+  ?jobs:int ->
+  ?direction:[ `Reduce | `Repair ] ->
   Sl_tech.Design.t ->
   candidate list
-(** Every eligible single-gate move (raise threshold by one / downsize by
-    one) scored against the given worst-path view, best first.  The order
-    is fully deterministic: score descending, ties broken by gate id
-    descending then [`Size] before [`Vth].  [eligible] (default: all)
-    filters moves before they are scored. *)
+(** Every eligible single-gate move scored against the given worst-path
+    view, best first.  [`Reduce] (the default direction) ranks leakage
+    reductions (raise threshold by one / downsize by one) by the
+    sensitivity metric; [`Repair] ranks yield repairs (upsize by one) by
+    violation probability, with [est_cost] 0 — the ranking both
+    optimizers' fix_yield phases consume.  The order is fully
+    deterministic: score descending, ties broken by gate id descending
+    then [`Size] before [`Vth].  [eligible] (default: all) filters moves
+    before they are scored.  [jobs] (default 1) fans the per-gate scan
+    out over the domain pool when the memo is frozen — the candidate
+    list is identical for every value (slot-per-gate scan, total order);
+    with an unfrozen memo the scan stays sequential (worker domains must
+    not fill the table). *)
 
 (**/**)
 

@@ -433,6 +433,7 @@ let op_optimize t fd req =
       let eta = Option.get (Json.num ~default:0.95 "eta" req) in
       let jobs = Option.get (Json.int ~default:1 "jobs" req) in
       if jobs < 1 then failwith "jobs must be >= 1";
+      let partition = Option.get (Json.bool ~default:false "partition" req) in
       let detail = Option.get (Json.bool ~default:false "detail" req) in
       let progress (p : Stat_opt.progress) =
         Protocol.send fd
@@ -444,7 +445,7 @@ let op_optimize t fd req =
                ("leak_mean", Json.Num p.Stat_opt.leak_mean);
              ])
       in
-      let stats = Session.optimize ~progress ~jobs s ~mode ~eta in
+      let stats = Session.optimize ~progress ~jobs ~partition s ~mode ~eta in
       let common =
         match stats with
         | Session.Stat_stats st ->

@@ -107,15 +107,17 @@ type opt_stats =
 val optimize :
   ?progress:(Sl_opt.Stat_opt.progress -> unit) ->
   ?jobs:int ->
+  ?partition:bool ->
   t -> mode:[ `Stat | `Batch ] -> eta:float -> opt_stats
 (** Run the requested optimizer on the session design with the session's
     [tmax] and the optimizer's default configuration — exactly what the
     one-shot [statleak optimize --mode stat|batch] CLI runs, so the move
     trajectory is identical.  [jobs] (default 1) sets the optimizer's
-    level-parallel domain count — bit-identical for every value, so the
-    trajectory still matches the CLI run.  The session's engine and
-    leakage state are rebuilt afterwards (the optimizer drives its own
-    engine). *)
+    level-parallel domain count and [partition] (default false) routes
+    timing through the partition-parallel {!Sl_ssta.Hier} engine — both
+    bit-identical knobs, so the trajectory still matches the CLI run.
+    The session's engine and leakage state are rebuilt afterwards (the
+    optimizer drives its own engine). *)
 
 (** {2 Eviction snapshots} *)
 

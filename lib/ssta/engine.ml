@@ -1,0 +1,93 @@
+module Design = Sl_tech.Design
+module Memo = Sl_tech.Memo
+
+type t = Flat of Incremental.t | Hier of Hier.t
+
+type checkpoint = Fcp of Incremental.checkpoint | Hcp of Hier.checkpoint
+
+let create ?memo ?(jobs = 1) ?par_threshold ?(partition = false) d model ~tmax
+    =
+  let flat ?memo () =
+    Flat (Incremental.create ?memo ~jobs ?par_threshold d model ~tmax)
+  in
+  if not partition then flat ?memo ()
+  else
+    (* Hier freezes the memo (prefilled, so lookups stay bit-identical);
+       when the netlist does not decompose, or a caller-frozen memo
+       cannot serve the design, fall back to the flat engine — with a
+       usable memo so the flat path never hits a frozen-miss *)
+    match Hier.create ?memo ~jobs d model ~tmax with
+    | Some h -> Hier h
+    | None -> (
+      match memo with
+      | Some m when Memo.frozen m && not (Memo.covers m d) -> flat ()
+      | _ -> flat ?memo ())
+
+let is_partitioned = function Flat _ -> false | Hier _ -> true
+
+let num_partitions = function
+  | Flat _ -> 1
+  | Hier h -> Hier.num_partitions h
+
+let design = function
+  | Flat i -> Incremental.design i
+  | Hier h -> Hier.design h
+
+let update_gate t gid =
+  match t with
+  | Flat i -> Incremental.update_gate i gid
+  | Hier h -> Hier.update_gate h gid
+
+let sync ?paths = function
+  | Flat i -> Incremental.sync ?paths i
+  | Hier h -> Hier.sync ?paths h
+
+let rebuild = function
+  | Flat i -> Incremental.rebuild i
+  | Hier h -> Hier.rebuild h
+
+let yield = function Flat i -> Incremental.yield i | Hier h -> Hier.yield h
+
+let circuit_delay = function
+  | Flat i -> Incremental.circuit_delay i
+  | Hier h -> Hier.circuit_delay h
+
+let arrival t gid =
+  match t with
+  | Flat i -> Incremental.arrival i gid
+  | Hier h -> Hier.arrival h gid
+
+let required t gid =
+  match t with
+  | Flat i -> Incremental.required i gid
+  | Hier h -> Hier.required h gid
+
+let path_mu = function
+  | Flat i -> Incremental.path_mu i
+  | Hier h -> Hier.path_mu h
+
+let path_sigma = function
+  | Flat i -> Incremental.path_sigma i
+  | Hier h -> Hier.path_sigma h
+
+let checkpoint = function
+  | Flat i -> Fcp (Incremental.checkpoint i)
+  | Hier h -> Hcp (Hier.checkpoint h)
+
+let commit t cp =
+  match (t, cp) with
+  | Flat i, Fcp c -> Incremental.commit i c
+  | Hier h, Hcp c -> Hier.commit h c
+  | _ -> invalid_arg "Engine.commit: checkpoint from a different engine"
+
+let rollback t cp =
+  match (t, cp) with
+  | Flat i, Fcp c -> Incremental.rollback i c
+  | Hier h, Hcp c -> Hier.rollback h c
+  | _ -> invalid_arg "Engine.rollback: checkpoint from a different engine"
+
+let audit = function Flat i -> Incremental.audit i | Hier h -> Hier.audit h
+
+let stats = function
+  | Flat i -> Incremental.stats i
+  | Hier h -> Hier.stats h

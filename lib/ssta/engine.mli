@@ -1,0 +1,44 @@
+(** Uniform front over the two incremental timing engines.
+
+    [Flat] is {!Incremental} over the whole circuit (level-parallel);
+    [Hier] is {!Hier}, one sequential engine per register-boundary cone
+    with cones scheduled on domains.  Both expose bit-identical state
+    for the same design, so optimizers drive either through this module
+    and walk identical trajectories. *)
+
+type t = Flat of Incremental.t | Hier of Hier.t
+
+val create :
+  ?memo:Sl_tech.Memo.t -> ?jobs:int -> ?par_threshold:int ->
+  ?partition:bool ->
+  Sl_tech.Design.t -> Sl_variation.Model.t -> tmax:float -> t
+(** [?partition] (default false) requests the hierarchical engine; when
+    the design does not decompose (see {!Hier.create}) this falls back
+    to the flat engine transparently.  Partition mode prefills and
+    freezes the memo — a numerical no-op that makes it domain-shareable. *)
+
+val is_partitioned : t -> bool
+val num_partitions : t -> int
+(** 1 for the flat engine. *)
+
+val design : t -> Sl_tech.Design.t
+val update_gate : t -> int -> unit
+val sync : ?paths:bool -> t -> unit
+val rebuild : t -> unit
+val yield : t -> float
+val circuit_delay : t -> Canonical.t
+val arrival : t -> int -> Canonical.t
+val required : t -> int -> Canonical.t
+val path_mu : t -> float array
+val path_sigma : t -> float array
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val commit : t -> checkpoint -> unit
+val rollback : t -> checkpoint -> unit
+(** @raise Invalid_argument if the checkpoint came from the other
+    engine variant. *)
+
+val audit : t -> bool
+val stats : t -> Incremental.stats

@@ -1,0 +1,108 @@
+(** Partition-parallel SSTA over register-boundary cones.
+
+    A register-cut design ({!Sl_netlist.Bench_format} with
+    [~sequential:`Cut]) decomposes into independent combinational cones
+    ({!Sl_netlist.Circuit.partition_at_registers}).  This engine owns
+    one sequential {!Incremental} instance per cone over a restricted
+    view of the variation model ({!Sl_variation.Model.restrict}), plus a
+    canonical-form {e boundary macromodel} per cut net: the cone's
+    arrival at each D-side output, expressed over the {e global}
+    principal components — so correlation between cones flows through
+    the shared PCs and is preserved by construction.
+
+    {2 Bit-identity}
+
+    Partitions share no gates, local ids are a monotone remap of global
+    ids, and the circuit delay is stitched by replaying the flat
+    engine's fold over the global output order.  Every per-part
+    recomputation therefore produces exactly the words the flat
+    {!Incremental} engine would ([Int64.bits_of_float] equality), for
+    every [jobs] value — partitions are just scheduled on domains.
+
+    {2 Fallback}
+
+    [create]/[analyze] return [None] — caller should use the flat
+    engine — when the netlist does not decompose (a purely combinational
+    input is one connected component), when a component has cells but no
+    timing sink, or when a caller-supplied frozen memo cannot serve the
+    design. *)
+
+type t
+
+val create :
+  ?memo:Sl_tech.Memo.t -> ?jobs:int ->
+  Sl_tech.Design.t -> Sl_variation.Model.t -> tmax:float -> t option
+(** Partition the design and fully analyze every cone ([jobs] cones
+    concurrently).  The design is referenced, not copied; per-cone
+    sub-designs mirror its assignment and are kept in step by
+    {!update_gate}/{!rebuild}.  An unfrozen (or absent) [memo] is
+    prefilled for the design and frozen — required before part engines
+    can run on worker domains; the frozen table serves lookups
+    bit-identically to lazy filling.
+    @raise Invalid_argument if [jobs] < 1. *)
+
+val design : t -> Sl_tech.Design.t
+val num_partitions : t -> int
+
+val update_gate : t -> int -> unit
+(** Call after mutating gate [gid] (global id) in the design: mirrors
+    the assignment slot into the owning cone's sub-design and defers
+    re-timing to {!sync}, exactly like {!Incremental.update_gate}. *)
+
+val sync : ?paths:bool -> t -> unit
+(** Re-time only the cones containing dirty gates, concurrently on the
+    {!Sl_util.Parallel} pool (one writer per partition), then stitch the
+    boundary arrivals into the circuit delay and yield.  [~paths:false]
+    defers each cone's backward/path repair just like the flat engine;
+    the deferred dirt is consumed by the next full sync. *)
+
+val rebuild : t -> unit
+(** Re-mirror the whole assignment and rebuild every cone from scratch
+    (cones in parallel).  @raise Invalid_argument under a checkpoint. *)
+
+val yield : t -> float
+val circuit_delay : t -> Canonical.t
+val arrival : t -> int -> Canonical.t
+(** Arrival of global gate [gid], read from its owning cone. *)
+
+val required : t -> int -> Canonical.t
+val path_mu : t -> float array
+val path_sigma : t -> float array
+(** Live {e global} per-gate worst-path arrays, scattered from the cones
+    at every full sync — same aliasing contract as the flat engine. *)
+
+val boundary : t -> (string * Canonical.t) array
+(** The boundary macromodels: for every global primary output (each cut
+    D-net and true PO), its driving net name and canonical arrival form
+    over the global PCs.  Pair with
+    {!Sl_netlist.Bench_format.parse_string_cut} register records to map
+    a D-side arrival to the next stage's Q launch. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Eager per-cone checkpoints plus the stitched delay/yield.  Same
+    contract as {!Incremental.checkpoint}: take on forward-synced state,
+    one active at a time. *)
+
+val commit : t -> checkpoint -> unit
+
+val rollback : t -> checkpoint -> unit
+(** Restore every cone's timing view and the stitched state.  The caller
+    must restore the global design assignment first; touched gates are
+    re-mirrored into their sub-designs here. *)
+
+val audit : t -> bool
+(** Every cone audits against a from-scratch analysis, and the stitched
+    circuit delay/yield equal re-folding the boundary arrivals. *)
+
+val stats : t -> Incremental.stats
+(** Aggregate over cones (sums; [max_cone]/[max_level_width] are maxima). *)
+
+val analyze :
+  ?memo:Sl_tech.Memo.t -> ?jobs:int ->
+  Sl_tech.Design.t -> Sl_variation.Model.t -> Ssta.result option
+(** One-shot partitioned analysis: cones analyzed concurrently, results
+    scattered into global arrays, circuit delay stitched over the global
+    output order — bit-identical to {!Ssta.analyze} on the flat design.
+    [None] under the same fallback conditions as {!create}. *)

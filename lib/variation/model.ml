@@ -126,6 +126,19 @@ let build ?placement spec circuit =
     l_rnd = spec.Spec.sigma_l *. sqrt spec.Spec.frac_random;
   }
 
+(* Re-index the per-gate arrays for a sub-circuit whose gate [ids] map
+   local id -> global id.  Coefficient rows are shared with the parent
+   (they are read-only), and [num_pcs] is unchanged: the restricted view
+   keeps every global PC, so correlation between gates of different
+   restrictions is preserved exactly. *)
+let restrict t ids =
+  {
+    t with
+    gate_vth = Array.map (fun gid -> t.gate_vth.(gid)) ids;
+    gate_l = Array.map (fun gid -> t.gate_l.(gid)) ids;
+    gate_cell = Array.map (fun gid -> t.gate_cell.(gid)) ids;
+  }
+
 let dot a b =
   let acc = ref 0.0 in
   for i = 0 to Array.length a - 1 do

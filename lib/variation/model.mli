@@ -44,6 +44,15 @@ val vth_rnd_sigma : t -> float
 
 val l_rnd_sigma : t -> float
 
+val restrict : t -> int array -> t
+(** [restrict t ids] is the model viewed through a sub-circuit whose
+    local gate [i] is global gate [ids.(i)]: per-gate lookups re-index,
+    everything else (spec, PC count, σ's) is unchanged.  Coefficient
+    rows are shared with the parent, so a restricted gate's coefficients
+    are bitwise the parent's — correlation across different restrictions
+    of the same model is preserved by construction (this is the
+    variation-aware boundary macromodel guarantee). *)
+
 val correlation : t -> int -> int -> [ `Vth | `L ] -> float
 (** Correlation between the given parameter of two gates (diagnostics and
     tests; the analyses use the coefficient vectors directly). *)

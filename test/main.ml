@@ -9,6 +9,7 @@ let () =
          Test_sta.suite;
          Test_ssta.suite;
          Test_incremental.suite;
+         Test_hier.suite;
          Test_leakage.suite;
          Test_mc.suite;
          Test_yield.suite;

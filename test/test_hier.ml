@@ -1,0 +1,305 @@
+(* Partition-parallel SSTA (Sl_ssta.Hier / Sl_ssta.Engine): bit-identity
+   against the flat engines for every jobs value, checkpoint semantics,
+   and the flat fallback on netlists that do not decompose.
+
+   The contract under test is exact: partitions share no gates and local
+   ids are a monotone remap of global ids, so every canonical form the
+   hier engine stores must equal — to the IEEE bit — what the flat
+   Ssta/Incremental pipeline computes on the whole design. *)
+
+module Circuit = Sl_netlist.Circuit
+module Cell_kind = Sl_netlist.Cell_kind
+module Benchmarks = Sl_netlist.Benchmarks
+module Bench_format = Sl_netlist.Bench_format
+module Generators = Sl_netlist.Generators
+module Design = Sl_tech.Design
+module Cell_lib = Sl_tech.Cell_lib
+module Memo = Sl_tech.Memo
+module Spec = Sl_variation.Spec
+module Model = Sl_variation.Model
+module Ssta = Sl_ssta.Ssta
+module Canonical = Sl_ssta.Canonical
+module Incremental = Sl_ssta.Incremental
+module Hier = Sl_ssta.Hier
+module Engine = Sl_ssta.Engine
+module Rng = Sl_util.Rng
+module Stat_opt = Sl_opt.Stat_opt
+module Batch_opt = Sl_opt.Batch_opt
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let ceq (a : Canonical.t) (b : Canonical.t) =
+  feq a.Canonical.mean b.Canonical.mean
+  && feq a.Canonical.rnd b.Canonical.rnd
+  && Array.length a.Canonical.coeffs = Array.length b.Canonical.coeffs
+  && Array.for_all2 feq a.Canonical.coeffs b.Canonical.coeffs
+
+let pipeline ?(stages = 2) ?(width = 6) ?(layers = 3) () =
+  Bench_format.parse_string ~sequential:`Cut ~name:"hpipe"
+    (Generators.seq_pipeline_bench ~stages ~width ~layers)
+
+let design c = Design.create ~size_idx:2 (Cell_lib.default ()) c
+
+let cells (d : Design.t) =
+  Array.to_list d.Design.circuit.Circuit.gates
+  |> List.filter_map (fun (g : Circuit.gate) ->
+         if g.Circuit.kind = Cell_kind.Pi then None else Some g.Circuit.id)
+  |> Array.of_list
+
+(* What the flat engine computes for the current design. *)
+let reference d model ~tmax =
+  let res = Ssta.analyze d model in
+  let bwd = Ssta.backward d.Design.circuit res in
+  let n = Circuit.num_gates d.Design.circuit in
+  let mu = Array.make n 0.0 and sg = Array.make n 0.0 in
+  for id = 0 to n - 1 do
+    let t = Ssta.path_through res ~backward:bwd id in
+    mu.(id) <- t.Canonical.mean;
+    sg.(id) <- Canonical.sigma t
+  done;
+  (res, bwd, mu, sg, Ssta.timing_yield res ~tmax)
+
+let assert_matches ~what d model ~tmax h =
+  let res, bwd, mu, sg, y = reference d model ~tmax in
+  let n = Circuit.num_gates d.Design.circuit in
+  for id = 0 to n - 1 do
+    if not (ceq res.Ssta.arrival.(id) (Hier.arrival h id)) then
+      Alcotest.failf "%s: arrival(%d) diverged" what id;
+    if not (ceq bwd.(id) (Hier.required h id)) then
+      Alcotest.failf "%s: required(%d) diverged" what id;
+    if not (feq mu.(id) (Hier.path_mu h).(id)) then
+      Alcotest.failf "%s: path_mu(%d) diverged" what id;
+    if not (feq sg.(id) (Hier.path_sigma h).(id)) then
+      Alcotest.failf "%s: path_sigma(%d) diverged" what id
+  done;
+  if not (ceq res.Ssta.circuit_delay (Hier.circuit_delay h)) then
+    Alcotest.failf "%s: circuit_delay diverged" what;
+  if not (feq y (Hier.yield h)) then
+    Alcotest.failf "%s: yield diverged (%.17g vs %.17g)" what y (Hier.yield h)
+
+(* One-shot analyze agrees bit-for-bit with the flat pass, for every
+   jobs value. *)
+let test_analyze_bit_identity () =
+  let c = pipeline () in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  let flat = Ssta.analyze d model in
+  List.iter
+    (fun jobs ->
+      match Hier.analyze ~jobs d model with
+      | None -> Alcotest.failf "jobs=%d: pipeline did not partition" jobs
+      | Some r ->
+        let n = Circuit.num_gates c in
+        for id = 0 to n - 1 do
+          if not (ceq flat.Ssta.arrival.(id) r.Ssta.arrival.(id)) then
+            Alcotest.failf "jobs=%d: arrival(%d) diverged" jobs id;
+          if not (ceq flat.Ssta.gate_delay.(id) r.Ssta.gate_delay.(id)) then
+            Alcotest.failf "jobs=%d: gate_delay(%d) diverged" jobs id
+        done;
+        if not (ceq flat.Ssta.circuit_delay r.Ssta.circuit_delay) then
+          Alcotest.failf "jobs=%d: circuit_delay diverged" jobs)
+    [ 1; 2; 4 ]
+
+(* A purely combinational netlist is one connected component: Hier
+   declines, and the Engine front transparently falls back to Flat. *)
+let test_fallback_combinational () =
+  let c = Option.get (Benchmarks.by_name "add32") in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  (match Hier.analyze d model with
+  | Some _ -> Alcotest.fail "add32 should not partition"
+  | None -> ());
+  (match Hier.create d model ~tmax:1000.0 with
+  | Some _ -> Alcotest.fail "add32 should not partition"
+  | None -> ());
+  let e = Engine.create ~partition:true d model ~tmax:1000.0 in
+  Alcotest.(check bool) "fell back to flat" false (Engine.is_partitioned e);
+  Alcotest.(check int) "one partition" 1 (Engine.num_partitions e);
+  Engine.sync e;
+  let res = Ssta.analyze d model in
+  Alcotest.(check bool)
+    "flat fallback analyzes" true
+    (ceq res.Ssta.circuit_delay (Engine.circuit_delay e))
+
+(* Random Vth/size moves through the hier engine, synced and bit-compared
+   against a from-scratch flat analysis — for every jobs value, with
+   yield-only syncs interleaved. *)
+let incremental_identity_test jobs () =
+  let c = pipeline ~stages:3 ~width:4 ~layers:2 () in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  let res0 = Ssta.analyze d model in
+  let tmax = 1.25 *. res0.Ssta.circuit_delay.Canonical.mean in
+  let h =
+    match Hier.create ~jobs d model ~tmax with
+    | Some h -> h
+    | None -> Alcotest.fail "pipeline did not partition"
+  in
+  Alcotest.(check int) "stage count" 3 (Hier.num_partitions h);
+  assert_matches ~what:"initial" d model ~tmax h;
+  let ids = cells d in
+  let rng = Rng.create 42 in
+  let lib = d.Design.lib in
+  for step = 1 to 40 do
+    let id = ids.(Rng.int rng (Array.length ids)) in
+    if Rng.int rng 2 = 0 then
+      Design.set_vth d id ((d.Design.vth_idx.(id) + 1) mod Cell_lib.num_vth lib)
+    else
+      Design.set_size d id
+        (Stdlib.min (Cell_lib.num_sizes lib - 1) (d.Design.size_idx.(id) + 1));
+    Hier.update_gate h id;
+    if step mod 3 = 0 then begin
+      (* yield-only sync first: paths stay deferred, then settle *)
+      Hier.sync ~paths:false h;
+      let y_ref =
+        Ssta.timing_yield (Ssta.analyze d model) ~tmax
+      in
+      if not (feq y_ref (Hier.yield h)) then
+        Alcotest.failf "step %d: yield-only sync diverged" step
+    end;
+    Hier.sync h;
+    if step mod 10 = 0 then assert_matches ~what:(Printf.sprintf "step %d" step) d model ~tmax h
+  done;
+  assert_matches ~what:"final" d model ~tmax h;
+  Alcotest.(check bool) "audit" true (Hier.audit h)
+
+(* Checkpoint / rollback / commit restore the stitched state and every
+   cone bit-exactly, mirroring Incremental's contract. *)
+let test_checkpoint_rollback () =
+  let c = pipeline () in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  let res0 = Ssta.analyze d model in
+  let tmax = 1.25 *. res0.Ssta.circuit_delay.Canonical.mean in
+  let h = Option.get (Hier.create ~jobs:2 d model ~tmax) in
+  let ids = cells d in
+  let saved_vth = Array.copy d.Design.vth_idx in
+  let saved_size = Array.copy d.Design.size_idx in
+  let y0 = Hier.yield h in
+  let cd0 = Hier.circuit_delay h in
+  let cp = Hier.checkpoint h in
+  (* touch gates in several partitions *)
+  Array.iteri
+    (fun i id ->
+      if i mod 5 = 0 then begin
+        Design.set_vth d id 1;
+        Hier.update_gate h id
+      end)
+    ids;
+  Hier.sync ~paths:false h;
+  (* reject: restore the assignment, then roll the timing view back *)
+  Array.blit saved_vth 0 d.Design.vth_idx 0 (Array.length saved_vth);
+  Array.blit saved_size 0 d.Design.size_idx 0 (Array.length saved_size);
+  Hier.rollback h cp;
+  Alcotest.(check bool) "yield restored" true (feq y0 (Hier.yield h));
+  Alcotest.(check bool) "delay restored" true (ceq cd0 (Hier.circuit_delay h));
+  assert_matches ~what:"after rollback" d model ~tmax h;
+  (* accept path: same edit, committed this time *)
+  let cp = Hier.checkpoint h in
+  Design.set_size d ids.(0) (d.Design.size_idx.(ids.(0)) + 1);
+  Hier.update_gate h ids.(0);
+  Hier.sync h;
+  Hier.commit h cp;
+  assert_matches ~what:"after commit" d model ~tmax h;
+  Alcotest.(check bool) "audit after commit" true (Hier.audit h)
+
+(* rebuild after a bulk restore re-times every cone from scratch. *)
+let test_rebuild () =
+  let c = pipeline () in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  let res0 = Ssta.analyze d model in
+  let tmax = 1.25 *. res0.Ssta.circuit_delay.Canonical.mean in
+  let h = Option.get (Hier.create ~jobs:2 d model ~tmax) in
+  let ids = cells d in
+  Array.iter (fun id -> d.Design.vth_idx.(id) <- 1) ids;
+  Hier.rebuild h;
+  assert_matches ~what:"after rebuild" d model ~tmax h
+
+(* The optimizers walk the exact same trajectory over the hier engine:
+   same moves, bit-identical leakage and yield. *)
+let optimizer_identity_test mode () =
+  let c = pipeline ~stages:3 ~width:6 ~layers:3 () in
+  let model = Model.build Spec.default c in
+  let d0 = Ssta.analyze (design c) model in
+  let tmax = 1.10 *. d0.Ssta.circuit_delay.Canonical.mean in
+  let run ~partition ~jobs =
+    let d = design c in
+    match mode with
+    | `Stat ->
+      let st =
+        Stat_opt.optimize
+          { (Stat_opt.default_config ~tmax ~eta:0.9) with
+            Stat_opt.partition; jobs }
+          d model
+      in
+      (d, st.Stat_opt.final_yield, st.Stat_opt.vth_moves, st.Stat_opt.size_moves)
+    | `Batch ->
+      let st =
+        Batch_opt.optimize
+          { (Batch_opt.default_config ~tmax ~eta:0.9) with
+            Batch_opt.partition; jobs }
+          d model
+      in
+      (d, st.Batch_opt.final_yield, st.Batch_opt.vth_moves, st.Batch_opt.size_moves)
+  in
+  let d_flat, y_flat, vm_flat, sm_flat = run ~partition:false ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      let d_h, y_h, vm_h, sm_h = run ~partition:true ~jobs in
+      Alcotest.(check int) (Printf.sprintf "jobs=%d vth moves" jobs) vm_flat vm_h;
+      Alcotest.(check int) (Printf.sprintf "jobs=%d size moves" jobs) sm_flat sm_h;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d yield bits" jobs)
+        true (feq y_flat y_h);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d assignment" jobs)
+        true
+        (d_flat.Design.vth_idx = d_h.Design.vth_idx
+        && d_flat.Design.size_idx = d_h.Design.size_idx))
+    [ 1; 2; 4 ]
+
+(* The boundary macromodels cover every global output, named after the
+   driving net, and max-folding them reproduces the circuit delay. *)
+let test_boundary_macromodels () =
+  let c = pipeline () in
+  let d = design c in
+  let model = Model.build Spec.default c in
+  let res0 = Ssta.analyze d model in
+  let tmax = 1.25 *. res0.Ssta.circuit_delay.Canonical.mean in
+  let h = Option.get (Hier.create d model ~tmax) in
+  let b = Hier.boundary h in
+  Alcotest.(check int) "one macromodel per output"
+    (Array.length c.Circuit.outputs) (Array.length b);
+  Array.iteri
+    (fun i o ->
+      let name, arr = b.(i) in
+      Alcotest.(check string) "net name" (Circuit.gate c o).Circuit.name name;
+      Alcotest.(check bool) "arrival form" true (ceq arr (Hier.arrival h o)))
+    c.Circuit.outputs
+
+let suite =
+  [
+    ( "ssta.hier",
+      [
+        Alcotest.test_case "analyze bit-identity jobs 1/2/4" `Quick
+          test_analyze_bit_identity;
+        Alcotest.test_case "combinational fallback" `Quick
+          test_fallback_combinational;
+        Alcotest.test_case "incremental identity jobs=1" `Quick
+          (incremental_identity_test 1);
+        Alcotest.test_case "incremental identity jobs=2" `Quick
+          (incremental_identity_test 2);
+        Alcotest.test_case "incremental identity jobs=4" `Quick
+          (incremental_identity_test 4);
+        Alcotest.test_case "checkpoint rollback commit" `Quick
+          test_checkpoint_rollback;
+        Alcotest.test_case "rebuild" `Quick test_rebuild;
+        Alcotest.test_case "boundary macromodels" `Quick
+          test_boundary_macromodels;
+        Alcotest.test_case "stat optimizer identity" `Slow
+          (optimizer_identity_test `Stat);
+        Alcotest.test_case "batch optimizer identity" `Slow
+          (optimizer_identity_test `Batch);
+      ] );
+  ]

@@ -467,6 +467,41 @@ let test_seq_pipeline_bench () =
   Alcotest.(check int) "depth = layers" 2 c.Circuit.depth;
   check_topological c
 
+(* The register-aware cut parser exposes the D→Q pairing of every cut
+   DFF: Q is a launch input of the cut circuit, D a capture output, and
+   the pair maps a D-side arrival to the next stage's Q launch. *)
+let test_register_pairing () =
+  let text = Generators.seq_pipeline_bench ~stages:2 ~width:3 ~layers:2 in
+  let c, regs = Bench_format.parse_string_cut ~name:"spipe2" text in
+  (* one record per cut DFF: (stages - 1) * width *)
+  Alcotest.(check int) "register count" 3 (List.length regs);
+  let input_names =
+    Array.to_list
+      (Array.map (fun i -> (Circuit.gate c i).Circuit.name) c.Circuit.inputs)
+  in
+  List.iter
+    (fun (r : Bench_format.register) ->
+      Alcotest.(check bool)
+        (r.Bench_format.q ^ " is a launch input") true
+        (List.mem r.Bench_format.q input_names);
+      Alcotest.(check bool)
+        (r.Bench_format.d ^ " is a capture output") true
+        (Array.exists
+           (fun o -> (Circuit.gate c o).Circuit.name = r.Bench_format.d)
+           c.Circuit.outputs);
+      Alcotest.(check bool) "distinct nets" true
+        (r.Bench_format.q <> r.Bench_format.d))
+    regs;
+  (* pairing is unique on both sides *)
+  let qs = List.map (fun (r : Bench_format.register) -> r.Bench_format.q) regs in
+  let ds = List.map (fun (r : Bench_format.register) -> r.Bench_format.d) regs in
+  Alcotest.(check int) "unique Q" 3 (List.length (List.sort_uniq compare qs));
+  Alcotest.(check int) "unique D" 3 (List.length (List.sort_uniq compare ds));
+  (* the circuit itself is exactly what the plain cut parser builds *)
+  let c' = Bench_format.parse_string ~sequential:`Cut ~name:"spipe2" text in
+  Alcotest.(check string) "same netlist" (Bench_format.to_string c')
+    (Bench_format.to_string c)
+
 let test_large_registry () =
   (* resolvable by name, but never part of the standard suite *)
   List.iter
@@ -526,6 +561,48 @@ let prop_adder_widths =
       done;
       !ok)
 
+(* property: partition_at_registers is a true partition — every gate in
+   exactly one part, the id maps mutually consistent, kinds/levels
+   preserved under the monotone remap, and the global outputs exactly
+   covered by the parts' outputs *)
+let prop_register_partition =
+  QCheck.Test.make ~name:"partition_at_registers is a true partition"
+    ~count:10
+    QCheck.(triple (int_range 2 4) (int_range 2 6) (int_range 1 3))
+    (fun (stages, width, layers) ->
+      let text = Generators.seq_pipeline_bench ~stages ~width ~layers in
+      let c = Bench_format.parse_string ~sequential:`Cut ~name:"sp" text in
+      match Circuit.partition_at_registers c with
+      | None -> false
+      | Some p ->
+        let n = Circuit.num_gates c in
+        let seen = Array.make n 0 in
+        Array.iter
+          (fun ids -> Array.iter (fun g -> seen.(g) <- seen.(g) + 1) ids)
+          p.Circuit.part_ids;
+        let covered = Array.for_all (fun k -> k = 1) seen in
+        let maps_consistent = ref true in
+        for g = 0 to n - 1 do
+          let pt = p.Circuit.part_of.(g) in
+          let l = p.Circuit.local_of.(g) in
+          if p.Circuit.part_ids.(pt).(l) <> g then maps_consistent := false;
+          let sub = p.Circuit.parts.(pt) in
+          let sg = Circuit.gate sub l in
+          if sg.Circuit.kind <> (Circuit.gate c g).Circuit.kind then
+            maps_consistent := false;
+          if sg.Circuit.level <> (Circuit.gate c g).Circuit.level then
+            maps_consistent := false
+        done;
+        let outputs_covered =
+          Array.fold_left
+            (fun acc (sub : Circuit.t) ->
+              acc + Array.length sub.Circuit.outputs)
+            0 p.Circuit.parts
+          = Array.length c.Circuit.outputs
+        in
+        covered && !maps_consistent && outputs_covered
+        && Array.length p.Circuit.parts >= 2)
+
 let suite =
   let qc = List.map QCheck_alcotest.to_alcotest in
   [
@@ -573,9 +650,14 @@ let suite =
         Alcotest.test_case "rand30k shape + roundtrip" `Slow test_rand30k_shape_and_roundtrip;
         Alcotest.test_case "rand100k shape" `Slow test_rand100k_shape;
         Alcotest.test_case "seq pipeline bench" `Quick test_seq_pipeline_bench;
+        Alcotest.test_case "register pairing" `Quick test_register_pairing;
         Alcotest.test_case "large registry" `Slow test_large_registry;
         Alcotest.test_case "suite instantiates" `Quick test_benchmark_suite_instantiates;
         Alcotest.test_case "benchmark lookup" `Quick test_benchmark_lookup;
       ]
-      @ qc [ prop_random_dag_well_formed; prop_adder_widths ] );
+      @ qc
+          [
+            prop_random_dag_well_formed; prop_adder_widths;
+            prop_register_partition;
+          ] );
   ]
